@@ -1,0 +1,118 @@
+//! External-memory (HBM2) model.
+//!
+//! §5.1.2: "a moderate 256 GB/s HBM2 is used as the external memory system,
+//! consuming 1.2 pJ/b for data access."
+
+use crate::{EventCounters, CLOCK_HZ};
+
+/// Default HBM2 bandwidth in bytes per second.
+pub const HBM2_BYTES_PER_SEC: u64 = 256_000_000_000;
+
+/// A bandwidth-limited external memory channel.
+///
+/// Traffic is tracked in bits; transfer latency is `bits / bits_per_cycle`,
+/// where the per-cycle budget derives from the channel bandwidth at the
+/// accelerator clock. The scheduler in `defa-core` decides how much of the
+/// latency overlaps with compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dram {
+    bits_per_cycle: u64,
+    read_bits: u64,
+    write_bits: u64,
+}
+
+impl Dram {
+    /// Creates the paper's 256 GB/s HBM2 channel at the 400 MHz core clock.
+    pub fn hbm2() -> Self {
+        Dram::with_bandwidth(HBM2_BYTES_PER_SEC, CLOCK_HZ)
+    }
+
+    /// Creates a channel with explicit bandwidth and core clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_hz` is zero.
+    pub fn with_bandwidth(bytes_per_sec: u64, clock_hz: u64) -> Self {
+        assert!(clock_hz > 0, "clock must be positive");
+        Dram { bits_per_cycle: (bytes_per_sec * 8 / clock_hz).max(1), read_bits: 0, write_bits: 0 }
+    }
+
+    /// Bits the channel can move per core cycle.
+    pub fn bits_per_cycle(&self) -> u64 {
+        self.bits_per_cycle
+    }
+
+    /// Records a read of `bits` bits and returns its transfer cycles.
+    pub fn read(&mut self, bits: u64) -> u64 {
+        self.read_bits += bits;
+        bits.div_ceil(self.bits_per_cycle)
+    }
+
+    /// Records a write of `bits` bits and returns its transfer cycles.
+    pub fn write(&mut self, bits: u64) -> u64 {
+        self.write_bits += bits;
+        bits.div_ceil(self.bits_per_cycle)
+    }
+
+    /// Bits read so far.
+    pub fn read_bits(&self) -> u64 {
+        self.read_bits
+    }
+
+    /// Bits written so far.
+    pub fn write_bits(&self) -> u64 {
+        self.write_bits
+    }
+
+    /// Flushes traffic into shared counters and resets.
+    pub fn drain_into(&mut self, counters: &mut EventCounters) {
+        counters.dram_read_bits += self.read_bits;
+        counters.dram_write_bits += self.write_bits;
+        self.read_bits = 0;
+        self.write_bits = 0;
+    }
+}
+
+impl Default for Dram {
+    fn default() -> Self {
+        Self::hbm2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbm2_moves_640_bytes_per_cycle() {
+        let d = Dram::hbm2();
+        // 256e9 B/s / 400e6 Hz = 640 B = 5120 bits per cycle.
+        assert_eq!(d.bits_per_cycle(), 5120);
+    }
+
+    #[test]
+    fn transfer_cycles_round_up() {
+        let mut d = Dram::hbm2();
+        assert_eq!(d.read(1), 1);
+        assert_eq!(d.read(5120), 1);
+        assert_eq!(d.read(5121), 2);
+    }
+
+    #[test]
+    fn traffic_accumulates_and_drains() {
+        let mut d = Dram::hbm2();
+        d.read(100);
+        d.write(50);
+        let mut c = EventCounters::new();
+        d.drain_into(&mut c);
+        assert_eq!(c.dram_read_bits, 100);
+        assert_eq!(c.dram_write_bits, 50);
+        assert_eq!(d.read_bits(), 0);
+    }
+
+    #[test]
+    fn custom_bandwidth() {
+        let d = Dram::with_bandwidth(64_000_000_000, 1_000_000_000);
+        assert_eq!(d.bits_per_cycle(), 512);
+    }
+}

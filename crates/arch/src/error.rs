@@ -1,0 +1,46 @@
+//! Error type for the architecture crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by hardware-model construction and simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// A structural parameter was invalid (zero banks, zero width, …).
+    InvalidParameter(String),
+    /// A request referenced a non-existent resource.
+    OutOfRange {
+        /// What was indexed.
+        what: &'static str,
+        /// Offending index.
+        index: usize,
+        /// Number of valid entries.
+        len: usize,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::InvalidParameter(msg) => write!(f, "invalid hardware parameter: {msg}"),
+            ArchError::OutOfRange { what, index, len } => {
+                write!(f, "{what} index {index} out of range for {len} entries")
+            }
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ArchError::OutOfRange { what: "bank", index: 17, len: 16 };
+        assert!(e.to_string().contains("bank"));
+        assert!(e.to_string().contains("17"));
+    }
+}

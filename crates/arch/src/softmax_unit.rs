@@ -1,0 +1,51 @@
+//! The softmax unit of the attention-probability pipeline.
+//!
+//! A LUT-based exponential pipeline that normalizes one head's logits at a
+//! time. It is modeled as a fixed-throughput unit: `ELEMS_PER_CYCLE`
+//! elements enter per cycle, fully pipelined.
+
+use crate::EventCounters;
+
+/// Elements the softmax pipeline accepts per cycle.
+pub const ELEMS_PER_CYCLE: u64 = 16;
+
+/// Fixed-throughput softmax pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SoftmaxUnit;
+
+impl SoftmaxUnit {
+    /// Creates the unit.
+    pub fn new() -> Self {
+        SoftmaxUnit
+    }
+
+    /// Processes `elems` logits, returning cycles consumed.
+    pub fn run(&self, elems: u64, counters: &mut EventCounters) -> u64 {
+        let cycles = elems.div_ceil(ELEMS_PER_CYCLE);
+        counters.softmax_elems += elems;
+        counters.softmax_cycles += cycles;
+        cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_sixteen_per_cycle() {
+        let u = SoftmaxUnit::new();
+        let mut c = EventCounters::new();
+        assert_eq!(u.run(16, &mut c), 1);
+        assert_eq!(u.run(17, &mut c), 2);
+        assert_eq!(c.softmax_elems, 33);
+        assert_eq!(c.softmax_cycles, 3);
+    }
+
+    #[test]
+    fn zero_elements_cost_nothing() {
+        let u = SoftmaxUnit::new();
+        let mut c = EventCounters::new();
+        assert_eq!(u.run(0, &mut c), 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Spec-sheet models of the attention ASICs compared in Table 1.
+//!
+//! The paper compares DEFA against published silicon numbers; so do we.
+//! Each entry carries the Table 1 row plus a short description of the
+//! pruning mechanism, used by the comparison binary's commentary.
+
+/// Published specification of one comparison ASIC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsicSpec {
+    /// Short name.
+    pub name: &'static str,
+    /// Publication venue tag as in Table 1.
+    pub venue: &'static str,
+    /// Supported function.
+    pub function: &'static str,
+    /// Process node in nm.
+    pub technology_nm: u32,
+    /// Core area in mm².
+    pub area_mm2: f64,
+    /// Clock frequency in MHz.
+    pub frequency_mhz: u32,
+    /// Arithmetic precision.
+    pub precision: &'static str,
+    /// Power in mW.
+    pub power_mw: f64,
+    /// Throughput in GOPS.
+    pub throughput_gops: f64,
+    /// Pruning / approximation mechanism.
+    pub mechanism: &'static str,
+}
+
+impl AsicSpec {
+    /// Energy efficiency in GOPS/W.
+    pub fn energy_efficiency(&self) -> f64 {
+        self.throughput_gops / (self.power_mw / 1e3)
+    }
+}
+
+/// ELSA (ISCA'21): speculative candidate selection via orthogonal
+/// projection.
+pub const ELSA: AsicSpec = AsicSpec {
+    name: "ELSA",
+    venue: "ISCA'21",
+    function: "Attention",
+    technology_nm: 40,
+    area_mm2: 1.26,
+    frequency_mhz: 1000,
+    precision: "INT9",
+    power_mw: 969.4,
+    throughput_gops: 1088.0,
+    mechanism: "random-projection candidate speculation",
+};
+
+/// SpAtten (HPCA'21): cascade token and head pruning by cumulative score.
+pub const SPATTEN: AsicSpec = AsicSpec {
+    name: "SpAtten",
+    venue: "HPCA'21",
+    function: "Attention",
+    technology_nm: 40,
+    area_mm2: 1.55,
+    frequency_mhz: 1000,
+    precision: "INT12",
+    power_mw: 294.0,
+    throughput_gops: 360.0,
+    mechanism: "cascade token/head pruning by attention-score sort",
+};
+
+/// BESAPU (JSSC'22): bidirectional speculation and approximate computation
+/// of weakly related tokens.
+pub const BESAPU: AsicSpec = AsicSpec {
+    name: "BESAPU",
+    venue: "JSSC'22",
+    function: "Attention",
+    technology_nm: 28,
+    area_mm2: 6.82,
+    frequency_mhz: 500,
+    precision: "INT12",
+    power_mw: 272.8,
+    throughput_gops: 522.0,
+    mechanism: "bidirectional speculation with out-of-order scheduling",
+};
+
+/// The paper's reported DEFA row of Table 1 (for cross-checking the
+/// simulator's own numbers against the publication).
+pub const DEFA_PAPER: AsicSpec = AsicSpec {
+    name: "DEFA",
+    venue: "DAC'24",
+    function: "DeformAttn",
+    technology_nm: 40,
+    area_mm2: 2.63,
+    frequency_mhz: 400,
+    precision: "INT12",
+    power_mw: 99.8,
+    throughput_gops: 418.0,
+    mechanism: "FWP + PAP pruning, inter-level parallel MSGS, operator fusion",
+};
+
+/// The three comparison ASICs in Table 1 order.
+pub const ASICS: [AsicSpec; 3] = [ELSA, SPATTEN, BESAPU];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_efficiencies_match_paper() {
+        assert!((ELSA.energy_efficiency() - 1120.0).abs() < 5.0);
+        assert!((SPATTEN.energy_efficiency() - 1224.0).abs() < 5.0);
+        assert!((BESAPU.energy_efficiency() - 1910.0).abs() < 10.0);
+        assert!((DEFA_PAPER.energy_efficiency() - 4188.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn defa_improvement_factors_match_paper() {
+        // Paper: 3.7x over ELSA, 3.4x over SpAtten, 2.2x over BESAPU.
+        let d = DEFA_PAPER.energy_efficiency();
+        assert!((d / ELSA.energy_efficiency() - 3.7).abs() < 0.2);
+        assert!((d / SPATTEN.energy_efficiency() - 3.4).abs() < 0.2);
+        assert!((d / BESAPU.energy_efficiency() - 2.2).abs() < 0.2);
+    }
+
+    #[test]
+    fn only_defa_supports_deformable_attention() {
+        assert!(ASICS.iter().all(|a| a.function == "Attention"));
+        assert_eq!(DEFA_PAPER.function, "DeformAttn");
+    }
+}

@@ -1,0 +1,72 @@
+//! Dense-attention workload model and the §2.2 buffer-size argument.
+//!
+//! §2.2: existing attention accelerators (ELSA, SpAtten, BESAPU) prune
+//! token-to-token relevance that MSDeformAttn never computes, and — if one
+//! tried to run MSGS on them — the unbounded sampling range would require
+//! keeping the whole multi-scale value tensor on chip: "up to 9.8 MB
+//! on-chip buffer size". DEFA's level-wise range narrowing shrinks the
+//! resident set to bounded row buffers instead.
+
+use defa_model::MsdaConfig;
+use defa_prune::RangeConfig;
+
+/// Bytes per element the attention accelerators buffer (FP16/INT16 class).
+pub const BASELINE_ELEMENT_BYTES: u64 = 2;
+
+/// FLOPs of one dense (DETR-style) self-attention layer over `n` tokens of
+/// width `d`: `QKᵀ` + softmax·V + the four projections.
+pub fn dense_attention_flops(n: u64, d: u64) -> u64 {
+    let qkt = 2 * n * n * d;
+    let av = 2 * n * n * d;
+    let proj = 4 * 2 * n * d * d;
+    qkt + av + proj
+}
+
+/// On-chip bytes an attention accelerator would need to host MSGS without
+/// range narrowing: the full multi-scale value tensor must be resident
+/// (sampling addresses are unbounded), plus a query tile and the
+/// score/probability staging.
+pub fn unbounded_msgs_buffer_bytes(cfg: &MsdaConfig) -> u64 {
+    let n = cfg.n_in() as u64;
+    let d = cfg.d_model as u64;
+    let value = n * d * BASELINE_ELEMENT_BYTES;
+    let query_tile = 256 * d * BASELINE_ELEMENT_BYTES;
+    let probs = n * cfg.points_per_query() as u64 / 8; // masks/probs staging
+    value + query_tile + probs
+}
+
+/// On-chip bytes DEFA needs for the same sampling, with level-wise bounded
+/// row buffers (per-head channels, double-buffered).
+pub fn defa_msgs_buffer_bytes(cfg: &MsdaConfig) -> u64 {
+    let ranges = RangeConfig::paper_defaults(cfg);
+    let dh = cfg.head_dim() as u64;
+    2 * ranges.storage_pixels(cfg) * dh * 12 / 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_buffer_is_around_ten_megabytes() {
+        // Paper: "up to 9.8MB on-chip buffer size".
+        let mb = unbounded_msgs_buffer_bytes(&MsdaConfig::full()) as f64 / 1e6;
+        assert!(mb > 8.0 && mb < 12.0, "buffer {mb} MB");
+    }
+
+    #[test]
+    fn defa_buffer_is_two_orders_smaller() {
+        let cfg = MsdaConfig::full();
+        let unbounded = unbounded_msgs_buffer_bytes(&cfg);
+        let ours = defa_msgs_buffer_bytes(&cfg);
+        assert!(unbounded / ours > 20, "{unbounded} vs {ours}");
+    }
+
+    #[test]
+    fn dense_attention_is_quadratic() {
+        let f1 = dense_attention_flops(1000, 256);
+        let f2 = dense_attention_flops(2000, 256);
+        // Doubling tokens should roughly quadruple the QK^T work.
+        assert!(f2 as f64 / f1 as f64 > 2.5);
+    }
+}

@@ -1,0 +1,98 @@
+//! Deformable-convolution workload model (§2.2 comparison).
+//!
+//! DeformConv (Dai et al., ICCV'17) also grid-samples with learned offsets,
+//! and prior accelerators (CoDeNet, SiPS'22) target it — but §2.2 argues
+//! MSDeformAttn's workload is qualitatively heavier: the multi-scale fmaps
+//! are ~21.3× larger than DeformConv's single-scale fmap, and each head
+//! samples `N_l·N_p`× more points. This module quantifies both claims on
+//! explicit workload definitions.
+
+use defa_model::{LevelShape, MsdaConfig};
+
+/// A single-scale deformable-convolution workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeformConvWorkload {
+    /// Output feature-map shape (sampling happens per output pixel).
+    pub fmap: LevelShape,
+    /// Kernel height × width (sampling points per output pixel).
+    pub kernel: usize,
+    /// Channels.
+    pub channels: usize,
+}
+
+impl DeformConvWorkload {
+    /// The reference DeformConv workload of embedded detectors (CoDeNet
+    /// class): a 29×29 single-scale fmap with a 3×3 deformable kernel.
+    /// Against the Deformable-DETR pyramid this yields the paper's ~21.3×
+    /// fmap amplification.
+    pub fn reference() -> Self {
+        DeformConvWorkload { fmap: LevelShape::new(29, 29), kernel: 3, channels: 256 }
+    }
+
+    /// Sampling points per output pixel (the deformable kernel taps).
+    pub fn points_per_pixel(&self) -> usize {
+        self.kernel * self.kernel
+    }
+
+    /// Total sampling points over the fmap.
+    pub fn total_points(&self) -> u64 {
+        self.fmap.pixels() as u64 * self.points_per_pixel() as u64
+    }
+}
+
+/// The §2.2 workload-amplification comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadComparison {
+    /// Multi-scale pixels ÷ single-scale pixels (paper: ~21.3×).
+    pub fmap_amplification: f64,
+    /// MSDeformAttn per-head sampling points ÷ DeformConv kernel taps
+    /// (paper: "N_l·N_p× more ... in each head").
+    pub points_per_head_ratio: f64,
+    /// Total sampling points ratio across the whole operator.
+    pub total_points_ratio: f64,
+}
+
+/// Compares an MSDeformAttn configuration against a DeformConv workload.
+pub fn compare(cfg: &MsdaConfig, dc: &DeformConvWorkload) -> WorkloadComparison {
+    WorkloadComparison {
+        fmap_amplification: cfg.n_in() as f64 / dc.fmap.pixels() as f64,
+        points_per_head_ratio: cfg.points_per_head() as f64 / dc.points_per_pixel() as f64,
+        total_points_ratio: cfg.total_points() as f64 / dc.total_points() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmap_amplification_matches_paper() {
+        let cmp = compare(&MsdaConfig::full(), &DeformConvWorkload::reference());
+        // Paper: 21.3x.
+        assert!(
+            cmp.fmap_amplification > 18.0 && cmp.fmap_amplification < 25.0,
+            "amplification {}",
+            cmp.fmap_amplification
+        );
+    }
+
+    #[test]
+    fn per_head_points_ratio_is_nl_np_over_kernel() {
+        let cfg = MsdaConfig::full(); // 4 levels x 4 points = 16 per head
+        let cmp = compare(&cfg, &DeformConvWorkload::reference());
+        assert!((cmp.points_per_head_ratio - 16.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_points_gap_is_orders_of_magnitude() {
+        let cmp = compare(&MsdaConfig::full(), &DeformConvWorkload::reference());
+        assert!(cmp.total_points_ratio > 100.0, "{}", cmp.total_points_ratio);
+    }
+
+    #[test]
+    fn reference_workload_shape() {
+        let dc = DeformConvWorkload::reference();
+        assert_eq!(dc.points_per_pixel(), 9);
+        assert_eq!(dc.total_points(), 841 * 9);
+    }
+}

@@ -1,0 +1,22 @@
+//! Comparison baselines for the DEFA evaluation (§5.4).
+//!
+//! * [`gpu`] — an analytic latency/energy model of the NVIDIA RTX 2080Ti
+//!   and 3090Ti running MSDeformAttn, calibrated against the paper's own
+//!   measurement (Deformable DETR at 9.7 fps on the 3090Ti with
+//!   MSGS + aggregation at ~63 % of module latency).
+//! * [`accelerators`] — spec-sheet models of the attention ASICs in
+//!   Table 1 (ELSA, SpAtten, BESAPU) and helpers for the efficiency
+//!   comparison.
+//! * [`faster_rcnn`] — the Faster R-CNN reference point of Fig. 6(a).
+//! * [`deformconv`] / [`attention`] — the §2.2 workload analysis: why
+//!   DeformConv accelerators and attention accelerators both fall short of
+//!   MSDeformAttn's grid-sampling workload.
+
+pub mod accelerators;
+pub mod attention;
+pub mod deformconv;
+pub mod faster_rcnn;
+pub mod gpu;
+
+pub use accelerators::{AsicSpec, ASICS};
+pub use gpu::{GpuLatency, GpuSpec};

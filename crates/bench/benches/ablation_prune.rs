@@ -1,0 +1,38 @@
+//! Criterion: pruned-pipeline cost under each DESIGN.md ablation — how
+//! much *simulation* work each pruning technique adds or saves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use defa_model::workload::{Benchmark, SyntheticWorkload};
+use defa_model::MsdaConfig;
+use defa_prune::pipeline::{run_pruned_encoder, PruneSettings};
+use defa_prune::{FwpConfig, PapConfig};
+
+fn bench_ablation(c: &mut Criterion) {
+    let cfg = MsdaConfig::tiny();
+    let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &cfg, 1).unwrap();
+
+    let variants: [(&str, PruneSettings); 5] = [
+        ("all_on", PruneSettings::paper_defaults()),
+        ("fwp_only", PruneSettings {
+            fwp: Some(FwpConfig::paper_default()),
+            ..PruneSettings::disabled()
+        }),
+        ("pap_only", PruneSettings {
+            pap: Some(PapConfig::paper_default()),
+            ..PruneSettings::disabled()
+        }),
+        ("range_only", PruneSettings { range_narrowing: true, ..PruneSettings::disabled() }),
+        ("int12_only", PruneSettings { quant_bits: Some(12), ..PruneSettings::disabled() }),
+    ];
+
+    let mut group = c.benchmark_group("prune_ablation");
+    for (label, settings) in variants {
+        group.bench_function(label, |b| {
+            b.iter(|| run_pruned_encoder(std::hint::black_box(&wl), &settings).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

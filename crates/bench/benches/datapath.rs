@@ -1,0 +1,46 @@
+//! Criterion: bit-accurate datapath kernels — the fixed-point BI operator
+//! and the integer GEMM against their float references.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use defa_arch::bi_datapath::{interpolate, COEFF_FRAC_BITS};
+use defa_tensor::qlinear::quantized_matmul;
+use defa_tensor::rng::TensorRng;
+use defa_tensor::{Fixed, Tensor};
+
+fn bench_bi(c: &mut Criterion) {
+    let neighbors: Vec<[Fixed; 4]> = (0..1024)
+        .map(|i| {
+            let base = (i % 97) as f32 * 0.11 - 5.0;
+            [base, base + 0.3, base - 0.7, base + 1.1].map(|v| Fixed::from_f32(v, 10))
+        })
+        .collect();
+    let t0 = Fixed::from_f32(0.375, COEFF_FRAC_BITS);
+    let t1 = Fixed::from_f32(0.625, COEFF_FRAC_BITS);
+
+    c.bench_function("bi_datapath_1024_points", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &n in std::hint::black_box(&neighbors) {
+                acc += interpolate(n, t0, t1).value.raw() as i64;
+            }
+            acc
+        })
+    });
+}
+
+fn bench_qgemm(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(7);
+    let a: Tensor = rng.uniform([64, 64], -1.0, 1.0);
+    let b: Tensor = rng.uniform([64, 64], -1.0, 1.0);
+    let mut group = c.benchmark_group("quantized_gemm_64");
+    group.bench_function("int12", |bch| {
+        bch.iter(|| quantized_matmul(std::hint::black_box(&a), &b, 12).unwrap())
+    });
+    group.bench_function("float", |bch| {
+        bch.iter(|| defa_tensor::matmul::matmul(std::hint::black_box(&a), &b).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bi, bench_qgemm);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion: GEMM kernels (blocked vs naive, masked).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use defa_tensor::matmul::{matmul, matmul_naive, matmul_row_masked};
+use defa_tensor::rng::TensorRng;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(3);
+    let a = rng.uniform([256, 256], -1.0, 1.0);
+    let b = rng.uniform([256, 256], -1.0, 1.0);
+    let mask: Vec<bool> = (0..256).map(|i| i % 2 == 0).collect();
+
+    let mut group = c.benchmark_group("gemm_256");
+    group.bench_function("blocked", |bch| {
+        bch.iter(|| matmul(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap())
+    });
+    group.bench_function("naive", |bch| {
+        bch.iter(|| matmul_naive(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap())
+    });
+    group.bench_function("row_masked_half", |bch| {
+        bch.iter(|| {
+            matmul_row_masked(std::hint::black_box(&a), std::hint::black_box(&b), &mask).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

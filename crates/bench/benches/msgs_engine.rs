@@ -1,0 +1,42 @@
+//! Criterion: MSGS engine simulation, inter- vs intra-level banking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use defa_arch::{BankMapping, EventCounters};
+use defa_core::{MsgsEngine, MsgsSettings};
+use defa_model::workload::{Benchmark, SyntheticWorkload};
+use defa_model::MsdaConfig;
+
+fn bench_msgs(c: &mut Criterion) {
+    let cfg = MsdaConfig::small();
+    let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &cfg, 1).unwrap();
+    let out = wl.layer(0).unwrap().forward(wl.initial_fmap(), Some(wl.warp())).unwrap();
+    let keep = vec![true; out.locations.len()];
+
+    let mut group = c.benchmark_group("msgs_engine");
+    for (label, mapping) in
+        [("inter_level", BankMapping::InterLevel), ("intra_level", BankMapping::IntraLevel)]
+    {
+        let engine = MsgsEngine::new(
+            &cfg,
+            MsgsSettings { mapping, ..MsgsSettings::paper_default() },
+        )
+        .unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut counters = EventCounters::new();
+                engine
+                    .run_block(
+                        std::hint::black_box(&out.locations),
+                        std::hint::black_box(&keep),
+                        1.0,
+                        &mut counters,
+                    )
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_msgs);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion: functional MSDeformAttn layer evaluation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use defa_model::workload::{Benchmark, SyntheticWorkload};
+use defa_model::MsdaConfig;
+
+fn bench_reference_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reference_layer");
+    for (label, cfg) in [("tiny", MsdaConfig::tiny()), ("small", MsdaConfig::small())] {
+        let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &cfg, 1).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                wl.layer(0)
+                    .unwrap()
+                    .forward(std::hint::black_box(wl.initial_fmap()), Some(wl.warp()))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reference_layer);
+criterion_main!(benches);

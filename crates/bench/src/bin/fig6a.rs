@@ -1,0 +1,56 @@
+//! Figure 6(a): detection AP of DEFA's pruned models vs. baselines.
+//!
+//! COCO training is out of scope for this reproduction; the binary reports
+//! the measured output-fidelity error of the pruned encoder and the
+//! calibrated AP proxy next to the paper's reported APs (see DESIGN.md's
+//! substitution table).
+
+use defa_baseline::faster_rcnn::FASTER_RCNN_AP;
+use defa_bench::table::print_table;
+use defa_bench::RunOptions;
+use defa_model::detection::estimate_ap;
+use defa_model::encoder::run_encoder;
+use defa_model::workload::{Benchmark, SyntheticWorkload};
+use defa_prune::pipeline::{run_pruned_encoder, PruneSettings};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = RunOptions::from_env();
+    let cfg = opts.config();
+    println!("Figure 6(a) — detection AP proxy (scale: {})", opts.scale_label());
+
+    let mut rows = Vec::new();
+    for bench in Benchmark::all() {
+        let wl = SyntheticWorkload::generate(bench, &cfg, opts.seed)?;
+        let exact = run_encoder(&wl)?;
+        let pruned = run_pruned_encoder(&wl, &PruneSettings::paper_defaults())?;
+        let est = estimate_ap(bench, &exact.final_features, &pruned.final_features)?;
+        rows.push(vec![
+            bench.name().to_string(),
+            format!("{:.1}", est.baseline_ap),
+            format!("{:.4}", est.fidelity_error),
+            format!("{:.1}", est.estimated_ap),
+            format!("{:.1}", bench.defa_ap()),
+            format!("{:.2}", est.drop()),
+            format!("{:.2}", bench.baseline_ap() - bench.defa_ap()),
+        ]);
+    }
+    print_table(
+        "AP proxy under paper-default pruning (FWP k=1, PAP 0.02, ranges, INT12)",
+        &[
+            "benchmark",
+            "baseline AP",
+            "fidelity err (ours)",
+            "AP est (ours)",
+            "AP (paper)",
+            "drop (ours)",
+            "drop (paper)",
+        ],
+        &rows,
+    );
+    println!("\nFaster R-CNN reference: AP = {FASTER_RCNN_AP} (paper Fig. 6(a) dashed line).");
+    println!(
+        "The AP estimate maps measured output error through a documented linear proxy \
+         (defa_model::detection); the fidelity error column is the direct measurement."
+    );
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Figure 6(b): reduction in sampling points, fmap pixels and computation.
+
+use defa_bench::table::{pct, print_table};
+use defa_bench::RunOptions;
+use defa_model::workload::{Benchmark, SyntheticWorkload};
+use defa_prune::pipeline::{run_pruned_encoder, PruneSettings};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = RunOptions::from_env();
+    let cfg = opts.config();
+    println!("Figure 6(b) — pruning reduction ratios (scale: {})", opts.scale_label());
+
+    // Paper-reported reductions: (points, pixels, flops) per benchmark.
+    let paper = [(0.86, 0.42, 0.52), (0.83, 0.44, 0.53), (0.82, 0.44, 0.53)];
+
+    let mut rows = Vec::new();
+    for (bench, (pp, px, pf)) in Benchmark::all().into_iter().zip(paper) {
+        let wl = SyntheticWorkload::generate(bench, &cfg, opts.seed)?;
+        let run = run_pruned_encoder(&wl, &PruneSettings::paper_defaults())?;
+        rows.push(vec![
+            bench.name().to_string(),
+            pct(run.stats.point_reduction()),
+            pct(pp),
+            pct(run.stats.pixel_reduction()),
+            pct(px),
+            pct(run.stats.flop_reduction()),
+            pct(pf),
+        ]);
+    }
+    print_table(
+        "Reduction ratios under FWP (k=1) + PAP (0.02)",
+        &[
+            "benchmark",
+            "points (ours)",
+            "points (paper)",
+            "pixels (ours)",
+            "pixels (paper)",
+            "FLOPs (ours)",
+            "FLOPs (paper)",
+        ],
+        &rows,
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Figure 7(a): MSGS throughput boost of inter-level over intra-level
+//! parallel processing.
+
+use defa_arch::{BankMapping, EventCounters};
+use defa_bench::table::{print_table, ratio};
+use defa_bench::RunOptions;
+use defa_core::{MsgsEngine, MsgsSettings};
+use defa_model::workload::{Benchmark, SyntheticWorkload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = RunOptions::from_env();
+    let cfg = opts.config();
+    println!("Figure 7(a) — inter- vs intra-level MSGS throughput (scale: {})", opts.scale_label());
+
+    let paper = [3.09, 3.02, 3.06];
+    let mut rows = Vec::new();
+    for (bench, paper_boost) in Benchmark::all().into_iter().zip(paper) {
+        let wl = SyntheticWorkload::generate(bench, &cfg, opts.seed)?;
+        let out = wl.layer(0)?.forward(wl.initial_fmap(), Some(wl.warp()))?;
+        let keep = vec![true; out.locations.len()];
+
+        let inter = MsgsEngine::new(&cfg, MsgsSettings::paper_default())?;
+        let intra = MsgsEngine::new(
+            &cfg,
+            MsgsSettings { mapping: BankMapping::IntraLevel, ..MsgsSettings::paper_default() },
+        )?;
+        let mut ci = EventCounters::new();
+        let si = inter.run_block(&out.locations, &keep, 1.0, &mut ci)?;
+        let mut ca = EventCounters::new();
+        let sa = intra.run_block(&out.locations, &keep, 1.0, &mut ca)?;
+        let boost = sa.cycles as f64 / si.cycles as f64;
+        rows.push(vec![
+            bench.name().to_string(),
+            format!("{:.4}", si.points_per_cycle()),
+            format!("{:.4}", sa.points_per_cycle()),
+            format!("{}", sa.conflicts),
+            ratio(boost),
+            ratio(paper_boost),
+        ]);
+    }
+    print_table(
+        "MSGS throughput, same parallelism degree (4 points/group)",
+        &[
+            "benchmark",
+            "inter pts/cycle",
+            "intra pts/cycle",
+            "intra conflicts",
+            "boost (ours)",
+            "boost (paper)",
+        ],
+        &rows,
+    );
+    println!("\nInter-level Neighbor-Window banking is conflict-free by construction;");
+    println!("intra-level groups serialize whenever two footprints collide modulo the 4x4 tile.");
+    Ok(())
+}

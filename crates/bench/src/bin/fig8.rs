@@ -1,0 +1,51 @@
+//! Figure 8: area and energy breakdown of DEFA.
+
+use defa_bench::table::{pct, print_table};
+use defa_bench::RunOptions;
+use defa_core::runner::DefaAccelerator;
+use defa_model::workload::{Benchmark, SyntheticWorkload};
+use defa_prune::pipeline::PruneSettings;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = RunOptions::from_env();
+    let cfg = opts.config();
+    println!("Figure 8 — area and energy breakdown (scale: {})", opts.scale_label());
+
+    let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &cfg, opts.seed)?;
+    let accel = DefaAccelerator::paper_default();
+    let report = accel.run_workload(&wl, &PruneSettings::paper_defaults())?;
+
+    // Area: breakdown is computed from the paper-scale inventory even for
+    // reduced-scale runs (the silicon doesn't shrink with the test input).
+    let area = accel
+        .area
+        .price(&DefaAccelerator::sram_inventory(&defa_model::MsdaConfig::full()), &accel.pe);
+    let (sram_a, pe_a, other_a) = area.shares();
+    print_table(
+        "Area breakdown",
+        &["component", "ours", "paper"],
+        &[
+            vec!["SRAM".into(), pct(sram_a), pct(0.72)],
+            vec!["PE + softmax".into(), pct(pe_a), pct(0.23)],
+            vec!["others".into(), pct(other_a), pct(0.05)],
+            vec!["total".into(), format!("{:.2} mm²", area.total_mm2()), "2.63 mm²".into()],
+        ],
+    );
+
+    let (dram_e, sram_e, logic_e) = report.energy.shares();
+    print_table(
+        "Energy breakdown (De DETR, paper-default pruning)",
+        &["component", "ours", "paper"],
+        &[
+            vec!["DRAM".into(), pct(dram_e), pct(0.93)],
+            vec!["SRAM".into(), pct(sram_e), pct(0.05)],
+            vec!["logic (PE + softmax)".into(), pct(logic_e), pct(0.02)],
+            vec![
+                "total".into(),
+                format!("{:.3} mJ / encoder", report.energy_per_run_mj()),
+                "-".into(),
+            ],
+        ],
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Design-space sweeps: PE-array scale, DRAM bandwidth and pruning
+//! operating points — the ablations DESIGN.md calls out beyond the paper's
+//! own figures.
+
+use defa_arch::Dram;
+use defa_bench::scaling::{scaled_seconds, scaled_utilization};
+use defa_bench::table::{pct, print_table};
+use defa_bench::RunOptions;
+use defa_core::runner::DefaAccelerator;
+use defa_model::workload::{Benchmark, SyntheticWorkload};
+use defa_prune::pipeline::{run_pruned_encoder, PruneSettings};
+use defa_prune::PapConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = RunOptions::from_env();
+    let cfg = opts.config();
+    println!("Design-space sweeps (scale: {})", opts.scale_label());
+
+    let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &cfg, opts.seed)?;
+    let accel = DefaAccelerator { measure_fidelity: false, ..DefaAccelerator::paper_default() };
+    let report = accel.run_workload(&wl, &PruneSettings::paper_defaults())?;
+
+    // --- PE scaling ------------------------------------------------------
+    let mut rows = Vec::new();
+    for tops in [0.2048, 1.0, 4.0, 13.3, 40.0] {
+        let s = tops / 0.2048;
+        let secs = scaled_seconds(&report, tops);
+        let dram_floor = report.counters.dram_bits() as f64
+            / Dram::hbm2().bits_per_cycle() as f64
+            / defa_arch::CLOCK_HZ as f64;
+        rows.push(vec![
+            format!("{tops:.1} TOPS"),
+            format!("{:.1}x", s),
+            pct(scaled_utilization(s)),
+            format!("{:.3} ms", secs * 1e3),
+            if secs <= dram_floor * 1.01 { "DRAM-bound".into() } else { "compute-bound".into() },
+        ]);
+    }
+    print_table(
+        "PE-array scaling (HBM2 fixed at 256 GB/s)",
+        &["peak", "scale", "utilization", "encoder time", "regime"],
+        &rows,
+    );
+
+    // --- PAP operating points ---------------------------------------------
+    let mut rows = Vec::new();
+    for thr in [0.005f32, 0.01, 0.02, 0.05] {
+        let settings = PruneSettings {
+            pap: Some(PapConfig::new(thr)?),
+            ..PruneSettings::paper_defaults()
+        };
+        let run = run_pruned_encoder(&wl, &settings)?;
+        rows.push(vec![
+            format!("{thr:.3}"),
+            pct(run.stats.point_reduction()),
+            pct(run.stats.mean_retained_mass()),
+            pct(run.stats.flop_reduction()),
+        ]);
+    }
+    print_table(
+        "PAP threshold sweep (FWP/ranges/INT12 at paper defaults)",
+        &["threshold", "points pruned", "prob mass kept", "FLOPs pruned"],
+        &rows,
+    );
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Table 1: comparison with other attention ASIC platforms.
+
+use defa_baseline::accelerators::{ASICS, DEFA_PAPER};
+use defa_bench::table::print_table;
+use defa_bench::RunOptions;
+use defa_core::runner::DefaAccelerator;
+use defa_model::workload::{Benchmark, SyntheticWorkload};
+use defa_prune::pipeline::PruneSettings;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = RunOptions::from_env();
+    let cfg = opts.config();
+    println!("Table 1 — comparison with attention ASICs (scale: {})", opts.scale_label());
+
+    let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &cfg, opts.seed)?;
+    let accel = DefaAccelerator { measure_fidelity: false, ..DefaAccelerator::paper_default() };
+    let report = accel.run_workload(&wl, &PruneSettings::paper_defaults())?;
+    let area = accel
+        .area
+        .price(&DefaAccelerator::sram_inventory(&defa_model::MsdaConfig::full()), &accel.pe);
+
+    let mut rows: Vec<Vec<String>> = ASICS
+        .iter()
+        .map(|a| {
+            vec![
+                a.name.to_string(),
+                a.venue.to_string(),
+                a.function.to_string(),
+                a.technology_nm.to_string(),
+                format!("{:.2}", a.area_mm2),
+                a.frequency_mhz.to_string(),
+                a.precision.to_string(),
+                format!("{:.1}", a.power_mw),
+                format!("{:.0}", a.throughput_gops),
+                format!("{:.0}", a.energy_efficiency()),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "DEFA (paper)".into(),
+        DEFA_PAPER.venue.into(),
+        DEFA_PAPER.function.into(),
+        DEFA_PAPER.technology_nm.to_string(),
+        format!("{:.2}", DEFA_PAPER.area_mm2),
+        DEFA_PAPER.frequency_mhz.to_string(),
+        DEFA_PAPER.precision.into(),
+        format!("{:.1}", DEFA_PAPER.power_mw),
+        format!("{:.0}", DEFA_PAPER.throughput_gops),
+        format!("{:.0}", DEFA_PAPER.energy_efficiency()),
+    ]);
+    rows.push(vec![
+        "DEFA (ours)".into(),
+        "sim".into(),
+        "DeformAttn".into(),
+        "40".into(),
+        format!("{:.2}", area.total_mm2()),
+        "400".into(),
+        "INT12".into(),
+        format!("{:.1}", report.average_power_w() * 1e3),
+        format!("{:.0}", report.effective_gops()),
+        format!("{:.0}", report.gops_per_watt()),
+    ]);
+    print_table(
+        "ASIC comparison",
+        &[
+            "design", "venue", "function", "nm", "mm²", "MHz", "prec", "mW", "GOPS", "GOPS/W",
+        ],
+        &rows,
+    );
+
+    let ours = report.gops_per_watt();
+    println!("\nEnergy-efficiency improvement of DEFA (ours) over:");
+    for a in &ASICS {
+        println!("  {:>8}: {:.1}x  (paper: {:.1}x)", a.name, ours / a.energy_efficiency(), DEFA_PAPER.energy_efficiency() / a.energy_efficiency());
+    }
+    println!("\nOnly DEFA supports the MSDeformAttn grid-sampling dataflow;");
+    println!("the attention ASICs cannot execute MSGS at all (§2.2).");
+    Ok(())
+}

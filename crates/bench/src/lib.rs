@@ -1,0 +1,96 @@
+//! Shared harness for the figure/table reproduction binaries.
+//!
+//! Every binary accepts `--full` (paper-scale shapes; slower) and
+//! `--seed <n>`; the default is the reduced `MsdaConfig::small()` so the
+//! whole suite runs in seconds. Tables print "ours" next to the paper's
+//! reported value wherever the paper gives one.
+
+pub mod scaling;
+pub mod table;
+
+use defa_model::MsdaConfig;
+
+/// Command-line options shared by all reproduction binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Use the paper-scale configuration.
+    pub full: bool,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl RunOptions {
+    /// Parses `--full` and `--seed <n>` from an argument iterator.
+    ///
+    /// Unknown arguments are ignored so binaries can add their own.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut opts = RunOptions { full: false, seed: 42 };
+        let mut iter = args.into_iter();
+        while let Some(a) = iter.next() {
+            match a.as_str() {
+                "--full" => opts.full = true,
+                "--seed" => {
+                    if let Some(v) = iter.next() {
+                        if let Ok(s) = v.parse() {
+                            opts.seed = s;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        opts
+    }
+
+    /// Parses from `std::env::args()` (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// The model configuration this run uses.
+    pub fn config(&self) -> MsdaConfig {
+        if self.full {
+            MsdaConfig::full()
+        } else {
+            MsdaConfig::small()
+        }
+    }
+
+    /// A scale label for table headers.
+    pub fn scale_label(&self) -> &'static str {
+        if self.full {
+            "full (paper-scale)"
+        } else {
+            "small (reduced; pass --full for paper-scale)"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_small_and_seeded() {
+        let o = RunOptions::parse(Vec::<String>::new());
+        assert!(!o.full);
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.config(), MsdaConfig::small());
+    }
+
+    #[test]
+    fn full_and_seed_are_parsed() {
+        let o = RunOptions::parse(
+            ["--full", "--seed", "7"].iter().map(|s| s.to_string()),
+        );
+        assert!(o.full);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.config(), MsdaConfig::full());
+    }
+
+    #[test]
+    fn bad_seed_is_ignored() {
+        let o = RunOptions::parse(["--seed", "x"].iter().map(|s| s.to_string()));
+        assert_eq!(o.seed, 42);
+    }
+}

@@ -1,0 +1,61 @@
+//! Scaling DEFA to GPU-matched peak throughput (§5.4).
+//!
+//! For the GPU comparison the paper scales DEFA to 13.3 TOPS and 40 TOPS
+//! peak, matching the 2080Ti and 3090Ti. Scaling multiplies the compute
+//! fabric; the HBM2 channel stays at 256 GB/s (§5.1.2), so the scaled
+//! design's runtime is the slower of (scaled compute, unscaled DRAM
+//! streaming). Large arrays lose some utilization on fixed-size workloads;
+//! `scaled_utilization` models that with a gentle logarithmic derating.
+
+use defa_arch::{Dram, PeArray, CLOCK_HZ};
+use defa_core::RunReport;
+
+/// Peak throughput of the base (16×16) DEFA design in TOPS.
+pub fn base_peak_tops() -> f64 {
+    PeArray::new().peak_ops_per_sec(CLOCK_HZ) as f64 / 1e12
+}
+
+/// Utilization retained when scaling the array by factor `s` — tiling
+/// fragmentation and pipeline fill grow with array size.
+pub fn scaled_utilization(s: f64) -> f64 {
+    if s <= 1.0 {
+        1.0
+    } else {
+        1.0 / (1.0 + 0.12 * s.log2())
+    }
+}
+
+/// Runtime of a scaled DEFA on the workload captured in `report`.
+pub fn scaled_seconds(report: &RunReport, target_tops: f64) -> f64 {
+    let s = (target_tops / base_peak_tops()).max(1.0);
+    let util = scaled_utilization(s);
+    let c = &report.counters;
+    let compute_cycles =
+        (c.mm_cycles + c.msgs_cycles + c.softmax_cycles + c.conflict_stall_cycles) as f64
+            / (s * util);
+    let dram_cycles = c.dram_bits() as f64 / Dram::hbm2().bits_per_cycle() as f64;
+    compute_cycles.max(dram_cycles) / CLOCK_HZ as f64
+}
+
+/// Energy of the scaled design: dynamic energy is workload-determined, so
+/// it equals the base run's energy to first order (same ops, same traffic).
+pub fn scaled_energy_joules(report: &RunReport) -> f64 {
+    report.energy.total_joules()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_peak_is_two_hundred_gops() {
+        assert!((base_peak_tops() - 0.2048).abs() < 1e-6);
+    }
+
+    #[test]
+    fn utilization_decreases_with_scale() {
+        assert_eq!(scaled_utilization(1.0), 1.0);
+        assert!(scaled_utilization(65.0) < scaled_utilization(10.0));
+        assert!(scaled_utilization(200.0) > 0.3);
+    }
+}

@@ -1,0 +1,65 @@
+//! Plain-text table formatting for the reproduction binaries.
+
+/// Prints a titled, column-aligned table to stdout.
+///
+/// # Example
+///
+/// ```
+/// defa_bench::table::print_table(
+///     "Fig. X",
+///     &["bench", "ours", "paper"],
+///     &[vec!["De DETR".into(), "1.0".into(), "1.1".into()]],
+/// );
+/// ```
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:<w$}", h, w = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(3.061), "3.06x");
+        assert_eq!(pct(0.432), "43.2%");
+    }
+
+    #[test]
+    fn print_table_does_not_panic_on_ragged_rows() {
+        print_table("t", &["a", "b"], &[vec!["1".into()], vec!["1".into(), "2".into(), "3".into()]]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the accelerator crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while simulating the accelerator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The functional model failed.
+    Model(defa_model::ModelError),
+    /// The pruning pipeline failed.
+    Prune(defa_prune::PruneError),
+    /// The hardware model failed.
+    Arch(defa_arch::ArchError),
+    /// Inconsistent simulation inputs.
+    Inconsistent(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::Prune(e) => write!(f, "pruning error: {e}"),
+            CoreError::Arch(e) => write!(f, "hardware error: {e}"),
+            CoreError::Inconsistent(msg) => write!(f, "inconsistent simulation input: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Model(e) => Some(e),
+            CoreError::Prune(e) => Some(e),
+            CoreError::Arch(e) => Some(e),
+            CoreError::Inconsistent(_) => None,
+        }
+    }
+}
+
+impl From<defa_model::ModelError> for CoreError {
+    fn from(e: defa_model::ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+impl From<defa_prune::PruneError> for CoreError {
+    fn from(e: defa_prune::PruneError) -> Self {
+        CoreError::Prune(e)
+    }
+}
+
+impl From<defa_arch::ArchError> for CoreError {
+    fn from(e: defa_arch::ArchError) -> Self {
+        CoreError::Arch(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_source() {
+        let e: CoreError = defa_arch::ArchError::InvalidParameter("x".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

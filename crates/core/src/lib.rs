@@ -1,0 +1,47 @@
+//! DEFA: the accelerator top level.
+//!
+//! This crate assembles the algorithm layer (`defa-model`, `defa-prune`)
+//! and the hardware layer (`defa-arch`) into the full accelerator of the
+//! paper:
+//!
+//! * [`msgs`] — the multi-scale grid-sampling engine: schedules sampling
+//!   points into 4-point groups under either intra-level or inter-level
+//!   parallelism (§4.2) and accounts bank conflicts, fetch cycles and
+//!   memory traffic, with fine-grained operator fusion (§4.3) and fmap
+//!   reuse (§4.1) as togglable features.
+//! * [`dataflow`] — one MSDeformAttn block on the hardware: the rearranged
+//!   operator schedule of §4.1 (probabilities → PAP → masked offsets →
+//!   FWP-masked value projection → fused MSGS + aggregation).
+//! * [`runner`] — end-to-end execution of a benchmark workload, combining
+//!   the functional pruned pipeline with the cycle/energy model.
+//! * [`report`] — performance, energy and area reports.
+//!
+//! # Example
+//!
+//! ```
+//! use defa_core::runner::DefaAccelerator;
+//! use defa_model::{MsdaConfig, workload::{Benchmark, SyntheticWorkload}};
+//! use defa_prune::pipeline::PruneSettings;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = MsdaConfig::tiny();
+//! let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &cfg, 7)?;
+//! let accel = DefaAccelerator::paper_default();
+//! let report = accel.run_workload(&wl, &PruneSettings::paper_defaults())?;
+//! assert!(report.counters.total_cycles() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dataflow;
+pub mod error;
+pub mod msgs;
+pub mod report;
+pub mod runner;
+pub mod trace;
+
+pub use error::CoreError;
+pub use msgs::{MsgsEngine, MsgsSettings, MsgsStats};
+pub use report::RunReport;
+pub use trace::StageCycles;
+pub use runner::DefaAccelerator;

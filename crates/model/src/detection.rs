@@ -1,0 +1,109 @@
+//! Detection-accuracy proxy.
+//!
+//! The paper reports COCO average precision after fine-tuning the pruned,
+//! quantized models (Fig. 6(a)). Training a detector is outside the scope of
+//! a Rust systems reproduction, so we measure what the hardware can affect —
+//! the *fidelity* of the attention output under pruning/quantization — and
+//! map it to an AP estimate with a documented, calibrated sensitivity.
+//!
+//! The mapping is intentionally simple and transparent:
+//! `AP_est = AP_baseline − SENSITIVITY · fidelity_error`, where the error is
+//! the relative L2 distance between the pruned and exact encoder outputs.
+//! The sensitivity is calibrated so that paper-level pruning rates
+//! (~84 % points, ~43 % pixels, INT12) land at roughly the paper's reported
+//! 1.4-AP average drop. EXPERIMENTS.md reports both the raw fidelity numbers
+//! and the proxied AP side by side — the proxy never replaces the
+//! measurement.
+
+use crate::workload::Benchmark;
+use crate::ModelError;
+use defa_tensor::Tensor;
+
+/// AP lost per unit of relative L2 output error.
+///
+/// Calibration: the fidelity metric is the *end-to-end* relative error of
+/// the final encoder features, which compounds across blocks (each block's
+/// offsets depend on the previous block's features). On the paper-scale
+/// configuration, paper-default pruning (FWP k=1 + PAP 0.02 + ranges +
+/// INT12, no fine-tuning) lands around 1.2 relative error, and the paper
+/// reports a 1.4–1.5 AP drop for the same operating point after
+/// fine-tuning — giving ≈ 1.2 AP per unit error. The value is deliberately
+/// one global constant rather than per-benchmark fudge factors; it absorbs
+/// the recovery that fine-tuning provides in the paper's flow.
+pub const AP_PER_UNIT_ERROR: f32 = 1.2;
+
+/// Result of an accuracy-proxy evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApEstimate {
+    /// Baseline AP of the benchmark (paper, Fig. 6(a)).
+    pub baseline_ap: f32,
+    /// Measured relative L2 error of the pruned output.
+    pub fidelity_error: f32,
+    /// Proxied AP after the measured degradation.
+    pub estimated_ap: f32,
+}
+
+impl ApEstimate {
+    /// Estimated AP drop relative to baseline.
+    pub fn drop(&self) -> f32 {
+        self.baseline_ap - self.estimated_ap
+    }
+}
+
+/// Computes the accuracy proxy for a pruned output against the exact one.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Tensor`] if the tensors have different shapes.
+pub fn estimate_ap(
+    benchmark: Benchmark,
+    exact: &Tensor,
+    pruned: &Tensor,
+) -> Result<ApEstimate, ModelError> {
+    let err = pruned.relative_l2_error(exact)?;
+    let baseline = benchmark.baseline_ap();
+    Ok(ApEstimate {
+        baseline_ap: baseline,
+        fidelity_error: err,
+        estimated_ap: (baseline - AP_PER_UNIT_ERROR * err).max(0.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_keeps_baseline_ap() {
+        let t = Tensor::full([4, 4], 1.0);
+        let est = estimate_ap(Benchmark::DeformableDetr, &t, &t).unwrap();
+        assert_eq!(est.fidelity_error, 0.0);
+        assert_eq!(est.estimated_ap, est.baseline_ap);
+        assert_eq!(est.drop(), 0.0);
+    }
+
+    #[test]
+    fn larger_error_means_larger_drop() {
+        let exact = Tensor::full([4, 4], 1.0);
+        let slightly = Tensor::full([4, 4], 1.05);
+        let badly = Tensor::full([4, 4], 1.5);
+        let a = estimate_ap(Benchmark::Dino, &exact, &slightly).unwrap();
+        let b = estimate_ap(Benchmark::Dino, &exact, &badly).unwrap();
+        assert!(b.drop() > a.drop());
+    }
+
+    #[test]
+    fn ap_never_goes_negative() {
+        let exact = Tensor::full([2, 2], 1.0);
+        let garbage = Tensor::full([2, 2], 1000.0);
+        let est = estimate_ap(Benchmark::DnDetr, &exact, &garbage).unwrap();
+        assert!(est.estimated_ap >= 0.0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let a = Tensor::zeros([2, 2]);
+        let b = Tensor::zeros([4]);
+        assert!(estimate_ap(Benchmark::Dino, &a, &b).is_err());
+    }
+}

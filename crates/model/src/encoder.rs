@@ -1,0 +1,157 @@
+//! Residual MSDeformAttn encoder stack.
+//!
+//! The Deformable-DETR-family encoders apply MSDeformAttn as self-attention
+//! over the flattened pyramid tokens: the output of block *k* (after a
+//! residual connection and normalization) becomes the feature map of block
+//! *k+1*. This inter-block data dependence is what lets FWP use block *k*'s
+//! sampling frequencies to prune block *k+1*'s pixels.
+
+use crate::reference::{LayerMasks, LayerOutput};
+use crate::workload::SyntheticWorkload;
+use crate::{FmapPyramid, ModelError};
+use defa_tensor::Tensor;
+
+/// Applies the residual + RMS-normalization update between encoder blocks.
+///
+/// Real encoders use LayerNorm; per-token RMS normalization keeps the
+/// activation scale stable across blocks (which LayerNorm also does) without
+/// learnable parameters, so stacked blocks neither explode nor vanish.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Tensor`] if shapes disagree.
+pub fn block_update(x: &Tensor, attn_out: &Tensor) -> Result<Tensor, ModelError> {
+    let mut next = x.add(attn_out)?;
+    let d = next.shape().dims()[1];
+    let rows = next.shape().dims()[0];
+    for r in 0..rows {
+        let row = next.row_mut(r)?;
+        let ms: f32 = row.iter().map(|&v| v * v).sum::<f32>() / d as f32;
+        let scale = 1.0 / ms.sqrt().max(1e-6);
+        for v in row.iter_mut() {
+            *v *= scale;
+        }
+    }
+    Ok(next)
+}
+
+/// The trace of a full encoder run: every block's intermediates plus the
+/// feature pyramid entering each block.
+#[derive(Debug, Clone)]
+pub struct EncoderTrace {
+    /// Per-block layer outputs, in execution order.
+    pub blocks: Vec<LayerOutput>,
+    /// The final feature tensor after the last residual update.
+    pub final_features: Tensor,
+}
+
+impl EncoderTrace {
+    /// Output tensor of the last block (before the final residual update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty, which `run_encoder` never produces.
+    pub fn last_output(&self) -> &Tensor {
+        &self.blocks.last().expect("encoder ran at least one block").output
+    }
+}
+
+/// Runs every block of a workload's encoder exactly (no pruning).
+///
+/// # Errors
+///
+/// Propagates shape errors from the layer evaluations.
+pub fn run_encoder(wl: &SyntheticWorkload) -> Result<EncoderTrace, ModelError> {
+    run_encoder_masked(wl, |_, _| LayerMasks::default())
+}
+
+/// Runs the encoder, asking `mask_for` for the masks of each block.
+///
+/// `mask_for(block_index, previous_output)` is called before each block;
+/// for block 0 the previous output is `None`. The returned masks must
+/// borrow from state owned by the caller (typically mask buffers it updates
+/// as blocks complete).
+///
+/// # Errors
+///
+/// Propagates shape errors from the layer evaluations.
+pub fn run_encoder_masked<'a, F>(
+    wl: &SyntheticWorkload,
+    mut mask_for: F,
+) -> Result<EncoderTrace, ModelError>
+where
+    F: FnMut(usize, Option<&LayerOutput>) -> LayerMasks<'a>,
+{
+    let cfg = wl.config();
+    let mut x = wl.initial_fmap().clone();
+    let mut blocks: Vec<LayerOutput> = Vec::with_capacity(cfg.n_layers);
+    for k in 0..cfg.n_layers {
+        let masks = mask_for(k, blocks.last());
+        let out = wl.layer(k)?.forward_masked(&x, Some(wl.warp()), &masks)?;
+        let next = block_update(x.tensor(), &out.output)?;
+        x = FmapPyramid::from_tensor(cfg, next)?;
+        blocks.push(out);
+    }
+    let final_features = x.into_tensor();
+    Ok(EncoderTrace { blocks, final_features })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Benchmark;
+    use crate::MsdaConfig;
+
+    #[test]
+    fn trace_has_one_entry_per_block() {
+        let cfg = MsdaConfig::tiny();
+        let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &cfg, 1).unwrap();
+        let trace = run_encoder(&wl).unwrap();
+        assert_eq!(trace.blocks.len(), cfg.n_layers);
+        assert_eq!(trace.final_features.shape().dims(), &[cfg.n_in(), cfg.d_model]);
+    }
+
+    #[test]
+    fn block_update_normalizes_rows() {
+        let x = Tensor::full([3, 4], 2.0);
+        let o = Tensor::full([3, 4], 2.0);
+        let next = block_update(&x, &o).unwrap();
+        for r in 0..3 {
+            let ms: f32 =
+                next.row(r).unwrap().iter().map(|&v| v * v).sum::<f32>() / 4.0;
+            assert!((ms - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn activations_stay_bounded_across_blocks() {
+        let cfg = MsdaConfig::tiny();
+        let wl = SyntheticWorkload::generate(Benchmark::Dino, &cfg, 2).unwrap();
+        let trace = run_encoder(&wl).unwrap();
+        assert!(trace.final_features.max_abs() < 50.0);
+        assert!(trace.final_features.max_abs() > 1e-3);
+    }
+
+    #[test]
+    fn masked_run_with_trivial_masks_matches_exact() {
+        let cfg = MsdaConfig::tiny();
+        let wl = SyntheticWorkload::generate(Benchmark::DnDetr, &cfg, 3).unwrap();
+        let exact = run_encoder(&wl).unwrap();
+        let masked = run_encoder_masked(&wl, |_, _| LayerMasks::default()).unwrap();
+        let err = masked
+            .final_features
+            .relative_l2_error(&exact.final_features)
+            .unwrap();
+        assert!(err < 1e-6);
+    }
+
+    #[test]
+    fn consecutive_blocks_differ() {
+        let cfg = MsdaConfig::tiny();
+        let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &cfg, 4).unwrap();
+        let trace = run_encoder(&wl).unwrap();
+        let a = &trace.blocks[0].output;
+        let b = &trace.blocks[1].output;
+        assert!(a.relative_l2_error(b).unwrap() > 1e-3);
+    }
+}

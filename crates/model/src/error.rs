@@ -1,0 +1,72 @@
+//! Error type for the model crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or evaluating MSDeformAttn models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A configuration failed validation.
+    InvalidConfig(String),
+    /// A tensor operation failed.
+    Tensor(defa_tensor::TensorError),
+    /// An index (layer, level, query…) was out of range.
+    IndexOutOfRange {
+        /// What kind of index.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// Number of valid entries.
+        len: usize,
+    },
+    /// Provided data did not match the configuration shapes.
+    ShapeMismatch(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ModelError::Tensor(e) => write!(f, "tensor error: {e}"),
+            ModelError::IndexOutOfRange { what, index, len } => {
+                write!(f, "{what} index {index} out of range for {len} entries")
+            }
+            ModelError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<defa_tensor::TensorError> for ModelError {
+    fn from(e: defa_tensor::TensorError) -> Self {
+        ModelError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_tensor_errors() {
+        let te = defa_tensor::TensorError::IndexOutOfBounds { index: 3, len: 2 };
+        let me: ModelError = te.clone().into();
+        assert!(me.to_string().contains("tensor error"));
+        assert!(std::error::Error::source(&me).is_some());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ModelError>();
+    }
+}

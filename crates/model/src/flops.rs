@@ -1,0 +1,165 @@
+//! Operation accounting for MSDeformAttn layers (§2.2 of the paper).
+//!
+//! The paper's computational-properties analysis rests on one observation:
+//! MSGS + aggregation take over 60 % of GPU runtime while contributing only
+//! ~3 % of the arithmetic. These counters provide the arithmetic side of
+//! that claim; the latency side comes from `defa-baseline`'s GPU model.
+
+use crate::MsdaConfig;
+
+/// FLOP counts of one encoder block, split by operator.
+///
+/// Counts use the convention FLOPs = 2 × MACs for matrix products. The FFN
+/// that follows MSDeformAttn inside every encoder layer is included (as
+/// `ffn`) because the paper's per-layer ratios count it among "others".
+///
+/// # Example
+///
+/// ```
+/// use defa_model::{flops::BlockFlops, MsdaConfig};
+///
+/// let f = BlockFlops::for_config(&MsdaConfig::full());
+/// let frac = f.msgs_fraction();
+/// assert!(frac > 0.01 && frac < 0.10); // paper: ~3.25 %
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockFlops {
+    /// Attention-logit projection `Q·Wᴬ`.
+    pub attn_proj: u64,
+    /// Sampling-offset projection `Q·Wˢ`.
+    pub offset_proj: u64,
+    /// Value projection `X·Wᵥ`.
+    pub value_proj: u64,
+    /// Softmax over the per-head logits (exp + div, ~4 FLOPs/element).
+    pub softmax: u64,
+    /// Multi-scale grid-sampling (bilinear interpolation, factored form:
+    /// 3 multiplies + 7 adds per channel per point).
+    pub msgs: u64,
+    /// Probability-weighted aggregation (1 multiply + 1 add per channel per
+    /// point).
+    pub aggregation: u64,
+    /// Feed-forward network of the encoder layer (`D → 4D → D`).
+    pub ffn: u64,
+}
+
+impl BlockFlops {
+    /// Computes the dense (unpruned) FLOP counts for a configuration.
+    pub fn for_config(cfg: &MsdaConfig) -> Self {
+        let n = cfg.n_in() as u64;
+        let d = cfg.d_model as u64;
+        let ppq = cfg.points_per_query() as u64;
+        let dh = cfg.head_dim() as u64;
+        let ffn_dim = 4 * d;
+        BlockFlops {
+            attn_proj: 2 * n * d * ppq,
+            offset_proj: 2 * n * d * 2 * ppq,
+            value_proj: 2 * n * d * d,
+            softmax: 4 * n * ppq,
+            msgs: n * ppq * dh * 10,
+            aggregation: n * ppq * dh * 2,
+            ffn: 2 * n * d * ffn_dim * 2,
+        }
+    }
+
+    /// Total FLOPs of the block.
+    pub fn total(&self) -> u64 {
+        self.attn_proj
+            + self.offset_proj
+            + self.value_proj
+            + self.softmax
+            + self.msgs
+            + self.aggregation
+            + self.ffn
+    }
+
+    /// FLOPs of MSGS + aggregation.
+    pub fn msgs_and_aggregation(&self) -> u64 {
+        self.msgs + self.aggregation
+    }
+
+    /// Share of MSGS + aggregation in the block's arithmetic.
+    pub fn msgs_fraction(&self) -> f64 {
+        self.msgs_and_aggregation() as f64 / self.total() as f64
+    }
+
+    /// FLOP counts after pruning.
+    ///
+    /// `point_keep` is the fraction of sampling points surviving PAP;
+    /// `pixel_keep` the fraction of fmap pixels surviving FWP. PAP shrinks
+    /// the offset projection, MSGS and aggregation; FWP shrinks the value
+    /// projection. The attention projection and softmax always run (they
+    /// feed PAP itself) and the FFN is untouched.
+    pub fn pruned(&self, point_keep: f64, pixel_keep: f64) -> BlockFlops {
+        let scale = |x: u64, f: f64| (x as f64 * f.clamp(0.0, 1.0)).round() as u64;
+        BlockFlops {
+            attn_proj: self.attn_proj,
+            offset_proj: scale(self.offset_proj, point_keep),
+            value_proj: scale(self.value_proj, pixel_keep),
+            softmax: self.softmax,
+            msgs: scale(self.msgs, point_keep),
+            aggregation: scale(self.aggregation, point_keep),
+            ffn: self.ffn,
+        }
+    }
+
+    /// FLOPs of the MSDeformAttn module alone (everything except the FFN).
+    pub fn attention_only(&self) -> u64 {
+        self.total() - self.ffn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msgs_is_a_small_fraction_of_compute() {
+        // §2.2: MSGS + aggregation ≈ 3.25 % of computation.
+        let f = BlockFlops::for_config(&MsdaConfig::full());
+        let frac = f.msgs_fraction();
+        assert!(frac > 0.015 && frac < 0.06, "msgs fraction {frac}");
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let f = BlockFlops::for_config(&MsdaConfig::tiny());
+        assert_eq!(
+            f.total(),
+            f.attn_proj + f.offset_proj + f.value_proj + f.softmax + f.msgs + f.aggregation + f.ffn
+        );
+        assert_eq!(f.attention_only() + f.ffn, f.total());
+    }
+
+    #[test]
+    fn projection_counts_match_hand_formulae() {
+        let cfg = MsdaConfig::tiny(); // n=60, d=16, ppq=8, dh=8
+        let f = BlockFlops::for_config(&cfg);
+        assert_eq!(f.attn_proj, 2 * 60 * 16 * 8);
+        assert_eq!(f.offset_proj, 2 * 60 * 16 * 16);
+        assert_eq!(f.value_proj, 2 * 60 * 16 * 16);
+        assert_eq!(f.msgs, 60 * 8 * 8 * 10);
+        assert_eq!(f.aggregation, 60 * 8 * 8 * 2);
+    }
+
+    #[test]
+    fn pruning_reduces_the_right_components() {
+        let f = BlockFlops::for_config(&MsdaConfig::full());
+        let p = f.pruned(0.16, 0.57); // paper-level PAP (84 % off) and FWP (43 % off)
+        assert_eq!(p.attn_proj, f.attn_proj);
+        assert_eq!(p.softmax, f.softmax);
+        assert_eq!(p.ffn, f.ffn);
+        assert!(p.msgs < f.msgs / 6);
+        assert!(p.value_proj < f.value_proj * 6 / 10);
+        // Attention-module FLOPs should shrink by >50 % (Fig. 6(b): 52-53 %).
+        let reduction = 1.0 - p.attention_only() as f64 / f.attention_only() as f64;
+        assert!(reduction > 0.40, "reduction {reduction}");
+    }
+
+    #[test]
+    fn keep_fractions_are_clamped() {
+        let f = BlockFlops::for_config(&MsdaConfig::tiny());
+        let p = f.pruned(2.0, -1.0);
+        assert_eq!(p.msgs, f.msgs);
+        assert_eq!(p.value_proj, 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for the pruning crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by pruning-algorithm construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PruneError {
+    /// A pruning hyperparameter was invalid.
+    InvalidParameter(String),
+    /// Provided data did not match expected shapes or lengths.
+    ShapeMismatch(String),
+    /// An underlying model evaluation failed.
+    Model(defa_model::ModelError),
+}
+
+impl fmt::Display for PruneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PruneError::InvalidParameter(msg) => write!(f, "invalid pruning parameter: {msg}"),
+            PruneError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            PruneError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl Error for PruneError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PruneError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<defa_model::ModelError> for PruneError {
+    fn from(e: defa_model::ModelError) -> Self {
+        PruneError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_model_error_with_source() {
+        let me = defa_model::ModelError::InvalidConfig("x".into());
+        let pe: PruneError = me.into();
+        assert!(std::error::Error::source(&pe).is_some());
+        assert!(pe.to_string().contains("model error"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Distribution statistics behind the §3 motivation.
+//!
+//! FWP rests on the observation that pixel sampled-frequency "shows a
+//! non-uniform distribution" (§3.1); PAP on the observation that near-zero
+//! attention probabilities "constituted a dominant proportion (over 80 %)"
+//! (§3.2). This module measures both distributions so the claims can be
+//! checked on any workload, and renders small text histograms for the
+//! motivation binary.
+
+use crate::fwp::SampleFrequency;
+use defa_tensor::Tensor;
+
+/// Summary statistics of a non-negative empirical distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributionStats {
+    /// Number of observations.
+    pub count: usize,
+    /// Mean value.
+    pub mean: f64,
+    /// Gini coefficient in `[0, 1]`: 0 = perfectly uniform, →1 = all mass
+    /// on few items. The paper's "non-uniform distribution" claim is a
+    /// high-Gini claim.
+    pub gini: f64,
+    /// Fraction of total mass held by the top decile of items.
+    pub top_decile_share: f64,
+    /// Fraction of observations below the mean.
+    pub below_mean_fraction: f64,
+}
+
+/// Computes distribution statistics over non-negative values.
+///
+/// Returns a degenerate all-zero summary for an empty slice.
+pub fn stats(values: &[f64]) -> DistributionStats {
+    let count = values.len();
+    if count == 0 {
+        return DistributionStats {
+            count: 0,
+            mean: 0.0,
+            gini: 0.0,
+            top_decile_share: 0.0,
+            below_mean_fraction: 0.0,
+        };
+    }
+    let total: f64 = values.iter().sum();
+    let mean = total / count as f64;
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-negative finite values"));
+
+    // Gini via the sorted-index formula.
+    let gini = if total > 0.0 {
+        let weighted: f64 =
+            sorted.iter().enumerate().map(|(i, &v)| (2.0 * (i as f64 + 1.0) - count as f64 - 1.0) * v).sum();
+        weighted / (count as f64 * total)
+    } else {
+        0.0
+    };
+
+    let decile = (count / 10).max(1);
+    let top: f64 = sorted[count - decile..].iter().sum();
+    let top_decile_share = if total > 0.0 { top / total } else { 0.0 };
+    let below_mean_fraction =
+        values.iter().filter(|&&v| v < mean).count() as f64 / count as f64;
+
+    DistributionStats { count, mean, gini, top_decile_share, below_mean_fraction }
+}
+
+/// Statistics of the per-pixel sampled-frequency distribution (§3.1).
+pub fn frequency_stats(freq: &SampleFrequency) -> DistributionStats {
+    let values: Vec<f64> = freq.counts().iter().map(|&c| c as f64).collect();
+    stats(&values)
+}
+
+/// Statistics of the attention-probability distribution (§3.2), plus the
+/// fraction below `near_zero`.
+pub fn probability_stats(probs: &Tensor, near_zero: f32) -> (DistributionStats, f64) {
+    let values: Vec<f64> = probs.as_slice().iter().map(|&p| p as f64).collect();
+    let near = values.iter().filter(|&&p| p < near_zero as f64).count() as f64
+        / values.len().max(1) as f64;
+    (stats(&values), near)
+}
+
+/// Renders a log-bucketed text histogram (`buckets` rows, `width` max bar).
+pub fn text_histogram(values: &[f64], buckets: usize, width: usize) -> String {
+    if values.is_empty() || buckets == 0 {
+        return String::from("(empty)\n");
+    }
+    let max = values.iter().cloned().fold(0.0f64, f64::max);
+    let mut counts = vec![0usize; buckets];
+    for &v in values {
+        let b = if max > 0.0 {
+            ((v / max * buckets as f64) as usize).min(buckets - 1)
+        } else {
+            0
+        };
+        counts[b] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    for (b, &c) in counts.iter().enumerate() {
+        let lo = max * b as f64 / buckets as f64;
+        let hi = max * (b + 1) as f64 / buckets as f64;
+        let bar = "#".repeat((c * width).div_ceil(peak).min(width));
+        out.push_str(&format!("[{lo:8.3}, {hi:8.3})  {c:>8}  {bar}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defa_model::workload::{Benchmark, SyntheticWorkload};
+    use defa_model::MsdaConfig;
+
+    #[test]
+    fn uniform_values_have_zero_gini() {
+        let s = stats(&[2.0; 100]);
+        assert!(s.gini.abs() < 1e-9);
+        assert!((s.top_decile_share - 0.1).abs() < 1e-9);
+        assert_eq!(s.below_mean_fraction, 0.0);
+    }
+
+    #[test]
+    fn concentrated_values_have_high_gini() {
+        let mut v = vec![0.0; 99];
+        v.push(100.0);
+        let s = stats(&v);
+        assert!(s.gini > 0.9, "gini {}", s.gini);
+        assert!((s.top_decile_share - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_is_degenerate() {
+        let s = stats(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.gini, 0.0);
+    }
+
+    #[test]
+    fn workload_frequency_distribution_is_skewed() {
+        // §3.1: "a small proportion of pixels has a much higher probability
+        // of being accessed".
+        let cfg = MsdaConfig::small();
+        let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &cfg, 8).unwrap();
+        let out = wl.layer(0).unwrap().forward(wl.initial_fmap(), Some(wl.warp())).unwrap();
+        let mut f = SampleFrequency::new(&cfg).unwrap();
+        f.record_all(&cfg, &out.locations, None).unwrap();
+        let s = frequency_stats(&f);
+        assert!(s.gini > 0.4, "frequency gini {}", s.gini);
+        assert!(s.top_decile_share > 0.3, "top decile {}", s.top_decile_share);
+    }
+
+    #[test]
+    fn workload_probabilities_are_mostly_near_zero() {
+        // §3.2: near-zero probabilities are over 80 %.
+        let cfg = MsdaConfig::small();
+        let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &cfg, 8).unwrap();
+        let (_, probs) = wl.layer(0).unwrap().attention_probs(wl.initial_fmap()).unwrap();
+        let (_, near_zero) = probability_stats(&probs, 0.02);
+        assert!(near_zero > 0.75, "near-zero fraction {near_zero}");
+    }
+
+    #[test]
+    fn histogram_renders_buckets() {
+        let h = text_histogram(&[0.0, 0.1, 0.9, 1.0], 2, 10);
+        assert_eq!(h.lines().count(), 2);
+        assert!(h.contains('#'));
+        assert_eq!(text_histogram(&[], 4, 10), "(empty)\n");
+    }
+}

@@ -1,0 +1,99 @@
+//! Error types shared by the tensor substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor construction and tensor algebra.
+///
+/// The `Display` representation is lowercase and concise, following the
+/// Rust API guidelines for error types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the length of
+    /// the provided buffer.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Length of the provided buffer.
+        actual: usize,
+    },
+    /// Two tensors had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Left-hand side shape rendered as text.
+        lhs: String,
+        /// Right-hand side shape rendered as text.
+        rhs: String,
+    },
+    /// An index was out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Axis length the index was checked against.
+        len: usize,
+    },
+    /// A quantization parameter was invalid (e.g. non-positive scale).
+    InvalidQuantParams(String),
+    /// An axis argument referred to a non-existent axis.
+    InvalidAxis {
+        /// Offending axis.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer length {actual} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: {lhs} vs {rhs}")
+            }
+            TensorError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for axis of length {len}")
+            }
+            TensorError::InvalidQuantParams(msg) => {
+                write!(f, "invalid quantization parameters: {msg}")
+            }
+            TensorError::InvalidAxis { axis, rank } => {
+                write!(f, "axis {axis} invalid for tensor of rank {rank}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = TensorError::LengthMismatch { expected: 4, actual: 3 };
+        let s = err.to_string();
+        assert!(s.contains('4') && s.contains('3'));
+        assert!(s.chars().next().is_some_and(|c| c.is_lowercase()));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn shape_mismatch_mentions_operation() {
+        let err = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: "[2, 3]".into(),
+            rhs: "[4, 5]".into(),
+        };
+        assert!(err.to_string().contains("matmul"));
+    }
+}

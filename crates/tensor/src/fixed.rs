@@ -1,0 +1,175 @@
+//! Integer fixed-point scalar arithmetic.
+//!
+//! The DEFA datapath (40 nm, INT12) performs bilinear interpolation and
+//! aggregation on fixed-point values. [`Fixed`] models a signed
+//! `i32`-backed value with a compile-time-free fractional width, rounding
+//! to nearest on multiplication. The hardware models in `defa-arch` use it
+//! to produce bit-faithful interpolation results that can be compared
+//! against the `f32` reference within quantization error.
+
+use std::fmt;
+
+/// Signed fixed-point number with `frac` fractional bits, stored in `i32`.
+///
+/// # Example
+///
+/// ```
+/// use defa_tensor::Fixed;
+///
+/// let a = Fixed::from_f32(1.5, 8);
+/// let b = Fixed::from_f32(2.0, 8);
+/// assert_eq!((a * b).to_f32(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fixed {
+    raw: i32,
+    frac: u8,
+}
+
+impl Fixed {
+    /// Creates a fixed-point value from raw integer representation.
+    pub fn from_raw(raw: i32, frac: u8) -> Self {
+        assert!(frac < 31, "fractional width must be < 31");
+        Fixed { raw, frac }
+    }
+
+    /// Converts an `f32` by rounding to the nearest representable value.
+    pub fn from_f32(x: f32, frac: u8) -> Self {
+        assert!(frac < 31, "fractional width must be < 31");
+        let scaled = (x as f64 * (1i64 << frac) as f64).round();
+        Fixed { raw: scaled.clamp(i32::MIN as f64, i32::MAX as f64) as i32, frac }
+    }
+
+    /// Raw integer representation.
+    pub fn raw(&self) -> i32 {
+        self.raw
+    }
+
+    /// Number of fractional bits.
+    pub fn frac(&self) -> u8 {
+        self.frac
+    }
+
+    /// Converts back to `f32`.
+    pub fn to_f32(&self) -> f32 {
+        self.raw as f32 / (1i64 << self.frac) as f32
+    }
+
+    /// Fixed-point multiply with round-to-nearest, keeping `self.frac`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different fractional widths; mixing
+    /// formats silently is exactly the kind of bug this type exists to stop.
+    pub fn mul(self, rhs: Fixed) -> Fixed {
+        assert_eq!(self.frac, rhs.frac, "fixed-point format mismatch");
+        let prod = self.raw as i64 * rhs.raw as i64;
+        let rounded = if self.frac == 0 {
+            prod
+        } else {
+            (prod + (1i64 << (self.frac - 1))) >> self.frac
+        };
+        Fixed { raw: rounded as i32, frac: self.frac }
+    }
+
+    /// Saturating fixed-point addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different fractional widths.
+    pub fn add(self, rhs: Fixed) -> Fixed {
+        assert_eq!(self.frac, rhs.frac, "fixed-point format mismatch");
+        Fixed { raw: self.raw.saturating_add(rhs.raw), frac: self.frac }
+    }
+
+    /// Saturating fixed-point subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different fractional widths.
+    pub fn sub(self, rhs: Fixed) -> Fixed {
+        assert_eq!(self.frac, rhs.frac, "fixed-point format mismatch");
+        Fixed { raw: self.raw.saturating_sub(rhs.raw), frac: self.frac }
+    }
+}
+
+impl std::ops::Mul for Fixed {
+    type Output = Fixed;
+    fn mul(self, rhs: Fixed) -> Fixed {
+        Fixed::mul(self, rhs)
+    }
+}
+
+impl std::ops::Add for Fixed {
+    type Output = Fixed;
+    fn add(self, rhs: Fixed) -> Fixed {
+        Fixed::add(self, rhs)
+    }
+}
+
+impl std::ops::Sub for Fixed {
+    type Output = Fixed;
+    fn sub(self, rhs: Fixed) -> Fixed {
+        Fixed::sub(self, rhs)
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}q{}", self.to_f32(), self.frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_round_trip_is_exact_for_representable_values() {
+        let x = Fixed::from_f32(0.25, 8);
+        assert_eq!(x.to_f32(), 0.25);
+        assert_eq!(x.raw(), 64);
+    }
+
+    #[test]
+    fn multiplication_matches_float_within_one_ulp() {
+        let a = Fixed::from_f32(1.375, 10);
+        let b = Fixed::from_f32(-2.5, 10);
+        let p = (a * b).to_f32();
+        assert!((p - (-3.4375)).abs() <= 1.0 / 1024.0);
+    }
+
+    #[test]
+    fn addition_and_subtraction() {
+        let a = Fixed::from_f32(1.0, 6);
+        let b = Fixed::from_f32(0.5, 6);
+        assert_eq!((a + b).to_f32(), 1.5);
+        assert_eq!((a - b).to_f32(), 0.5);
+    }
+
+    #[test]
+    fn addition_saturates_instead_of_wrapping() {
+        let a = Fixed::from_raw(i32::MAX, 0);
+        let b = Fixed::from_raw(1, 0);
+        assert_eq!((a + b).raw(), i32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "format mismatch")]
+    fn mixing_formats_panics() {
+        let _ = Fixed::from_f32(1.0, 4) + Fixed::from_f32(1.0, 8);
+    }
+
+    #[test]
+    fn display_shows_value_and_format() {
+        let x = Fixed::from_f32(1.5, 4);
+        assert_eq!(x.to_string(), "1.5q4");
+    }
+
+    #[test]
+    fn zero_frac_behaves_like_integers() {
+        let a = Fixed::from_f32(3.0, 0);
+        let b = Fixed::from_f32(4.0, 0);
+        assert_eq!((a * b).to_f32(), 12.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Matrix multiplication kernels.
+//!
+//! The functional reference model multiplies large activation matrices
+//! (`Q·Wᴬ`, `Q·Wˢ`, `X·Wᵥ`), so a cache-blocked kernel is provided alongside
+//! a naive one used as a golden reference in tests.
+
+use crate::{Tensor, TensorError};
+
+/// Block edge used by [`matmul`]. 64×64 f32 blocks fit comfortably in L1/L2.
+const BLOCK: usize = 64;
+
+fn check_dims(a: &Tensor, b: &Tensor, op: &'static str) -> Result<(usize, usize, usize), TensorError> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: format!("{}", a.shape()),
+            rhs: format!("{}", b.shape()),
+        });
+    }
+    let (m, k) = (a.shape().dims()[0], a.shape().dims()[1]);
+    let (k2, n) = (b.shape().dims()[0], b.shape().dims()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: format!("{}", a.shape()),
+            rhs: format!("{}", b.shape()),
+        });
+    }
+    Ok((m, k, n))
+}
+
+/// Naive triple-loop GEMM, kept as the golden reference for tests.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `a` is `[m, k]` and `b` is
+/// `[k, n]`.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k, n) = check_dims(a, b, "matmul_naive")?;
+    let mut out = Tensor::zeros([m, n]);
+    let (av, bv, ov) = (a.as_slice(), b.as_slice(), out.as_mut_slice());
+    for i in 0..m {
+        for p in 0..k {
+            let aip = av[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                ov[i * n + j] += aip * bv[p * n + j];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Cache-blocked GEMM: `C = A · B` with `A: [m, k]`, `B: [k, n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `a` is `[m, k]` and `b` is
+/// `[k, n]`.
+///
+/// # Example
+///
+/// ```
+/// use defa_tensor::{Tensor, matmul::matmul};
+///
+/// # fn main() -> Result<(), defa_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0], [1, 2])?;
+/// let b = Tensor::from_vec(vec![3.0, 4.0], [2, 1])?;
+/// assert_eq!(matmul(&a, &b)?.as_slice(), &[11.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k, n) = check_dims(a, b, "matmul")?;
+    let mut out = Tensor::zeros([m, n]);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let ov = out.as_mut_slice();
+    for i0 in (0..m).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(m);
+        for p0 in (0..k).step_by(BLOCK) {
+            let p1 = (p0 + BLOCK).min(k);
+            for j0 in (0..n).step_by(BLOCK) {
+                let j1 = (j0 + BLOCK).min(n);
+                for i in i0..i1 {
+                    for p in p0..p1 {
+                        let aip = av[i * k + p];
+                        if aip == 0.0 {
+                            continue;
+                        }
+                        let brow = &bv[p * n + j0..p * n + j1];
+                        let orow = &mut ov[i * n + j0..i * n + j1];
+                        for (o, &bx) in orow.iter_mut().zip(brow) {
+                            *o += aip * bx;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Row-masked GEMM: rows of `a` where `row_mask` is `false` are skipped and
+/// the corresponding output rows stay zero.
+///
+/// This models the effect of FWP/PAP masking on the linear projections: the
+/// accelerator never reads masked rows, so neither do we.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the mask length differs from
+/// the row count of `a`, or on inner-dimension mismatch.
+pub fn matmul_row_masked(
+    a: &Tensor,
+    b: &Tensor,
+    row_mask: &[bool],
+) -> Result<Tensor, TensorError> {
+    let (m, k, n) = check_dims(a, b, "matmul_row_masked")?;
+    if row_mask.len() != m {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_row_masked",
+            lhs: format!("[{m} rows]"),
+            rhs: format!("[{} mask bits]", row_mask.len()),
+        });
+    }
+    let mut out = Tensor::zeros([m, n]);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let ov = out.as_mut_slice();
+    for i in 0..m {
+        if !row_mask[i] {
+            continue;
+        }
+        for p in 0..k {
+            let aip = av[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                ov[i * n + j] += aip * bv[p * n + j];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Number of multiply–accumulate operations performed by a dense `[m,k]·[k,n]`
+/// product.
+pub fn gemm_macs(m: usize, k: usize, n: usize) -> u64 {
+    m as u64 * k as u64 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TensorRng;
+
+    #[test]
+    fn blocked_matches_naive_on_random_inputs() {
+        let mut rng = TensorRng::seed_from(7);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (65, 70, 67), (128, 64, 33)] {
+            let a = rng.uniform([m, k], -1.0, 1.0);
+            let b = rng.uniform([k, n], -1.0, 1.0);
+            let fast = matmul(&a, &b).unwrap();
+            let gold = matmul_naive(&a, &b).unwrap();
+            let err = fast.relative_l2_error(&gold).unwrap();
+            assert!(err < 1e-5, "({m},{k},{n}) err={err}");
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = TensorRng::seed_from(3);
+        let a = rng.uniform([4, 4], -2.0, 2.0);
+        let c = matmul(&a, &Tensor::eye(4)).unwrap();
+        assert!(c.relative_l2_error(&a).unwrap() < 1e-7);
+    }
+
+    #[test]
+    fn rejects_inner_dim_mismatch() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn rejects_non_matrix_operands() {
+        let a = Tensor::zeros([6]);
+        let b = Tensor::zeros([6, 1]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn row_masked_skips_rows() {
+        let mut rng = TensorRng::seed_from(11);
+        let a = rng.uniform([4, 3], -1.0, 1.0);
+        let b = rng.uniform([3, 2], -1.0, 1.0);
+        let mask = vec![true, false, true, false];
+        let masked = matmul_row_masked(&a, &b, &mask).unwrap();
+        let full = matmul(&a, &b).unwrap();
+        for r in 0..4 {
+            if mask[r] {
+                assert_eq!(masked.row(r).unwrap(), full.row(r).unwrap());
+            } else {
+                assert!(masked.row(r).unwrap().iter().all(|&x| x == 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn row_masked_validates_mask_length() {
+        let a = Tensor::zeros([4, 3]);
+        let b = Tensor::zeros([3, 2]);
+        assert!(matmul_row_masked(&a, &b, &[true; 3]).is_err());
+    }
+
+    #[test]
+    fn gemm_macs_counts() {
+        assert_eq!(gemm_macs(2, 3, 4), 24);
+    }
+}

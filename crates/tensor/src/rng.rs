@@ -1,0 +1,166 @@
+//! Deterministic random tensor generation.
+//!
+//! Every synthetic workload in the workspace is seeded, so experiments are
+//! exactly reproducible run to run. [`TensorRng`] wraps a small, fast PRNG
+//! and offers the distributions the workload generator needs: uniform,
+//! Gaussian (Box–Muller), and a heavy-tailed "popularity" distribution used
+//! to emulate the non-uniform pixel-access statistics the paper observes.
+
+use crate::{Shape, Tensor};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded random generator producing tensors and common scalar draws.
+///
+/// # Example
+///
+/// ```
+/// use defa_tensor::rng::TensorRng;
+///
+/// let mut rng = TensorRng::seed_from(1);
+/// let t = rng.uniform([2, 2], 0.0, 1.0);
+/// assert!(t.as_slice().iter().all(|&x| (0.0..1.0).contains(&x)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TensorRng {
+    rng: SmallRng,
+}
+
+impl TensorRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        TensorRng { rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Uniform scalar in `[lo, hi)`.
+    pub fn uniform_value(&mut self, lo: f32, hi: f32) -> f32 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot draw an index from an empty range");
+        self.rng.gen_range(0..n)
+    }
+
+    /// Standard normal scalar via Box–Muller.
+    pub fn normal_value(&mut self) -> f32 {
+        let u1: f32 = self.rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Tensor of i.i.d. uniform values in `[lo, hi)`.
+    pub fn uniform(&mut self, shape: impl Into<Shape>, lo: f32, hi: f32) -> Tensor {
+        let shape = shape.into();
+        let data = (0..shape.volume()).map(|_| self.uniform_value(lo, hi)).collect();
+        Tensor::from_vec(data, shape).expect("volume matches by construction")
+    }
+
+    /// Tensor of i.i.d. `N(mean, std²)` values.
+    pub fn normal(&mut self, shape: impl Into<Shape>, mean: f32, std: f32) -> Tensor {
+        let shape = shape.into();
+        let data = (0..shape.volume()).map(|_| mean + std * self.normal_value()).collect();
+        Tensor::from_vec(data, shape).expect("volume matches by construction")
+    }
+
+    /// Draws from a Zipf-like popularity distribution over `n` items with
+    /// exponent `s > 0`: item `k` has weight `(k+1)^-s`.
+    ///
+    /// The paper observes that "a small proportion of pixels has a much
+    /// higher probability of being accessed" (§3.1); sampling targets drawn
+    /// from this distribution reproduce that skew.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s <= 0`.
+    pub fn zipf_index(&mut self, n: usize, s: f32) -> usize {
+        assert!(n > 0, "zipf over empty support");
+        assert!(s > 0.0, "zipf exponent must be positive");
+        // Inverse-CDF on the normalized weights. n is at most a few
+        // thousand per fmap level, so a linear scan is fine.
+        let total: f64 = (1..=n).map(|k| (k as f64).powf(-s as f64)).sum();
+        let mut u = self.rng.gen_range(0.0..1.0) * total;
+        for k in 0..n {
+            let w = ((k + 1) as f64).powf(-s as f64);
+            if u < w {
+                return k;
+            }
+            u -= w;
+        }
+        n - 1
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f32) -> bool {
+        self.rng.gen_range(0.0f32..1.0) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = TensorRng::seed_from(99);
+        let mut b = TensorRng::seed_from(99);
+        assert_eq!(a.uniform([8], 0.0, 1.0), b.uniform([8], 0.0, 1.0));
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = TensorRng::seed_from(1);
+        let mut b = TensorRng::seed_from(2);
+        assert_ne!(a.uniform([8], 0.0, 1.0), b.uniform([8], 0.0, 1.0));
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = TensorRng::seed_from(5);
+        let t = rng.uniform([1000], -0.5, 0.5);
+        assert!(t.as_slice().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = TensorRng::seed_from(7);
+        let t = rng.normal([10_000], 1.0, 2.0);
+        let mean: f32 = t.as_slice().iter().sum::<f32>() / 10_000.0;
+        let var: f32 =
+            t.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.1, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.3, "var={var}");
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let mut rng = TensorRng::seed_from(11);
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            counts[rng.zipf_index(100, 1.0)] += 1;
+        }
+        let head: usize = counts[..10].iter().sum();
+        let tail: usize = counts[90..].iter().sum();
+        assert!(head > tail * 5, "head={head} tail={tail}");
+    }
+
+    #[test]
+    fn zipf_stays_in_range() {
+        let mut rng = TensorRng::seed_from(13);
+        for _ in 0..1000 {
+            assert!(rng.zipf_index(7, 1.2) < 7);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = TensorRng::seed_from(17);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

@@ -1,0 +1,74 @@
+//! Architecture explorer: toggle each hardware feature of DEFA and see its
+//! effect on cycles, energy and traffic — an ablation of §4's design
+//! choices on one workload.
+//!
+//! ```sh
+//! cargo run --release -p defa-core --example arch_explorer
+//! ```
+
+use defa_arch::BankMapping;
+use defa_core::runner::DefaAccelerator;
+use defa_core::MsgsSettings;
+use defa_model::workload::{Benchmark, SyntheticWorkload};
+use defa_model::MsdaConfig;
+use defa_prune::pipeline::PruneSettings;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = MsdaConfig::small();
+    let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &cfg, 42)?;
+
+    let variants: [(&str, MsgsSettings, PruneSettings); 6] = [
+        ("full DEFA", MsgsSettings::paper_default(), PruneSettings::paper_defaults()),
+        (
+            "intra-level banking",
+            MsgsSettings { mapping: BankMapping::IntraLevel, ..MsgsSettings::paper_default() },
+            PruneSettings::paper_defaults(),
+        ),
+        (
+            "no operator fusion",
+            MsgsSettings { fused: false, ..MsgsSettings::paper_default() },
+            PruneSettings::paper_defaults(),
+        ),
+        (
+            "no fmap reuse",
+            MsgsSettings { fmap_reuse: false, ..MsgsSettings::paper_default() },
+            PruneSettings::paper_defaults(),
+        ),
+        ("no pruning", MsgsSettings::paper_default(), PruneSettings::disabled()),
+        (
+            "baseline (no features)",
+            MsgsSettings {
+                mapping: BankMapping::IntraLevel,
+                fused: false,
+                fmap_reuse: false,
+            },
+            PruneSettings::disabled(),
+        ),
+    ];
+
+    println!(
+        "{:<24} {:>12} {:>10} {:>12} {:>12} {:>10}",
+        "variant", "cycles", "energy mJ", "DRAM Mb", "conflicts", "vs full"
+    );
+    let mut full_cycles = None;
+    for (label, msgs, prune) in variants {
+        let accel = DefaAccelerator {
+            msgs,
+            measure_fidelity: false,
+            ..DefaAccelerator::paper_default()
+        };
+        let report = accel.run_workload(&wl, &prune)?;
+        let cycles = report.counters.total_cycles();
+        let base = *full_cycles.get_or_insert(cycles);
+        println!(
+            "{label:<24} {cycles:>12} {:>10.3} {:>12.1} {:>12} {:>9.2}x",
+            report.energy_per_run_mj(),
+            report.counters.dram_bits() as f64 / 1e6,
+            report.counters.bank_conflicts,
+            cycles as f64 / base as f64,
+        );
+    }
+    println!("\nEvery §4 feature pays for itself: removing any of them costs cycles,");
+    println!("energy, or both. The last row is a conventional dense design.");
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Golden-path equivalences between independent implementations.
+
+use defa_model::encoder::run_encoder;
+use defa_model::reference::LayerMasks;
+use defa_model::workload::{Benchmark, SyntheticWorkload};
+use defa_model::MsdaConfig;
+use defa_prune::pipeline::{run_pruned_encoder, PruneSettings};
+use defa_tensor::matmul::{matmul, matmul_naive};
+use defa_tensor::rng::TensorRng;
+
+/// The pruned pipeline with everything off is the exact encoder: two
+/// completely different code paths (per-stage driver vs. monolithic
+/// forward) must agree bit-for-bit up to float associativity.
+#[test]
+fn pipeline_disabled_equals_encoder() {
+    for bench in Benchmark::all() {
+        let cfg = MsdaConfig::tiny();
+        let wl = SyntheticWorkload::generate(bench, &cfg, 11).unwrap();
+        let a = run_encoder(&wl).unwrap();
+        let b = run_pruned_encoder(&wl, &PruneSettings::disabled()).unwrap();
+        let err = b.final_features.relative_l2_error(&a.final_features).unwrap();
+        assert!(err < 1e-6, "{bench}: {err}");
+    }
+}
+
+/// `forward` equals `attention_probs` + `forward_precomputed`.
+#[test]
+fn staged_forward_equals_monolithic() {
+    let cfg = MsdaConfig::tiny();
+    let wl = SyntheticWorkload::generate(Benchmark::DnDetr, &cfg, 12).unwrap();
+    let layer = wl.layer(0).unwrap();
+    let x = wl.initial_fmap();
+    let mono = layer.forward(x, Some(wl.warp())).unwrap();
+    let (logits, probs) = layer.attention_probs(x).unwrap();
+    let staged = layer
+        .forward_precomputed(x, logits, probs, Some(wl.warp()), &LayerMasks::default())
+        .unwrap();
+    assert_eq!(mono.output, staged.output);
+    assert_eq!(mono.locations, staged.locations);
+}
+
+/// Blocked GEMM agrees with the naive reference at model-relevant shapes.
+#[test]
+fn gemm_agrees_at_model_shapes() {
+    let mut rng = TensorRng::seed_from(9);
+    let cfg = MsdaConfig::tiny();
+    let shapes = [
+        (cfg.n_in(), cfg.d_model, cfg.points_per_query()),
+        (cfg.n_in(), cfg.d_model, 2 * cfg.points_per_query()),
+        (cfg.n_in(), cfg.d_model, cfg.d_model),
+    ];
+    for (m, k, n) in shapes {
+        let a = rng.uniform([m, k], -1.0, 1.0);
+        let b = rng.uniform([k, n], -1.0, 1.0);
+        let fast = matmul(&a, &b).unwrap();
+        let gold = matmul_naive(&a, &b).unwrap();
+        assert!(fast.relative_l2_error(&gold).unwrap() < 1e-5);
+    }
+}
+
+/// Sampling locations of the same workload are identical between the
+/// monolithic forward and the pruned pipeline (before clamping): the two
+/// drivers must generate the same geometry.
+#[test]
+fn pipelines_agree_on_sampling_geometry() {
+    let cfg = MsdaConfig::tiny();
+    let wl = SyntheticWorkload::generate(Benchmark::Dino, &cfg, 13).unwrap();
+    let mono = wl.layer(0).unwrap().forward(wl.initial_fmap(), Some(wl.warp())).unwrap();
+    let mut first_block_locations = None;
+    defa_prune::pipeline::run_pruned_encoder_observed(
+        &wl,
+        &PruneSettings { range_narrowing: false, ..PruneSettings::disabled() },
+        |k, out, _| {
+            if k == 0 {
+                first_block_locations = Some(out.locations.clone());
+            }
+        },
+    )
+    .unwrap();
+    assert_eq!(first_block_locations.unwrap(), mono.locations);
+}

@@ -1,0 +1,226 @@
+//! Cross-crate property-based tests (proptest).
+
+use defa_model::bilinear::{sample, Footprint};
+use defa_model::sampling::RefPoint;
+use defa_model::workload::{Benchmark, SyntheticWorkload};
+use defa_model::{LevelShape, MsdaConfig, SamplePoint};
+use defa_prune::fwp::{FwpConfig, SampleFrequency};
+use defa_prune::pap::{point_mask, PapConfig};
+use defa_prune::{BitMask, RangeConfig};
+use defa_tensor::softmax::softmax;
+use defa_tensor::{QuantParams, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bilinear interpolation of an in-range point is a convex combination:
+    /// the result lies within [min, max] of the level's values.
+    #[test]
+    fn bilinear_is_convex_inside(
+        vals in proptest::collection::vec(-10.0f32..10.0, 12),
+        x in 0.0f32..3.0,
+        y in 0.0f32..2.0,
+    ) {
+        let shape = LevelShape::new(3, 4);
+        let s = sample(&vals, shape, 1, x, y)[0];
+        let lo = vals.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = vals.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(s >= lo - 1e-4 && s <= hi + 1e-4, "{s} outside [{lo}, {hi}]");
+    }
+
+    /// Footprint weights always sum to 1 and are non-negative.
+    #[test]
+    fn footprint_weights_are_a_partition(x in -5.0f32..25.0, y in -5.0f32..25.0) {
+        let fp = Footprint::at(x, y);
+        let sum: f32 = fp.neighbors.iter().map(|n| n.weight).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-5);
+        prop_assert!(fp.neighbors.iter().all(|n| n.weight >= -1e-7));
+    }
+
+    /// Softmax output is a probability distribution for any finite input.
+    #[test]
+    fn softmax_is_a_distribution(row in proptest::collection::vec(-30.0f32..30.0, 1..40)) {
+        let p = softmax(&row);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+    }
+
+    /// Quantization round trip never errs by more than half a step.
+    #[test]
+    fn quantization_error_is_half_step(
+        vals in proptest::collection::vec(-100.0f32..100.0, 1..64),
+        bits in 4u8..=14,
+    ) {
+        let t = Tensor::from_vec(vals.clone(), [vals.len()]).unwrap();
+        let q = QuantParams::fit(&t, bits).unwrap();
+        let back = q.fake_quantize(&t);
+        for (&a, &b) in t.as_slice().iter().zip(back.as_slice()) {
+            prop_assert!((a - b).abs() <= q.scale() * 0.5 + 1e-5);
+        }
+    }
+
+    /// A larger FWP threshold multiplier never keeps more pixels.
+    #[test]
+    fn fwp_is_monotone_in_k(seed in 0u64..50, k1 in 0.0f32..2.0, k2 in 0.0f32..2.0) {
+        let (lo, hi) = if k1 <= k2 { (k1, k2) } else { (k2, k1) };
+        let cfg = MsdaConfig::tiny();
+        let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &cfg, seed).unwrap();
+        let out = wl.layer(0).unwrap().forward(wl.initial_fmap(), Some(wl.warp())).unwrap();
+        let mut f = SampleFrequency::new(&cfg).unwrap();
+        f.record_all(&cfg, &out.locations, None).unwrap();
+        let m_lo = f.fmap_mask(FwpConfig::new(lo).unwrap()).unwrap();
+        let m_hi = f.fmap_mask(FwpConfig::new(hi).unwrap()).unwrap();
+        prop_assert!(m_lo.kept() >= m_hi.kept());
+    }
+
+    /// A larger PAP threshold never keeps more points, and every kept
+    /// probability is at least the threshold.
+    #[test]
+    fn pap_is_monotone_and_sound(seed in 0u64..50, t1 in 0.0f32..0.5, t2 in 0.0f32..0.5) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let cfg = MsdaConfig::tiny();
+        let wl = SyntheticWorkload::generate(Benchmark::Dino, &cfg, seed).unwrap();
+        let (_, probs) = wl.layer(0).unwrap().attention_probs(wl.initial_fmap()).unwrap();
+        let m_lo = point_mask(&probs, PapConfig::new(lo).unwrap()).unwrap();
+        let m_hi = point_mask(&probs, PapConfig::new(hi).unwrap()).unwrap();
+        prop_assert!(m_lo.kept() >= m_hi.kept());
+        for (i, &p) in probs.as_slice().iter().enumerate() {
+            if m_hi.is_kept(i).unwrap() {
+                prop_assert!(p >= hi);
+            }
+        }
+    }
+
+    /// Range clamping is idempotent and never moves a point outside its
+    /// level's bounded window.
+    #[test]
+    fn range_clamp_is_idempotent(
+        x in -100.0f32..100.0,
+        y in -100.0f32..100.0,
+        rx in 0.1f32..0.9,
+        ry in 0.1f32..0.9,
+    ) {
+        let cfg = MsdaConfig::tiny();
+        let rc = RangeConfig::paper_defaults(&cfg);
+        let reference = RefPoint { x: rx, y: ry };
+        let pt = SamplePoint::new(0, x, y);
+        let (once, _) = rc.clamp(&cfg, reference, pt).unwrap();
+        let (twice, moved_again) = rc.clamp(&cfg, reference, once).unwrap();
+        prop_assert_eq!(once, twice);
+        prop_assert!(!moved_again);
+        let range = rc.level(0).unwrap();
+        let (cx, cy) = reference.to_level(cfg.levels[0]);
+        prop_assert!((once.x - cx).abs() <= range.half_w as f32 + 1e-4);
+        prop_assert!((once.y - cy).abs() <= range.half_h as f32 + 1e-4);
+    }
+
+    /// Mask intersection keeps at most what either side keeps.
+    #[test]
+    fn mask_and_is_an_intersection(
+        a in proptest::collection::vec(any::<bool>(), 1..64),
+    ) {
+        let b: Vec<bool> = a.iter().map(|&x| !x).collect();
+        let ma = BitMask::from_bools(a);
+        let mb = BitMask::from_bools(b);
+        let both = ma.and(&mb).unwrap();
+        prop_assert_eq!(both.kept(), 0);
+        let same = ma.and(&ma).unwrap();
+        prop_assert_eq!(same.kept(), ma.kept());
+    }
+
+    /// The mask codec round-trips any mask and any payload exactly.
+    #[test]
+    fn codec_round_trips(
+        bits in proptest::collection::vec(any::<bool>(), 0..200),
+        values in proptest::collection::vec(-100.0f32..100.0, 200),
+    ) {
+        use defa_prune::codec::{CompressedStream, PackedMask};
+        let mask = BitMask::from_bools(bits.clone());
+        prop_assert_eq!(PackedMask::pack(&mask).unpack(), mask.clone());
+        let dense = &values[..bits.len()];
+        let stream = CompressedStream::compress(dense, &mask).unwrap();
+        let back = stream.decompress();
+        for (i, (&orig, &got)) in dense.iter().zip(&back).enumerate() {
+            if mask.is_kept(i).unwrap() {
+                prop_assert_eq!(orig, got);
+            } else {
+                prop_assert_eq!(got, 0.0);
+            }
+        }
+    }
+
+    /// The fixed-point BI datapath tracks the real-arithmetic bilinear
+    /// form within its quantization grid for arbitrary operands.
+    #[test]
+    fn bi_datapath_tracks_reference(
+        n0 in -8.0f32..8.0,
+        n1 in -8.0f32..8.0,
+        n2 in -8.0f32..8.0,
+        n3 in -8.0f32..8.0,
+        t0 in 0.0f32..1.0,
+        t1 in 0.0f32..1.0,
+    ) {
+        use defa_arch::bi_datapath::interpolate_f32;
+        let hw = interpolate_f32([n0, n1, n2, n3], t0, t1, 10);
+        let sw = n0 * (1.0 - t1) * (1.0 - t0)
+            + n1 * t1 * (1.0 - t0)
+            + n2 * (1.0 - t1) * t0
+            + n3 * t1 * t0;
+        // Value grid 2^-10, coefficient grid 2^-8, a few ops of rounding.
+        prop_assert!((hw - sw).abs() < 0.2, "hw {hw} sw {sw}");
+    }
+
+    /// The saliency warp is a pure function of (query, slot).
+    #[test]
+    fn warp_is_deterministic(q in 0usize..5000, slot in 0usize..16) {
+        let cfg = MsdaConfig::tiny();
+        let wl = SyntheticWorkload::generate(Benchmark::DnDetr, &cfg, 99).unwrap();
+        let mut a = SamplePoint::new(0, 3.0, 2.0);
+        let mut b = SamplePoint::new(0, 3.0, 2.0);
+        wl.warp().apply(q, slot, &mut a);
+        wl.warp().apply(q, slot, &mut b);
+        prop_assert_eq!(a, b);
+        // Redirected points stay within the level plus jitter margin.
+        let shape = cfg.levels[0];
+        prop_assert!(a.x > -4.0 && a.x < shape.w as f32 + 4.0);
+        prop_assert!(a.y > -4.0 && a.y < shape.h as f32 + 4.0);
+    }
+
+    /// Integer GEMM error shrinks as bit width grows.
+    #[test]
+    fn quantized_gemm_error_is_monotone_in_bits(seed in 0u64..20) {
+        use defa_tensor::qlinear::quantized_matmul;
+        use defa_tensor::matmul::matmul;
+        use defa_tensor::rng::TensorRng;
+        let mut rng = TensorRng::seed_from(seed);
+        let a = rng.uniform([12, 12], -1.0, 1.0);
+        let b = rng.uniform([12, 12], -1.0, 1.0);
+        let exact = matmul(&a, &b).unwrap();
+        let mut last = f32::INFINITY;
+        for bits in [6u8, 9, 12, 15] {
+            let q = quantized_matmul(&a, &b, bits).unwrap();
+            let err = q.relative_l2_error(&exact).unwrap();
+            prop_assert!(err <= last * 1.5 + 1e-6, "bits {bits}: {err} vs {last}");
+            last = err;
+        }
+    }
+}
+
+/// Inter-level banking is conflict-free for arbitrary sampling points —
+/// the §4.2 guarantee, checked exhaustively over a coordinate grid.
+#[test]
+fn inter_level_banking_never_conflicts() {
+    use defa_arch::BankMapping;
+    let m = BankMapping::InterLevel;
+    for level in 0..4 {
+        for y in -2i64..20 {
+            for x in -2i64..20 {
+                let banks = m.footprint_banks(level, y, x).unwrap();
+                let mut sorted = banks.to_vec();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), 4, "level {level} ({y},{x})");
+            }
+        }
+    }
+}
