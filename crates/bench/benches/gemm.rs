@@ -1,8 +1,13 @@
-//! Criterion: GEMM kernels (blocked vs naive, masked).
+//! Criterion: GEMM kernels (tiled vs seed blocked vs naive, masked).
+//!
+//! `gemm_512/tiled_parallel` vs `gemm_512/blocked_seed` is the acceptance
+//! comparison for the tiled micro-kernel rebuild: the tiled kernel must
+//! deliver ≥ 4× the seed blocked kernel's throughput at 512×512×512.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use defa_tensor::matmul::{matmul, matmul_naive, matmul_row_masked};
+use defa_tensor::matmul::{matmul, matmul_blocked, matmul_into, matmul_naive, matmul_row_masked};
 use defa_tensor::rng::TensorRng;
+use defa_tensor::{Scratch, Tensor};
 
 fn bench_gemm(c: &mut Criterion) {
     let mut rng = TensorRng::seed_from(3);
@@ -11,8 +16,11 @@ fn bench_gemm(c: &mut Criterion) {
     let mask: Vec<bool> = (0..256).map(|i| i % 2 == 0).collect();
 
     let mut group = c.benchmark_group("gemm_256");
-    group.bench_function("blocked", |bch| {
+    group.bench_function("tiled_parallel", |bch| {
         bch.iter(|| matmul(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap())
+    });
+    group.bench_function("blocked_seed", |bch| {
+        bch.iter(|| matmul_blocked(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap())
     });
     group.bench_function("naive", |bch| {
         bch.iter(|| matmul_naive(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap())
@@ -25,5 +33,38 @@ fn bench_gemm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gemm);
+fn bench_gemm_512(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(5);
+    let a = rng.uniform([512, 512], -1.0, 1.0);
+    let b = rng.uniform([512, 512], -1.0, 1.0);
+
+    let mut group = c.benchmark_group("gemm_512");
+    group.bench_function("tiled_parallel", |bch| {
+        bch.iter(|| matmul(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap())
+    });
+    group.bench_function("tiled_single_thread", |bch| {
+        defa_parallel::with_num_threads(1, || {
+            bch.iter(|| matmul(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap())
+        })
+    });
+    group.bench_function("tiled_into_scratch", |bch| {
+        let mut scratch = Scratch::new();
+        let mut out = Tensor::zeros([512, 512]);
+        bch.iter(|| {
+            matmul_into(
+                std::hint::black_box(&a),
+                std::hint::black_box(&b),
+                &mut out,
+                &mut scratch,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("blocked_seed", |bch| {
+        bch.iter(|| matmul_blocked(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_gemm_512);
 criterion_main!(benches);

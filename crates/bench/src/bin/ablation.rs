@@ -43,22 +43,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
 
+    // The workload and exact encoder run depend only on the benchmark, so
+    // evaluate them once per benchmark (in parallel); then fan the
+    // (variant, benchmark) grid of *pruned* runs out and reduce back into
+    // variant rows in order.
+    let benches = Benchmark::all();
+    let nb = benches.len();
+    let exacts = defa_parallel::par_map_collect(nb, |b| {
+        let wl = SyntheticWorkload::generate(benches[b], &cfg, opts.seed)?;
+        let exact = run_encoder(&wl)?;
+        Ok::<_, Box<dyn std::error::Error + Send + Sync>>((wl, exact))
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, Box<dyn std::error::Error + Send + Sync>>>()
+    .map_err(|e| -> Box<dyn std::error::Error> { e })?;
+    let cells = defa_parallel::par_map_collect(variants.len() * nb, |idx| {
+        let (_, settings, _) = &variants[idx / nb];
+        let (wl, exact) = &exacts[idx % nb];
+        let pruned = run_pruned_encoder(wl, settings)?;
+        let est =
+            estimate_ap(benches[idx % nb], &exact.final_features, &pruned.final_features)?;
+        Ok::<(f64, f64), Box<dyn std::error::Error + Send + Sync>>((
+            est.fidelity_error as f64,
+            est.drop() as f64,
+        ))
+    });
     let mut rows = Vec::new();
-    for (label, settings, paper_drop) in variants {
+    for (v, (label, _, paper_drop)) in variants.iter().enumerate() {
         let mut fid_sum = 0.0f64;
         let mut drop_sum = 0.0f64;
-        for bench in Benchmark::all() {
-            let wl = SyntheticWorkload::generate(bench, &cfg, opts.seed)?;
-            let exact = run_encoder(&wl)?;
-            let pruned = run_pruned_encoder(&wl, &settings)?;
-            let est = estimate_ap(bench, &exact.final_features, &pruned.final_features)?;
-            fid_sum += est.fidelity_error as f64;
-            drop_sum += est.drop() as f64;
+        for cell in &cells[v * nb..(v + 1) * nb] {
+            let (fid, drop) = match cell {
+                Ok(c) => *c,
+                Err(e) => return Err(format!("{label}: {e}").into()),
+            };
+            fid_sum += fid;
+            drop_sum += drop;
         }
         rows.push(vec![
             label.to_string(),
-            format!("{:.4}", fid_sum / 3.0),
-            format!("{:.2}", drop_sum / 3.0),
+            format!("{:.4}", fid_sum / nb as f64),
+            format!("{:.2}", drop_sum / nb as f64),
             format!("{paper_drop:.2}"),
         ]);
     }

@@ -43,20 +43,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- PAP operating points ---------------------------------------------
-    let mut rows = Vec::new();
-    for thr in [0.005f32, 0.01, 0.02, 0.05] {
+    // Threshold configurations are independent: sweep them in parallel,
+    // collecting rows in threshold order.
+    let thresholds = [0.005f32, 0.01, 0.02, 0.05];
+    let rows = defa_parallel::par_map_collect(thresholds.len(), |i| {
+        let thr = thresholds[i];
         let settings = PruneSettings {
             pap: Some(PapConfig::new(thr)?),
             ..PruneSettings::paper_defaults()
         };
         let run = run_pruned_encoder(&wl, &settings)?;
-        rows.push(vec![
+        Ok(vec![
             format!("{thr:.3}"),
             pct(run.stats.point_reduction()),
             pct(run.stats.mean_retained_mass()),
             pct(run.stats.flop_reduction()),
-        ]);
-    }
+        ])
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, defa_prune::PruneError>>()?;
     print_table(
         "PAP threshold sweep (FWP/ranges/INT12 at paper defaults)",
         &["threshold", "points pruned", "prob mass kept", "FLOPs pruned"],

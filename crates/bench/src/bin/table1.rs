@@ -12,12 +12,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = opts.config();
     println!("Table 1 — comparison with attention ASICs (scale: {})", opts.scale_label());
 
-    let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &cfg, opts.seed)?;
     let accel = DefaAccelerator { measure_fidelity: false, ..DefaAccelerator::paper_default() };
-    let report = accel.run_workload(&wl, &PruneSettings::paper_defaults())?;
-    let area = accel
-        .area
-        .price(&DefaAccelerator::sram_inventory(&defa_model::MsdaConfig::full()), &accel.pe);
+    // The simulated run and the paper-scale area pricing are independent
+    // configurations; evaluate them concurrently.
+    let (report, area) = defa_parallel::join(
+        || {
+            let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &cfg, opts.seed)?;
+            accel.run_workload(&wl, &PruneSettings::paper_defaults())
+        },
+        || {
+            accel.area.price(
+                &DefaAccelerator::sram_inventory(&defa_model::MsdaConfig::full()),
+                &accel.pe,
+            )
+        },
+    );
+    let report = report?;
 
     let mut rows: Vec<Vec<String>> = ASICS
         .iter()

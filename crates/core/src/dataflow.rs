@@ -42,6 +42,9 @@ impl BlockPruning {
 ///
 /// `locations`/`keep` describe the block's sampling points after range
 /// clamping; `pruning` carries the keep fractions for the matrix stages.
+/// The dominant stage-4 sampling pipeline is simulated query-tile-parallel
+/// inside [`MsgsEngine::run_block`] with a deterministic reduction, so the
+/// returned stats and counters are identical for any thread count.
 ///
 /// # Errors
 ///
@@ -144,6 +147,7 @@ pub fn simulate_block(
 ///
 /// Propagates engine errors; returns [`CoreError::Inconsistent`] on length
 /// mismatches.
+#[allow(clippy::too_many_arguments)] // mirrors simulate_block plus the query count
 pub fn simulate_cross_block(
     cfg: &MsdaConfig,
     n_queries: usize,
@@ -218,7 +222,6 @@ pub fn simulate_cross_block(
 }
 
 #[cfg(test)]
-
 mod tests {
     use super::*;
     use crate::msgs::MsgsSettings;

@@ -23,6 +23,14 @@ use defa_model::bilinear::Footprint;
 use defa_model::{MsdaConfig, SamplePoint};
 use defa_prune::RangeConfig;
 
+/// Queries per parallel simulation tile of [`MsgsEngine::run_block`].
+///
+/// Tiles are simulated concurrently with private SRAM/counter models and
+/// reduced in tile order; the value trades scheduling granularity against
+/// per-tile setup and does not affect results (which are bit-identical for
+/// any tile size or thread count).
+const QUERY_TILE: usize = 64;
+
 /// Feature switches of the MSGS engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MsgsSettings {
@@ -109,6 +117,15 @@ impl MsgsEngine {
     /// layer order; `keep` the PAP survival of each. Counters receive the
     /// cycle and traffic activity; the returned stats summarize the run.
     ///
+    /// The sampling-point pipeline is simulated in parallel over
+    /// contiguous *query tiles*: each tile accumulates its own
+    /// [`MsgsStats`] and [`EventCounters`] against a private
+    /// [`BankedSram`] model, and the partial results are reduced in tile
+    /// order. Every per-group quantity (service cycles, conflicts,
+    /// traffic) depends only on that group's own sampling points, so the
+    /// reduction is exact: stats and counters are **bit-identical** to the
+    /// sequential simulation for any thread count.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::Inconsistent`] on length mismatches and
@@ -124,7 +141,7 @@ impl MsgsEngine {
         let cfg = &self.cfg;
         let ppq = cfg.points_per_query();
         if locations.is_empty()
-            || locations.len() % ppq != 0
+            || !locations.len().is_multiple_of(ppq)
             || keep.len() != locations.len()
         {
             return Err(CoreError::Inconsistent(format!(
@@ -137,20 +154,81 @@ impl MsgsEngine {
         // count for decoder cross-attention.
         let n = locations.len() / ppq;
 
+        let word_bits = defa_arch::BA_CHANNELS_PER_BEAT * PRECISION_BITS;
+        let dh = cfg.head_dim();
+
+        // --- Sampling-point pipeline (query-tile parallel) ----------------
+        let n_tiles = n.div_ceil(QUERY_TILE);
+        let tiles = defa_parallel::par_map_collect(n_tiles, |t| {
+            let q0 = t * QUERY_TILE;
+            let q1 = ((t + 1) * QUERY_TILE).min(n);
+            self.run_query_tile(locations, keep, q0, q1)
+        });
+        let mut stats = MsgsStats::default();
+        let mut sram = BankedSram::new(N_BANKS, word_bits)?;
+        let mut dram = Dram::hbm2();
+        for tile in tiles {
+            let (tile_stats, tile_counters) = tile?;
+            stats.cycles += tile_stats.cycles;
+            stats.groups += tile_stats.groups;
+            stats.points += tile_stats.points;
+            stats.conflicts += tile_stats.conflicts;
+            *counters += tile_counters;
+        }
+
+        // --- Fmap fetch traffic (DRAM -> SRAM row buffers) ---------------
+        let fetch_bits = self.fmap_fetch_bits(n, keep, pixel_keep_fraction);
+        dram.read(fetch_bits);
+        sram.write_stream(fetch_bits / word_bits);
+        stats.fmap_fetch_bits = fetch_bits;
+
+        // --- Operator fusion --------------------------------------------
+        if !self.settings.fused {
+            // Sampling values round-trip: SRAM write + DRAM write, then
+            // DRAM read + SRAM read before aggregation.
+            let bits = stats.points * dh as u64 * PRECISION_BITS;
+            sram.write_stream(bits / word_bits);
+            sram.read_stream(bits / word_bits);
+            dram.write(bits);
+            dram.read(bits);
+            stats.spill_bits = 2 * bits;
+        }
+
+        // --- Aggregated output ------------------------------------------
+        let out_bits = (n * cfg.d_model) as u64 * PRECISION_BITS;
+        sram.write_stream(out_bits / word_bits);
+        dram.write(out_bits);
+
+        sram.drain_into(counters);
+        dram.drain_into(counters);
+        Ok(stats)
+    }
+
+    /// Simulates the BA-pipeline groups of queries `q0..q1` against a
+    /// tile-private SRAM model, returning the tile's stats and counter
+    /// deltas (SRAM activity already drained into the counters).
+    fn run_query_tile(
+        &self,
+        locations: &[SamplePoint],
+        keep: &[bool],
+        q0: usize,
+        q1: usize,
+    ) -> Result<(MsgsStats, EventCounters), CoreError> {
+        let cfg = &self.cfg;
+        let ppq = cfg.points_per_query();
         let pe = PeArray::new();
         let word_bits = defa_arch::BA_CHANNELS_PER_BEAT * PRECISION_BITS;
         let mut sram = BankedSram::new(N_BANKS, word_bits)?;
-        let mut dram = Dram::hbm2();
+        let mut counters = EventCounters::new();
+        let mut stats = MsgsStats::default();
         let dh = cfg.head_dim();
         let n_levels = cfg.n_levels();
         let n_points = cfg.n_points;
-        let mut stats = MsgsStats::default();
 
-        // --- Sampling-point pipeline ------------------------------------
         // Group points per (query, head): inter-level groups take one point
         // per level; intra-level groups take the N_p points of one level.
         let mut group_banks: Vec<usize> = Vec::with_capacity(4 * N_BANKS);
-        for q in 0..n {
+        for q in q0..q1 {
             for h in 0..cfg.n_heads {
                 let base = q * ppq + h * n_levels * n_points;
                 let group_count = match self.settings.mapping {
@@ -187,7 +265,7 @@ impl MsgsEngine {
                         continue;
                     }
                     let service = sram.read_group(&group_banks)?;
-                    let cycles = pe.run_ba_group(pts_in_group, dh, service, counters);
+                    let cycles = pe.run_ba_group(pts_in_group, dh, service, &mut counters);
                     stats.cycles += cycles;
                     stats.groups += 1;
                     stats.points += pts_in_group as u64;
@@ -198,34 +276,9 @@ impl MsgsEngine {
                 }
             }
         }
-
-        // --- Fmap fetch traffic (DRAM -> SRAM row buffers) ---------------
-        let fetch_bits = self.fmap_fetch_bits(n, keep, pixel_keep_fraction);
-        dram.read(fetch_bits);
-        sram.write_stream(fetch_bits / word_bits);
-        stats.fmap_fetch_bits = fetch_bits;
-
-        // --- Operator fusion --------------------------------------------
-        if !self.settings.fused {
-            // Sampling values round-trip: SRAM write + DRAM write, then
-            // DRAM read + SRAM read before aggregation.
-            let bits = stats.points * dh as u64 * PRECISION_BITS;
-            sram.write_stream(bits / word_bits);
-            sram.read_stream(bits / word_bits);
-            dram.write(bits);
-            dram.read(bits);
-            stats.spill_bits = 2 * bits;
-        }
-
-        // --- Aggregated output ------------------------------------------
-        let out_bits = (n * cfg.d_model) as u64 * PRECISION_BITS;
-        sram.write_stream(out_bits / word_bits);
-        dram.write(out_bits);
-
         stats.conflicts = sram.conflicts();
-        sram.drain_into(counters);
-        dram.drain_into(counters);
-        Ok(stats)
+        sram.drain_into(&mut counters);
+        Ok((stats, counters))
     }
 
     /// DRAM bits fetched to feed MSGS with fmap pixels.

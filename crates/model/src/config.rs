@@ -119,7 +119,7 @@ impl MsdaConfig {
         if self.d_model == 0 || self.n_heads == 0 || self.n_points == 0 || self.n_layers == 0 {
             return Err(ModelError::InvalidConfig("zero-sized dimension".into()));
         }
-        if self.d_model % self.n_heads != 0 {
+        if !self.d_model.is_multiple_of(self.n_heads) {
             return Err(ModelError::InvalidConfig(format!(
                 "d_model {} not divisible by n_heads {}",
                 self.d_model, self.n_heads

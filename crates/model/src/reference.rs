@@ -1,12 +1,60 @@
 //! Functional reference implementation of one MSDeformAttn layer (Eq. 1).
 
 use crate::bilinear::Footprint;
-use crate::sampling::{query_sample_points, reference_points, RefPoint, SamplePoint};
+use crate::sampling::{query_sample_points_into, reference_points, RefPoint, SamplePoint};
 use crate::workload::SaliencyWarp;
 use crate::{FmapPyramid, ModelError, MsdaConfig};
 use defa_tensor::matmul::{matmul, matmul_row_masked};
 use defa_tensor::softmax::softmax_inplace;
 use defa_tensor::Tensor;
+
+/// Below this many per-query sampling points / probability elements the
+/// per-query loops run sequentially: the scoped-thread helpers have no
+/// pool, so a spawn only pays off with real work behind it. Results are
+/// identical either way.
+const PAR_MIN_ELEMS: usize = 1 << 12;
+
+/// Builds the full sampling-location table for `offsets` (`[n, 2·ppq]`),
+/// one query per row, applying the optional saliency warp — the
+/// per-query-parallel generation shared by the monolithic forward and the
+/// pruned pipeline (both must produce identical geometry, which the golden
+/// tests pin).
+///
+/// Queries are independent, so the table is filled in disjoint
+/// `points_per_query` windows in parallel; results are bit-identical for
+/// any thread count.
+///
+/// # Errors
+///
+/// Returns [`ModelError::ShapeMismatch`] if `offsets` does not have one
+/// row of `2·points_per_query` offsets per reference point.
+pub fn generate_locations(
+    cfg: &MsdaConfig,
+    references: &[RefPoint],
+    offsets: &Tensor,
+    warp: Option<&SaliencyWarp>,
+) -> Result<Vec<SamplePoint>, ModelError> {
+    let n = references.len();
+    let ppq = cfg.points_per_query();
+    if offsets.shape().dims() != [n, 2 * ppq] {
+        return Err(ModelError::ShapeMismatch(format!(
+            "offsets {} expected [{n}, {}]",
+            offsets.shape(),
+            2 * ppq
+        )));
+    }
+    let odata = offsets.as_slice();
+    let mut locations = vec![SamplePoint::new(0, 0.0, 0.0); n * ppq];
+    defa_parallel::par_chunks_mut_if(n * ppq >= PAR_MIN_ELEMS, &mut locations, ppq, |i, pts| {
+        query_sample_points_into(cfg, references[i], &odata[i * 2 * ppq..(i + 1) * 2 * ppq], pts);
+        if let Some(w) = warp {
+            for (slot, pt) in pts.iter_mut().enumerate() {
+                w.apply(i, slot, pt);
+            }
+        }
+    });
+    Ok(locations)
+}
 
 /// Learnable weights of one MSDeformAttn layer.
 ///
@@ -191,12 +239,19 @@ impl MsdaLayer {
         let logits = matmul(x.tensor(), &self.weights.w_attn)?;
         let mut probs = logits.clone();
         let lp = cfg.points_per_head();
-        for r in 0..n {
-            let row = probs.row_mut(r)?;
-            for h in 0..cfg.n_heads {
-                softmax_inplace(&mut row[h * lp..(h + 1) * lp]);
-            }
-        }
+        let n_heads = cfg.n_heads;
+        let ppq = cfg.points_per_query();
+        // Rows are independent distributions: normalize them in parallel.
+        defa_parallel::par_chunks_mut_if(
+            n * ppq >= PAR_MIN_ELEMS,
+            probs.as_mut_slice(),
+            ppq,
+            |_, row| {
+                for h in 0..n_heads {
+                    softmax_inplace(&mut row[h * lp..(h + 1) * lp]);
+                }
+            },
+        );
         Ok((logits, probs))
     }
 
@@ -247,16 +302,7 @@ impl MsdaLayer {
         let q = x.tensor();
         let offsets = matmul(q, &self.weights.w_offset)?;
 
-        let mut locations = Vec::with_capacity(n * ppq);
-        for i in 0..n {
-            let mut pts = query_sample_points(cfg, self.references[i], offsets.row(i)?);
-            if let Some(w) = warp {
-                for (slot, pt) in pts.iter_mut().enumerate() {
-                    w.apply(i, slot, pt);
-                }
-            }
-            locations.extend_from_slice(&pts);
-        }
+        let locations = generate_locations(cfg, &self.references, &offsets, warp)?;
 
         let value = match masks.fmap {
             Some(fm) => matmul_row_masked(q, &self.weights.w_value, fm)?,
@@ -286,11 +332,46 @@ impl MsdaLayer {
         value: &Tensor,
         point_mask: Option<&[bool]>,
     ) -> Result<Tensor, ModelError> {
+        let mut output = Tensor::zeros([0]);
+        self.sample_and_aggregate_into(probs, locations, value, point_mask, &mut output)?;
+        Ok(output)
+    }
+
+    /// [`MsdaLayer::sample_and_aggregate`] writing into a caller-provided
+    /// tensor (allocation reused when large enough) — the allocation-free
+    /// entry point for per-block drivers.
+    ///
+    /// Queries are independent, so their output rows are computed in
+    /// parallel; each row's neighbor accumulation runs in the same fixed
+    /// order regardless of thread count, so results are bit-identical to
+    /// the sequential evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if tensor shapes disagree with the
+    /// configuration.
+    pub fn sample_and_aggregate_into(
+        &self,
+        probs: &Tensor,
+        locations: &[SamplePoint],
+        value: &Tensor,
+        point_mask: Option<&[bool]>,
+        output: &mut Tensor,
+    ) -> Result<(), ModelError> {
         let cfg = &self.cfg;
         // The number of queries is the probability tensor's row count:
         // it equals `n_in` for encoder self-attention but is the object
-        // query count for decoder cross-attention.
+        // query count for decoder cross-attention. The column count must
+        // be exactly points_per_query — the parallel loop below indexes
+        // rows by that stride.
         let n = probs.shape().dims()[0];
+        if probs.shape().rank() != 2 || probs.shape().dims()[1] != cfg.points_per_query() {
+            return Err(ModelError::ShapeMismatch(format!(
+                "probs {} expected [{n}, {}]",
+                probs.shape(),
+                cfg.points_per_query()
+            )));
+        }
         if locations.len() != n * cfg.points_per_query() {
             return Err(ModelError::ShapeMismatch(format!(
                 "{} locations for {} queries x {} points",
@@ -303,21 +384,27 @@ impl MsdaLayer {
         let dh = cfg.head_dim();
         let ppq = cfg.points_per_query();
         let lp = cfg.points_per_head();
+        let n_heads = cfg.n_heads;
         let vdata = value.as_slice();
+        let pdata = probs.as_slice();
 
         // Per-level base token offsets for direct indexing into `value`.
         let mut level_base = Vec::with_capacity(cfg.n_levels());
         for l in 0..cfg.n_levels() {
             level_base.push(cfg.level_offset(l)?);
         }
+        let level_base = &level_base[..];
 
-        let mut output = Tensor::zeros([n, d]);
-        let out_data = output.as_mut_slice();
-        for i in 0..n {
-            let prow = probs.row(i)?;
-            for h in 0..cfg.n_heads {
+        output.resize_reuse([n, d]);
+        // Each query's aggregation walks ppq points x 4 neighbors x dh
+        // channels — substantial, so the gate is on the point count alone.
+        let parallel = n * ppq >= PAR_MIN_ELEMS / 4;
+        defa_parallel::par_chunks_mut_if(parallel, output.as_mut_slice(), d, |i, orow_all| {
+            orow_all.fill(0.0);
+            let prow = &pdata[i * ppq..(i + 1) * ppq];
+            for h in 0..n_heads {
                 let chan0 = h * dh;
-                let orow = &mut out_data[i * d + chan0..i * d + chan0 + dh];
+                let orow = &mut orow_all[chan0..chan0 + dh];
                 for s in 0..lp {
                     let slot = h * lp + s;
                     let gslot = i * ppq + slot;
@@ -347,8 +434,8 @@ impl MsdaLayer {
                     }
                 }
             }
-        }
-        Ok(output)
+        });
+        Ok(())
     }
 }
 

@@ -86,8 +86,25 @@ pub fn query_sample_points(
     reference: RefPoint,
     offsets: &[f32],
 ) -> Vec<SamplePoint> {
+    let mut out = vec![SamplePoint::new(0, 0.0, 0.0); cfg.points_per_query()];
+    query_sample_points_into(cfg, reference, offsets, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`query_sample_points`]: writes the query's
+/// `points_per_query` locations into `out` in [`point_slot`] order.
+///
+/// The pruned-encoder hot loop fills one big location table per block with
+/// this, one disjoint `out` window per query, which is what makes the
+/// per-query parallel generation allocation-free and deterministic.
+pub fn query_sample_points_into(
+    cfg: &MsdaConfig,
+    reference: RefPoint,
+    offsets: &[f32],
+    out: &mut [SamplePoint],
+) {
     debug_assert_eq!(offsets.len(), 2 * cfg.points_per_query());
-    let mut out = Vec::with_capacity(cfg.points_per_query());
+    debug_assert_eq!(out.len(), cfg.points_per_query());
     for h in 0..cfg.n_heads {
         for (l, &shape) in cfg.levels.iter().enumerate() {
             let (cx, cy) = reference.to_level(shape);
@@ -95,11 +112,10 @@ pub fn query_sample_points(
                 let slot = point_slot(cfg, h, l, p);
                 let dx = offsets[2 * slot];
                 let dy = offsets[2 * slot + 1];
-                out.push(SamplePoint::new(l as u8, cx + dx, cy + dy));
+                out[slot] = SamplePoint::new(l as u8, cx + dx, cy + dy);
             }
         }
     }
-    out
 }
 
 #[cfg(test)]

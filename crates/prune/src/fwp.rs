@@ -167,8 +167,8 @@ impl SampleFrequency {
             let (off, px) = self.level_span(level)?;
             let mean = self.level_mean(level)?;
             let threshold = cfg.k as f64 * mean;
-            for i in off..off + px {
-                bits[i] = self.counts[i] as f64 >= threshold;
+            for (bit, &count) in bits[off..off + px].iter_mut().zip(&self.counts[off..off + px]) {
+                *bit = count as f64 >= threshold;
             }
         }
         Ok(BitMask::from_bools(bits))
@@ -186,7 +186,7 @@ mod tests {
         let mut f = SampleFrequency::new(&cfg).unwrap();
         f.record(&cfg, SamplePoint::new(0, 2.5, 1.5));
         // Neighbors: (2,1), (3,1), (2,2), (3,2) on an 8-wide level.
-        let expect = [1 * 8 + 2, 1 * 8 + 3, 2 * 8 + 2, 2 * 8 + 3];
+        let expect = [8 + 2, 8 + 3, 2 * 8 + 2, 2 * 8 + 3];
         for idx in expect {
             assert_eq!(f.counts()[idx], 1, "idx {idx}");
         }

@@ -184,21 +184,17 @@ where
         };
 
         // Stage 2+3: masked offsets, locations (warp + range clamp), masked
-        // value projection.
+        // value projection. Location generation is per-query parallel and
+        // bit-identical to the monolithic forward (pinned by the golden
+        // geometry test).
         let offsets = matmul(x.tensor(), &layer.weights().w_offset)
             .map_err(defa_model::ModelError::from)?;
-        let mut locations = Vec::with_capacity(n * ppq);
-        for i in 0..n {
-            let mut pts = defa_model::sampling::query_sample_points(
-                cfg,
-                layer.references()[i],
-                offsets.row(i).map_err(defa_model::ModelError::from)?,
-            );
-            for (slot, pt) in pts.iter_mut().enumerate() {
-                wl.warp().apply(i, slot, pt);
-            }
-            locations.extend_from_slice(&pts);
-        }
+        let mut locations = defa_model::reference::generate_locations(
+            cfg,
+            layer.references(),
+            &offsets,
+            Some(wl.warp()),
+        )?;
         let clamped = match &ranges {
             Some(rc) => clamp_locations(cfg, rc, layer.references(), &mut locations)?,
             None => 0,
@@ -217,10 +213,10 @@ where
         let output =
             layer.sample_and_aggregate(&probs, &locations, &value, Some(pmask.as_bools()))?;
 
-        if settings.fwp.is_some() {
+        if let Some(fwp) = settings.fwp {
             let mut freq = SampleFrequency::new(cfg)?;
             freq.record_all(cfg, &locations, Some(pmask.as_bools()))?;
-            next_fmap_mask = freq.fmap_mask(settings.fwp.expect("checked above"))?;
+            next_fmap_mask = freq.fmap_mask(fwp)?;
         }
 
         stats.record_block(

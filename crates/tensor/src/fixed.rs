@@ -61,6 +61,7 @@ impl Fixed {
     ///
     /// Panics if the operands have different fractional widths; mixing
     /// formats silently is exactly the kind of bug this type exists to stop.
+    #[allow(clippy::should_implement_trait)] // panics on format mismatch by design
     pub fn mul(self, rhs: Fixed) -> Fixed {
         assert_eq!(self.frac, rhs.frac, "fixed-point format mismatch");
         let prod = self.raw as i64 * rhs.raw as i64;
@@ -77,6 +78,7 @@ impl Fixed {
     /// # Panics
     ///
     /// Panics if the operands have different fractional widths.
+    #[allow(clippy::should_implement_trait)] // panics on format mismatch by design
     pub fn add(self, rhs: Fixed) -> Fixed {
         assert_eq!(self.frac, rhs.frac, "fixed-point format mismatch");
         Fixed { raw: self.raw.saturating_add(rhs.raw), frac: self.frac }
@@ -87,6 +89,7 @@ impl Fixed {
     /// # Panics
     ///
     /// Panics if the operands have different fractional widths.
+    #[allow(clippy::should_implement_trait)] // panics on format mismatch by design
     pub fn sub(self, rhs: Fixed) -> Fixed {
         assert_eq!(self.frac, rhs.frac, "fixed-point format mismatch");
         Fixed { raw: self.raw.saturating_sub(rhs.raw), frac: self.frac }

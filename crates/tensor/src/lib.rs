@@ -6,8 +6,12 @@
 //! * [`Shape`] / [`Tensor`] — a small row-major dense tensor over `f32`,
 //!   sufficient for the matrices that appear in multi-scale deformable
 //!   attention (queries, weights, feature maps, probabilities).
-//! * [`matmul`] — blocked GEMM kernels used by the functional reference
-//!   model and by the accelerator's matrix-mode golden checks.
+//! * [`matmul`] — GEMM kernels used by the functional reference model and
+//!   by the accelerator's matrix-mode golden checks: a register-tiled,
+//!   row-parallel production kernel plus the naive golden reference and
+//!   the original blocked kernel as benchmark baseline.
+//! * [`scratch`] — a reusable [`Scratch`] arena so the hot kernels stop
+//!   allocating per call.
 //! * [`softmax`] — numerically stable softmax over the trailing axis.
 //! * [`quant`] — symmetric fixed-point quantization (the paper quantizes the
 //!   MSDeformAttn modules to INT12) with round-trip helpers.
@@ -38,6 +42,7 @@ pub mod matmul;
 pub mod qlinear;
 pub mod quant;
 pub mod rng;
+pub mod scratch;
 pub mod shape;
 pub mod softmax;
 pub mod tensor;
@@ -45,5 +50,6 @@ pub mod tensor;
 pub use error::TensorError;
 pub use fixed::Fixed;
 pub use quant::{QTensor, QuantParams};
+pub use scratch::Scratch;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -2,13 +2,61 @@
 //!
 //! Every synthetic workload in the workspace is seeded, so experiments are
 //! exactly reproducible run to run. [`TensorRng`] wraps a small, fast PRNG
-//! and offers the distributions the workload generator needs: uniform,
-//! Gaussian (Box–Muller), and a heavy-tailed "popularity" distribution used
-//! to emulate the non-uniform pixel-access statistics the paper observes.
+//! (xoshiro256++, seeded via SplitMix64 — self-contained so the workspace
+//! builds without the `rand` crate) and offers the distributions the
+//! workload generator needs: uniform, Gaussian (Box–Muller), and a
+//! heavy-tailed "popularity" distribution used to emulate the non-uniform
+//! pixel-access statistics the paper observes.
 
 use crate::{Shape, Tensor};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+
+/// xoshiro256++ state (<https://prng.di.unimi.it/>), public domain
+/// construction by Blackman & Vigna.
+#[derive(Debug, Clone)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Expands a 64-bit seed into full state with SplitMix64, the
+    /// recommended seeding procedure for the xoshiro family.
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256pp { s: [next(), next(), next(), next()] }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform `f32` in `[0, 1)` from the top 24 bits.
+    fn next_f32(&mut self) -> f32 {
+        ((self.next_u64() >> 40) as f32) * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform `f64` in `[0, 1)` from the top 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
 
 /// Seeded random generator producing tensors and common scalar draws.
 ///
@@ -23,18 +71,25 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct TensorRng {
-    rng: SmallRng,
+    rng: Xoshiro256pp,
 }
 
 impl TensorRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        TensorRng { rng: SmallRng::seed_from_u64(seed) }
+        TensorRng { rng: Xoshiro256pp::seed_from_u64(seed) }
     }
 
     /// Uniform scalar in `[lo, hi)`.
     pub fn uniform_value(&mut self, lo: f32, hi: f32) -> f32 {
-        self.rng.gen_range(lo..hi)
+        let v = lo + (hi - lo) * self.rng.next_f32();
+        // Float rounding can land exactly on `hi`; fold back to keep the
+        // half-open contract.
+        if v < hi || hi <= lo {
+            v
+        } else {
+            lo
+        }
     }
 
     /// Uniform integer in `[0, n)`.
@@ -44,13 +99,13 @@ impl TensorRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot draw an index from an empty range");
-        self.rng.gen_range(0..n)
+        (self.rng.next_u64() % n as u64) as usize
     }
 
     /// Standard normal scalar via Box–Muller.
     pub fn normal_value(&mut self) -> f32 {
-        let u1: f32 = self.rng.gen_range(f32::EPSILON..1.0);
-        let u2: f32 = self.rng.gen_range(0.0..1.0);
+        let u1 = self.rng.next_f32().max(f32::EPSILON);
+        let u2 = self.rng.next_f32();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
     }
 
@@ -84,7 +139,7 @@ impl TensorRng {
         // Inverse-CDF on the normalized weights. n is at most a few
         // thousand per fmap level, so a linear scan is fine.
         let total: f64 = (1..=n).map(|k| (k as f64).powf(-s as f64)).sum();
-        let mut u = self.rng.gen_range(0.0..1.0) * total;
+        let mut u = self.rng.next_f64() * total;
         for k in 0..n {
             let w = ((k + 1) as f64).powf(-s as f64);
             if u < w {
@@ -97,7 +152,7 @@ impl TensorRng {
 
     /// Bernoulli draw with probability `p`.
     pub fn chance(&mut self, p: f32) -> bool {
-        self.rng.gen_range(0.0f32..1.0) < p
+        self.rng.next_f32() < p
     }
 }
 
@@ -162,5 +217,15 @@ mod tests {
         let mut rng = TensorRng::seed_from(17);
         assert!(!rng.chance(0.0));
         assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn index_covers_range() {
+        let mut rng = TensorRng::seed_from(19);
+        let mut seen = [false; 8];
+        for _ in 0..256 {
+            seen[rng.index(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 }

@@ -109,6 +109,18 @@ impl Tensor {
         self.data
     }
 
+    /// Reshapes the tensor to `shape`, reusing the existing allocation
+    /// when it is large enough.
+    ///
+    /// Contents after the call are unspecified (kernels that fully
+    /// overwrite their output use this to recycle buffers); growing the
+    /// buffer zero-fills the new tail.
+    pub fn resize_reuse(&mut self, shape: impl Into<Shape>) {
+        let shape = shape.into();
+        self.data.resize(shape.volume(), 0.0);
+        self.shape = shape;
+    }
+
     /// Element at a multi-index.
     ///
     /// # Errors

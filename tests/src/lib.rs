@@ -1,1 +1,47 @@
 //! Integration test host crate for the DEFA workspace.
+//!
+//! Besides hosting the cross-crate integration tests in `tests/`, the
+//! crate provides a tiny deterministic property-test harness
+//! ([`run_cases`]) used by `tests/properties.rs`. The container this
+//! workspace builds in has no registry access, so `proptest` is replaced
+//! by seeded randomized cases: same spirit (each property is checked over
+//! many generated inputs), fully reproducible, zero dependencies.
+
+use defa_tensor::rng::TensorRng;
+
+/// Runs `body` for `cases` seeded random cases.
+///
+/// Each case receives a [`TensorRng`] derived from `seed` and the case
+/// index, so failures reproduce exactly and cases are independent. A
+/// panic (assertion failure) inside `body` is re-raised with the failing
+/// case index and seed base prepended, so the case reproduces directly.
+pub fn run_cases(cases: usize, seed: u64, mut body: impl FnMut(&mut TensorRng)) {
+    for case in 0..cases {
+        let mut rng = TensorRng::seed_from(seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic payload");
+            panic!("property failed on case {case}/{cases} (seed base {seed:#x}): {msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_reproducible() {
+        let mut first = Vec::new();
+        run_cases(5, 42, |rng| first.push(rng.uniform_value(0.0, 1.0)));
+        let mut second = Vec::new();
+        run_cases(5, 42, |rng| second.push(rng.uniform_value(0.0, 1.0)));
+        assert_eq!(first, second);
+        // Distinct cases draw distinct values.
+        assert!(first.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -1,0 +1,88 @@
+//! Thread-count invariance: the parallel compute core must produce
+//! bit-identical results for any worker count.
+//!
+//! The parallel helpers partition work into contiguous index ranges and
+//! every per-index computation reduces in a fixed order, so 1 thread vs
+//! many must agree exactly — these tests pin that for the tiled GEMM, the
+//! functional encoder pipeline and the full accelerator simulation
+//! ([`RunReport`] compared byte-for-byte via its `Debug` rendering, which
+//! prints every counter and float exactly). Both sides are pinned through
+//! `with_num_threads` (serialized, panic-safe) rather than the
+//! `RAYON_NUM_THREADS` environment variable, because mutating the
+//! environment while other test threads read it is undefined behaviour on
+//! POSIX; the env-var path gets its coverage from CI, which re-runs the
+//! whole (mostly unpinned) workspace test suite under
+//! `RAYON_NUM_THREADS=1` and requires it to stay green.
+
+use defa_parallel::with_num_threads;
+
+use defa_core::runner::DefaAccelerator;
+use defa_model::encoder::run_encoder;
+use defa_model::workload::{Benchmark, SyntheticWorkload};
+use defa_model::MsdaConfig;
+use defa_prune::pipeline::{run_pruned_encoder, PruneSettings};
+use defa_tensor::matmul::{matmul, matmul_row_masked};
+use defa_tensor::rng::TensorRng;
+
+#[test]
+fn gemm_is_thread_count_invariant() {
+    let mut rng = TensorRng::seed_from(71);
+    let a = rng.uniform([193, 77], -1.0, 1.0);
+    let b = rng.uniform([77, 121], -1.0, 1.0);
+    let mask: Vec<bool> = (0..193).map(|i| i % 5 != 2).collect();
+    let (multi, multi_masked) = with_num_threads(4, || {
+        (matmul(&a, &b).unwrap(), matmul_row_masked(&a, &b, &mask).unwrap())
+    });
+    let (single, single_masked) = with_num_threads(1, || {
+        (matmul(&a, &b).unwrap(), matmul_row_masked(&a, &b, &mask).unwrap())
+    });
+    assert_eq!(multi, single);
+    assert_eq!(multi_masked, single_masked);
+}
+
+#[test]
+fn exact_encoder_is_thread_count_invariant() {
+    let cfg = MsdaConfig::small();
+    let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &cfg, 1213).unwrap();
+    let multi = with_num_threads(4, || run_encoder(&wl).unwrap());
+    let single = with_num_threads(1, || run_encoder(&wl).unwrap());
+    assert_eq!(multi.final_features, single.final_features);
+}
+
+#[test]
+fn pruned_pipeline_is_thread_count_invariant() {
+    let cfg = MsdaConfig::small();
+    let wl = SyntheticWorkload::generate(Benchmark::Dino, &cfg, 77).unwrap();
+    let multi = with_num_threads(4, || {
+        run_pruned_encoder(&wl, &PruneSettings::paper_defaults()).unwrap()
+    });
+    let single = with_num_threads(1, || {
+        run_pruned_encoder(&wl, &PruneSettings::paper_defaults()).unwrap()
+    });
+    assert_eq!(multi.final_features, single.final_features);
+    assert_eq!(multi.blocks.len(), single.blocks.len());
+    for (m, s) in multi.blocks.iter().zip(&single.blocks) {
+        assert_eq!(m.point_mask, s.point_mask);
+        assert_eq!(m.fmap_mask, s.fmap_mask);
+        assert_eq!(m.clamped_points, s.clamped_points);
+        assert_eq!(m.retained_mass.to_bits(), s.retained_mass.to_bits());
+    }
+}
+
+/// The full accelerator report — counters, MSGS stats, energy, area,
+/// reduction ratios, fidelity — must be byte-identical between a
+/// single-threaded and a default-threaded simulation.
+#[test]
+fn run_workload_report_is_byte_identical_across_thread_counts() {
+    let cfg = MsdaConfig::small();
+    let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &cfg, 9).unwrap();
+    let accel = DefaAccelerator::paper_default();
+    let multi = with_num_threads(4, || {
+        accel.run_workload(&wl, &PruneSettings::paper_defaults()).unwrap()
+    });
+    let single = with_num_threads(1, || {
+        accel.run_workload(&wl, &PruneSettings::paper_defaults()).unwrap()
+    });
+    assert_eq!(format!("{multi:?}"), format!("{single:?}"));
+    assert_eq!(multi.to_string(), single.to_string());
+}
