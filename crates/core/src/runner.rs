@@ -8,12 +8,25 @@ use crate::CoreError;
 use defa_arch::area::SramInventory;
 use defa_arch::maskgen::FREQ_COUNTER_BITS;
 use defa_arch::{AreaModel, EnergyModel, EventCounters, PeArray, CLOCK_HZ, PRECISION_BITS};
-use defa_model::encoder::run_encoder;
+use defa_model::encoder::run_encoder_from;
 use defa_model::flops::BlockFlops;
 use defa_model::workload::SyntheticWorkload;
 use defa_model::MsdaConfig;
-use defa_prune::pipeline::{run_pruned_encoder_observed, PruneSettings};
+use defa_prune::pipeline::{run_pruned_encoder_observed_from, PruneSettings};
 use defa_prune::RangeConfig;
+
+/// A hardware run plus the functional output it computed.
+///
+/// [`DefaAccelerator::run_workload_from`] returns both so serving callers
+/// can account cycles *and* hand the features back as the response without
+/// re-running the functional pipeline.
+#[derive(Debug, Clone)]
+pub struct WorkloadRun {
+    /// The cycle/energy/area report.
+    pub report: RunReport,
+    /// Final features of the pruned functional run.
+    pub final_features: defa_tensor::Tensor,
+}
 
 /// The simulated DEFA instance: feature switches plus technology models.
 #[derive(Debug, Clone)]
@@ -83,6 +96,26 @@ impl DefaAccelerator {
         wl: &SyntheticWorkload,
         prune: &PruneSettings,
     ) -> Result<RunReport, CoreError> {
+        self.run_workload_from(wl, wl.initial_fmap(), prune).map(|run| run.report)
+    }
+
+    /// [`DefaAccelerator::run_workload`] over a caller-provided initial
+    /// feature pyramid, also returning the functional output.
+    ///
+    /// This is the serving entry point: one workload (weights, warp) is
+    /// shared by a stream of requests, each contributing its own backbone
+    /// features, and the caller gets both the hardware report and the
+    /// final features the accelerator computed for that request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates functional-model and hardware-model failures.
+    pub fn run_workload_from(
+        &self,
+        wl: &SyntheticWorkload,
+        initial: &defa_model::FmapPyramid,
+        prune: &PruneSettings,
+    ) -> Result<WorkloadRun, CoreError> {
         let cfg = wl.config();
         let engine = MsgsEngine::new(cfg, self.msgs)?;
         let pe = self.pe;
@@ -93,7 +126,7 @@ impl DefaAccelerator {
         let mut stages_total = StageCycles::default();
         let mut sim_error: Option<CoreError> = None;
 
-        let run = run_pruned_encoder_observed(wl, prune, |_k, out, info| {
+        let run = run_pruned_encoder_observed_from(wl, prune, initial, |_k, out, info| {
             if sim_error.is_some() {
                 return;
             }
@@ -127,7 +160,7 @@ impl DefaAccelerator {
         }
 
         let fidelity_error = if self.measure_fidelity {
-            let exact = run_encoder(wl)?;
+            let exact = run_encoder_from(wl, initial)?;
             Some(
                 run.final_features
                     .relative_l2_error(&exact.final_features)
@@ -139,7 +172,7 @@ impl DefaAccelerator {
 
         let energy = self.energy.price(&counters);
         let area = self.area.price(&Self::sram_inventory(cfg), &self.pe);
-        Ok(RunReport {
+        let report = RunReport {
             benchmark: wl.benchmark(),
             counters,
             msgs: msgs_total,
@@ -150,7 +183,8 @@ impl DefaAccelerator {
             fidelity_error,
             dense_flops: flops.attention_only() * cfg.n_layers as u64,
             clock_hz: CLOCK_HZ,
-        })
+        };
+        Ok(WorkloadRun { report, final_features: run.final_features })
     }
 
     /// Runs a decoder workload (cross-attention over a fixed encoder
@@ -326,6 +360,29 @@ mod tests {
         // Paper-scale inventory should be in the hundreds-of-KiB range.
         let kib = full.total_kib();
         assert!(kib > 100.0 && kib < 2048.0, "inventory {kib} KiB");
+    }
+
+    #[test]
+    fn run_workload_from_returns_matching_features() {
+        let cfg = MsdaConfig::tiny();
+        let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &cfg, 5).unwrap();
+        let accel = DefaAccelerator::paper_default();
+        let run = accel
+            .run_workload_from(&wl, wl.initial_fmap(), &PruneSettings::paper_defaults())
+            .unwrap();
+        let plain = accel.run_workload(&wl, &PruneSettings::paper_defaults()).unwrap();
+        assert_eq!(format!("{:?}", run.report), format!("{plain:?}"));
+        assert_eq!(run.final_features.shape().dims(), &[cfg.n_in(), cfg.d_model]);
+        // A different initial pyramid changes the simulated activity.
+        let gen = defa_model::RequestGenerator::new(
+            vec![defa_model::RequestScenario::from_workload(wl.clone())],
+            2,
+        )
+        .unwrap();
+        let other = accel
+            .run_workload_from(&wl, &gen.request(1).fmap, &PruneSettings::paper_defaults())
+            .unwrap();
+        assert_ne!(other.final_features, run.final_features);
     }
 
     #[test]

@@ -20,8 +20,19 @@ const MEASURE: Duration = Duration::from_millis(1500);
 const BATCH_TARGET: Duration = Duration::from_millis(20);
 
 /// Top-level benchmark driver.
-#[derive(Debug, Default)]
-pub struct Criterion {}
+#[derive(Debug)]
+pub struct Criterion {
+    /// Smoke mode (the real criterion's `cargo bench -- --test`): run
+    /// every benchmark body exactly once, skipping calibration, warm-up
+    /// and measurement, so CI can verify benches still *run* in seconds.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { test_mode: std::env::args().any(|a| a == "--test") }
+    }
+}
 
 impl Criterion {
     /// Runs a single named benchmark.
@@ -29,20 +40,20 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(name, f);
+        run_one(name, f, self.test_mode);
         self
     }
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("group {name}");
-        BenchmarkGroup { _criterion: self, group: name.to_string() }
+        BenchmarkGroup { criterion: self, group: name.to_string() }
     }
 }
 
 /// A group of related benchmarks sharing a name prefix.
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
     group: String,
 }
 
@@ -52,7 +63,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&format!("{}/{name}", self.group), f);
+        run_one(&format!("{}/{name}", self.group), f, self.criterion.test_mode);
         self
     }
 
@@ -63,12 +74,12 @@ impl BenchmarkGroup<'_> {
 /// Passed to each benchmark closure; call [`Bencher::iter`] with the body.
 #[derive(Debug)]
 pub struct Bencher {
-    iters_per_batch: u64,
     /// Mean nanoseconds per iteration over all measured batches.
     mean_ns: f64,
     min_ns: f64,
     max_ns: f64,
     total_iters: u64,
+    test_mode: bool,
 }
 
 impl Bencher {
@@ -81,12 +92,23 @@ impl Bencher {
         self.min_ns = f64::INFINITY;
         self.max_ns = 0.0;
         self.total_iters = 0;
+        if self.test_mode {
+            // Smoke mode: one untimed-quality run proves the bench body
+            // still executes; no warm-up, no measurement loop.
+            let t0 = Instant::now();
+            black_box(body());
+            let ns = t0.elapsed().as_nanos() as f64;
+            self.mean_ns = ns;
+            self.min_ns = ns;
+            self.max_ns = ns;
+            self.total_iters = 1;
+            return;
+        }
         // Calibrate batch size so one batch lasts ~BATCH_TARGET.
         let t0 = Instant::now();
         black_box(body());
         let once = t0.elapsed().max(Duration::from_nanos(20));
         let batch = (BATCH_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
-        self.iters_per_batch = batch;
 
         let warm_until = Instant::now() + WARMUP;
         while Instant::now() < warm_until {
@@ -113,22 +135,26 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F, test_mode: bool) {
     let mut b = Bencher {
-        iters_per_batch: 1,
         mean_ns: 0.0,
         min_ns: f64::INFINITY,
         max_ns: 0.0,
         total_iters: 0,
+        test_mode,
     };
     f(&mut b);
-    println!(
-        "{name:<40} time: [{} {} {}]  ({} iters)",
-        fmt_ns(b.min_ns),
-        fmt_ns(b.mean_ns),
-        fmt_ns(b.max_ns),
-        b.total_iters
-    );
+    if test_mode {
+        println!("{name:<40} ok (test mode, 1 iter, {})", fmt_ns(b.mean_ns));
+    } else {
+        println!(
+            "{name:<40} time: [{} {} {}]  ({} iters)",
+            fmt_ns(b.min_ns),
+            fmt_ns(b.mean_ns),
+            fmt_ns(b.max_ns),
+            b.total_iters
+        );
+    }
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -172,11 +198,21 @@ mod tests {
 
     #[test]
     fn bencher_measures_something() {
-        let mut c = Criterion::default();
+        // Smoke mode: the full warm-up + measurement windows would add
+        // seconds of busy-spin to every workspace test run.
+        let mut c = Criterion { test_mode: true };
         c.bench_function("noop", |b| b.iter(|| 1 + 1));
         let mut g = c.benchmark_group("g");
         g.bench_function("noop2", |b| b.iter(|| 2 + 2));
         g.finish();
+    }
+
+    #[test]
+    fn test_mode_runs_the_body_exactly_once() {
+        let mut c = Criterion { test_mode: true };
+        let calls = std::cell::Cell::new(0u32);
+        c.bench_function("smoke", |b| b.iter(|| calls.set(calls.get() + 1)));
+        assert_eq!(calls.get(), 1);
     }
 
     #[test]

@@ -65,6 +65,24 @@ pub fn run_encoder(wl: &SyntheticWorkload) -> Result<EncoderTrace, ModelError> {
     run_encoder_masked(wl, |_, _| LayerMasks::default())
 }
 
+/// [`run_encoder`] over a caller-provided initial feature pyramid.
+///
+/// The workload contributes weights, reference points and the saliency
+/// warp; `initial` replaces the workload's own backbone features. This is
+/// the serving entry point: one workload (scenario) handles many requests,
+/// each with its own input pyramid.
+///
+/// # Errors
+///
+/// Propagates shape errors from the layer evaluations (including a
+/// pyramid/configuration mismatch).
+pub fn run_encoder_from(
+    wl: &SyntheticWorkload,
+    initial: &FmapPyramid,
+) -> Result<EncoderTrace, ModelError> {
+    run_encoder_masked_from(wl, initial, |_, _| LayerMasks::default())
+}
+
 /// Runs the encoder, asking `mask_for` for the masks of each block.
 ///
 /// `mask_for(block_index, previous_output)` is called before each block;
@@ -77,13 +95,29 @@ pub fn run_encoder(wl: &SyntheticWorkload) -> Result<EncoderTrace, ModelError> {
 /// Propagates shape errors from the layer evaluations.
 pub fn run_encoder_masked<'a, F>(
     wl: &SyntheticWorkload,
+    mask_for: F,
+) -> Result<EncoderTrace, ModelError>
+where
+    F: FnMut(usize, Option<&LayerOutput>) -> LayerMasks<'a>,
+{
+    run_encoder_masked_from(wl, wl.initial_fmap(), mask_for)
+}
+
+/// [`run_encoder_masked`] over a caller-provided initial feature pyramid.
+///
+/// # Errors
+///
+/// Propagates shape errors from the layer evaluations.
+pub fn run_encoder_masked_from<'a, F>(
+    wl: &SyntheticWorkload,
+    initial: &FmapPyramid,
     mut mask_for: F,
 ) -> Result<EncoderTrace, ModelError>
 where
     F: FnMut(usize, Option<&LayerOutput>) -> LayerMasks<'a>,
 {
     let cfg = wl.config();
-    let mut x = wl.initial_fmap().clone();
+    let mut x = initial.clone();
     let mut blocks: Vec<LayerOutput> = Vec::with_capacity(cfg.n_layers);
     for k in 0..cfg.n_layers {
         let masks = mask_for(k, blocks.last());
@@ -143,6 +177,25 @@ mod tests {
             .relative_l2_error(&exact.final_features)
             .unwrap();
         assert!(err < 1e-6);
+    }
+
+    #[test]
+    fn explicit_initial_fmap_matches_and_diverges() {
+        let cfg = MsdaConfig::tiny();
+        let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &cfg, 8).unwrap();
+        // The workload's own pyramid reproduces run_encoder exactly.
+        let own = run_encoder_from(&wl, wl.initial_fmap()).unwrap();
+        let plain = run_encoder(&wl).unwrap();
+        assert_eq!(own.final_features, plain.final_features);
+        // A different request pyramid produces different features.
+        let gen = crate::workload::RequestGenerator::new(
+            vec![crate::workload::RequestScenario::from_workload(wl.clone())],
+            3,
+        )
+        .unwrap();
+        let req = gen.request(0);
+        let other = run_encoder_from(&wl, &req.fmap).unwrap();
+        assert!(other.final_features.relative_l2_error(&plain.final_features).unwrap() > 1e-3);
     }
 
     #[test]

@@ -54,4 +54,6 @@ pub use error::ModelError;
 pub use fmap::FmapPyramid;
 pub use reference::{LayerOutput, MsdaLayer, MsdaWeights};
 pub use sampling::SamplePoint;
-pub use workload::{Benchmark, SyntheticWorkload};
+pub use workload::{
+    Benchmark, InferenceRequest, RequestGenerator, RequestScenario, SyntheticWorkload,
+};

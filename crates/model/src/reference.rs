@@ -364,14 +364,14 @@ impl MsdaLayer {
         // query count for decoder cross-attention. The column count must
         // be exactly points_per_query — the parallel loop below indexes
         // rows by that stride.
-        let n = probs.shape().dims()[0];
         if probs.shape().rank() != 2 || probs.shape().dims()[1] != cfg.points_per_query() {
             return Err(ModelError::ShapeMismatch(format!(
-                "probs {} expected [{n}, {}]",
+                "probs {} expected [n, {}]",
                 probs.shape(),
                 cfg.points_per_query()
             )));
         }
+        let n = probs.shape().dims()[0];
         if locations.len() != n * cfg.points_per_query() {
             return Err(ModelError::ShapeMismatch(format!(
                 "{} locations for {} queries x {} points",

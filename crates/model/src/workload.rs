@@ -19,7 +19,7 @@
 use crate::reference::{MsdaLayer, MsdaWeights};
 use crate::sampling::SamplePoint;
 use crate::{FmapPyramid, ModelError, MsdaConfig};
-use defa_tensor::rng::TensorRng;
+use defa_tensor::rng::{splitmix64 as mix64, TensorRng};
 
 /// The three DAC-24 evaluation networks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -161,16 +161,8 @@ impl SaliencyWarp {
         &self.hotspots
     }
 
-    /// SplitMix64 — a tiny, high-quality mixing function.
-    fn mix(mut z: u64) -> u64 {
-        z = z.wrapping_add(0x9E3779B97F4A7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
-    }
-
     fn unit(&self, query: usize, slot: usize, stream: u64) -> f32 {
-        let h = Self::mix(
+        let h = mix64(
             self.seed ^ (query as u64).wrapping_mul(0xA24BAED4963EE407)
                 ^ (slot as u64).wrapping_mul(0x9FB21C651E98DF25)
                 ^ stream.wrapping_mul(0xD6E8FEB86659FD93),
@@ -305,6 +297,158 @@ impl SyntheticWorkload {
     }
 }
 
+/// One serving scenario: a named benchmark workload at one shape point.
+///
+/// Scenarios own the expensive, request-independent state (layer weights,
+/// saliency warp); individual requests only carry a fresh feature pyramid.
+#[derive(Debug, Clone)]
+pub struct RequestScenario {
+    /// Display name, e.g. `"De DETR 24x32"`.
+    pub name: String,
+    /// The benchmark workload evaluated for requests of this scenario.
+    pub workload: SyntheticWorkload,
+}
+
+impl RequestScenario {
+    /// Wraps a workload, deriving the display name from its benchmark and
+    /// finest-level shape.
+    pub fn from_workload(workload: SyntheticWorkload) -> Self {
+        let l0 = workload.config().levels[0];
+        let name = format!("{} {}x{}", workload.benchmark().name(), l0.h, l0.w);
+        RequestScenario { name, workload }
+    }
+}
+
+/// One inference request drawn from a [`RequestGenerator`].
+///
+/// The payload is a backbone feature pyramid shaped by the request's
+/// scenario; the id doubles as the derivation key, so the same `(generator
+/// seed, id)` pair always reproduces the same request.
+#[derive(Debug, Clone)]
+pub struct InferenceRequest {
+    /// Stream position (and derivation key) of this request.
+    pub id: u64,
+    /// Index into the generator's scenario list.
+    pub scenario: usize,
+    /// The request's input feature pyramid.
+    pub fmap: FmapPyramid,
+}
+
+/// Seeded multi-scenario request generator for serving and benchmarks.
+///
+/// A production detector serves a *stream* of heterogeneous queries —
+/// different networks, different input resolutions — not one hand-built
+/// workload per binary. The generator models that stream: it owns a set of
+/// [`RequestScenario`]s (each a full [`SyntheticWorkload`] with its own
+/// feature-map shapes and query count) and derives request `i` purely from
+/// `(seed, i)`: a hash picks the scenario, a per-request RNG fills a fresh
+/// input pyramid. Requests are therefore independent of generation order —
+/// any shard can materialize any request without coordination, which is
+/// what keeps batched serving bit-deterministic.
+///
+/// # Example
+///
+/// ```
+/// use defa_model::workload::RequestGenerator;
+/// use defa_model::MsdaConfig;
+///
+/// # fn main() -> Result<(), defa_model::ModelError> {
+/// let gen = RequestGenerator::standard(&MsdaConfig::tiny(), 42)?;
+/// let a = gen.request(3);
+/// let b = gen.request(3);
+/// assert_eq!(a.scenario, b.scenario);
+/// assert_eq!(a.fmap.tensor(), b.fmap.tensor());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RequestGenerator {
+    scenarios: Vec<RequestScenario>,
+    seed: u64,
+}
+
+impl RequestGenerator {
+    /// Creates a generator over explicit scenarios.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] if `scenarios` is empty.
+    pub fn new(scenarios: Vec<RequestScenario>, seed: u64) -> Result<Self, ModelError> {
+        if scenarios.is_empty() {
+            return Err(ModelError::InvalidConfig(
+                "request generator needs at least one scenario".into(),
+            ));
+        }
+        Ok(RequestGenerator { scenarios, seed })
+    }
+
+    /// The standard three-scenario mix derived from a base configuration:
+    /// each DAC-24 benchmark at a different input scale (1, 3/4 and 1/2 of
+    /// the base pyramid), so the stream varies both weights and shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] if `base` fails validation.
+    pub fn standard(base: &MsdaConfig, seed: u64) -> Result<Self, ModelError> {
+        let mix =
+            [(Benchmark::DeformableDetr, 1.0f64), (Benchmark::DnDetr, 0.75), (Benchmark::Dino, 0.5)];
+        let mut scenarios = Vec::with_capacity(mix.len());
+        for (benchmark, scale) in mix {
+            let mut cfg = base.clone();
+            for level in &mut cfg.levels {
+                level.h = ((level.h as f64 * scale).round() as usize).max(1);
+                level.w = ((level.w as f64 * scale).round() as usize).max(1);
+            }
+            let wl = SyntheticWorkload::generate(benchmark, &cfg, seed)?;
+            scenarios.push(RequestScenario::from_workload(wl));
+        }
+        Self::new(scenarios, seed)
+    }
+
+    /// The scenario list.
+    pub fn scenarios(&self) -> &[RequestScenario] {
+        &self.scenarios
+    }
+
+    /// The workload behind scenario `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::IndexOutOfRange`] for an invalid index.
+    pub fn scenario(&self, i: usize) -> Result<&SyntheticWorkload, ModelError> {
+        self.scenarios.get(i).map(|s| &s.workload).ok_or(ModelError::IndexOutOfRange {
+            what: "scenario",
+            index: i,
+            len: self.scenarios.len(),
+        })
+    }
+
+    /// The generator's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Scenario request `id` will draw — the cheap half of [`Self::request`],
+    /// for callers that need routing/accounting without the payload.
+    pub fn request_scenario(&self, id: u64) -> usize {
+        (mix64(self.seed ^ id.wrapping_mul(0xA24BAED4963EE407)) % self.scenarios.len() as u64)
+            as usize
+    }
+
+    /// Materializes request `id` — a pure function of `(seed, id)`.
+    pub fn request(&self, id: u64) -> InferenceRequest {
+        let scenario = self.request_scenario(id);
+        let cfg = self.scenarios[scenario].workload.config();
+        let mut rng = TensorRng::seed_from(mix64(self.seed.rotate_left(17) ^ id));
+        let fmap = FmapPyramid::from_tensor(
+            cfg,
+            rng.uniform([cfg.n_in(), cfg.d_model], -1.0, 1.0),
+        )
+        .expect("scenario config validated at construction");
+        InferenceRequest { id, scenario, fmap }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,5 +533,60 @@ mod tests {
         let cfg = MsdaConfig::tiny();
         let wl = SyntheticWorkload::generate(Benchmark::Dino, &cfg, 1).unwrap();
         assert!(wl.layer(cfg.n_layers).is_err());
+    }
+
+    #[test]
+    fn request_generator_is_pure_in_seed_and_id() {
+        let gen = RequestGenerator::standard(&MsdaConfig::tiny(), 9).unwrap();
+        let other = RequestGenerator::standard(&MsdaConfig::tiny(), 9).unwrap();
+        for id in [0u64, 1, 17, 1000] {
+            let a = gen.request(id);
+            let b = other.request(id);
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.fmap.tensor(), b.fmap.tensor());
+        }
+        // A different seed moves both the scenario mix and the payloads.
+        let reseeded = RequestGenerator::standard(&MsdaConfig::tiny(), 10).unwrap();
+        assert!((0..32).any(|id| {
+            let a = gen.request(id);
+            let b = reseeded.request(id);
+            a.scenario != b.scenario || a.fmap.tensor() != b.fmap.tensor()
+        }));
+    }
+
+    #[test]
+    fn standard_scenarios_vary_shapes_and_benchmarks() {
+        let base = MsdaConfig::tiny();
+        let gen = RequestGenerator::standard(&base, 5).unwrap();
+        assert_eq!(gen.scenarios().len(), 3);
+        let n_ins: Vec<usize> =
+            gen.scenarios().iter().map(|s| s.workload.config().n_in()).collect();
+        assert_eq!(n_ins[0], base.n_in());
+        assert!(n_ins[1] < n_ins[0] && n_ins[2] < n_ins[1], "shapes must shrink: {n_ins:?}");
+        let names: Vec<_> = gen.scenarios().iter().map(|s| s.name.as_str()).collect();
+        assert!(names[0].starts_with("De DETR"));
+        assert!(names[2].starts_with("DINO"));
+    }
+
+    #[test]
+    fn request_stream_mixes_scenarios() {
+        let gen = RequestGenerator::standard(&MsdaConfig::tiny(), 7).unwrap();
+        let mut seen = [0usize; 3];
+        for id in 0..60 {
+            seen[gen.request(id).scenario] += 1;
+        }
+        assert!(seen.iter().all(|&c| c > 5), "scenario mix too skewed: {seen:?}");
+    }
+
+    #[test]
+    fn request_fmap_matches_its_scenario_shape() {
+        let gen = RequestGenerator::standard(&MsdaConfig::tiny(), 3).unwrap();
+        for id in 0..12 {
+            let req = gen.request(id);
+            let cfg = gen.scenario(req.scenario).unwrap().config();
+            assert_eq!(req.fmap.tensor().shape().dims(), &[cfg.n_in(), cfg.d_model]);
+        }
+        assert!(gen.scenario(3).is_err());
+        assert!(RequestGenerator::new(Vec::new(), 1).is_err());
     }
 }

@@ -19,8 +19,9 @@
 //! loops (`par_chunks_mut(..)` ↔ `slice.par_chunks_mut(..).for_each(..)`).
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 
 thread_local! {
@@ -250,8 +251,162 @@ where
     thread::scope(|s| {
         let hb = s.spawn(|| as_worker(b));
         let ra = a();
-        (ra, hb.join().expect("joined closure panicked"))
+        // Re-raise the original payload so assertion messages from `b`
+        // survive the thread boundary, as they do on the sequential path.
+        let rb = hb.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        (ra, rb)
     })
+}
+
+/// A job submitted to a [`WorkerPool`].
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Completion bookkeeping shared between a pool and its workers.
+#[derive(Debug)]
+struct PoolShared {
+    /// Jobs submitted but not yet finished.
+    pending: Mutex<usize>,
+    /// Signalled whenever `pending` drops to zero.
+    idle: Condvar,
+    /// Set when any job panicked; surfaced by [`WorkerPool::wait_idle`].
+    panicked: AtomicBool,
+}
+
+/// A small pool of long-lived worker threads with per-worker FIFO queues.
+///
+/// The scoped helpers above spawn fresh threads on every call, which is
+/// fine for one large kernel but wasteful for a serving loop that
+/// dispatches many small batches: each dispatch would pay a thread
+/// spawn/join. A `WorkerPool` pays the spawn cost once; jobs submitted to
+/// the same worker index run in submission order on the same OS thread,
+/// so per-thread state (thread-local scratch arenas, allocator caches)
+/// stays warm across batches and the steady state spawns nothing.
+///
+/// Determinism: the pool imposes no cross-worker ordering — callers must
+/// key results by an index they control (as [`par_map_collect`] does), not
+/// by completion order. Jobs run with the nested-parallelism guard set, so
+/// parallel helpers called from inside a job degrade to sequential loops
+/// exactly like nested scoped calls do — results are unaffected.
+///
+/// # Example
+///
+/// ```
+/// use defa_parallel::WorkerPool;
+/// use std::sync::mpsc;
+///
+/// let pool = WorkerPool::new(2);
+/// let (tx, rx) = mpsc::channel();
+/// for i in 0..4u64 {
+///     let tx = tx.clone();
+///     pool.submit(i as usize, move || tx.send((i, i * i)).unwrap());
+/// }
+/// pool.wait_idle();
+/// let mut out: Vec<_> = rx.try_iter().collect();
+/// out.sort_unstable();
+/// assert_eq!(out, vec![(0, 0), (1, 1), (2, 4), (3, 9)]);
+/// ```
+#[derive(Debug)]
+pub struct WorkerPool {
+    senders: Vec<mpsc::Sender<Job>>,
+    handles: Vec<thread::JoinHandle<()>>,
+    shared: Arc<PoolShared>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads.max(1)` workers.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            pending: Mutex::new(0),
+            idle: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let shared = Arc::clone(&shared);
+            handles.push(thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        as_worker(job)
+                    }));
+                    if outcome.is_err() {
+                        shared.panicked.store(true, Ordering::SeqCst);
+                    }
+                    let mut pending =
+                        shared.pending.lock().unwrap_or_else(|p| p.into_inner());
+                    *pending -= 1;
+                    if *pending == 0 {
+                        shared.idle.notify_all();
+                    }
+                }
+            }));
+            senders.push(tx);
+        }
+        WorkerPool { senders, handles, shared }
+    }
+
+    /// A pool sized like the scoped helpers ([`current_num_threads`]).
+    pub fn with_default_threads() -> Self {
+        Self::new(current_num_threads())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Enqueues `job` on worker `worker % threads()`.
+    ///
+    /// Jobs on one worker run FIFO; jobs on different workers run
+    /// concurrently. The job must own its data (`'static`) — move results
+    /// out through a channel or shared slot keyed by caller-chosen index.
+    pub fn submit(&self, worker: usize, job: impl FnOnce() + Send + 'static) {
+        {
+            let mut pending =
+                self.shared.pending.lock().unwrap_or_else(|p| p.into_inner());
+            *pending += 1;
+        }
+        let slot = worker % self.senders.len();
+        // Workers only exit when the senders drop (in Drop), so the
+        // receiver is alive for the whole pool lifetime.
+        self.senders[slot].send(Box::new(job)).expect("pool worker alive");
+    }
+
+    /// Blocks until every submitted job has finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job panicked since the pool was created, so failures
+    /// in detached jobs cannot be silently swallowed.
+    pub fn wait_idle(&self) {
+        let mut pending = self.shared.pending.lock().unwrap_or_else(|p| p.into_inner());
+        while *pending > 0 {
+            pending = self
+                .shared
+                .idle
+                .wait(pending)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+        drop(pending);
+        assert!(
+            !self.shared.panicked.load(Ordering::SeqCst),
+            "a WorkerPool job panicked"
+        );
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channels lets each worker drain its queue and exit.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            // Worker threads catch job panics, so join only fails if the
+            // runtime tore the thread down; nothing to clean up then.
+            let _ = handle.join();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -355,6 +510,67 @@ mod tests {
         let (a, b) = join(|| 2 + 2, || "ok");
         assert_eq!(a, 4);
         assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn pool_runs_jobs_and_goes_idle() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let results = Arc::new(Mutex::new(vec![0usize; 100]));
+        for i in 0..100 {
+            let results = Arc::clone(&results);
+            pool.submit(i, move || {
+                results.lock().unwrap()[i] = i + 1;
+            });
+        }
+        pool.wait_idle();
+        let r = results.lock().unwrap();
+        for (i, &v) in r.iter().enumerate() {
+            assert_eq!(v, i + 1);
+        }
+    }
+
+    #[test]
+    fn pool_jobs_on_one_worker_run_fifo() {
+        let pool = WorkerPool::new(2);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..50 {
+            let order = Arc::clone(&order);
+            // All on worker 0: must observe submission order.
+            pool.submit(0, move || order.lock().unwrap().push(i));
+        }
+        pool.wait_idle();
+        assert_eq!(*order.lock().unwrap(), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_jobs_see_the_worker_guard() {
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(0, move || {
+            // Nested helpers inside a pool job degrade to sequential.
+            tx.send(current_num_threads()).unwrap();
+        });
+        pool.wait_idle();
+        assert_eq!(rx.recv().unwrap(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "a WorkerPool job panicked")]
+    fn pool_surfaces_job_panics() {
+        let pool = WorkerPool::new(1);
+        pool.submit(0, || panic!("boom"));
+        pool.wait_idle();
+    }
+
+    #[test]
+    fn zero_thread_request_still_gets_one_worker() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(7, move || tx.send(1).unwrap());
+        pool.wait_idle();
+        assert_eq!(rx.recv().unwrap(), 1);
     }
 
     #[test]

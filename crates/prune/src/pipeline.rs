@@ -130,6 +130,21 @@ pub fn run_pruned_encoder(
     run_pruned_encoder_observed(wl, settings, |_, _, _| {})
 }
 
+/// [`run_pruned_encoder`] over a caller-provided initial feature pyramid —
+/// the serving entry point: one workload (weights, warp, ranges) handles a
+/// stream of requests, each with its own backbone features.
+///
+/// # Errors
+///
+/// Propagates model and mask errors.
+pub fn run_pruned_encoder_from(
+    wl: &SyntheticWorkload,
+    settings: &PruneSettings,
+    initial: &FmapPyramid,
+) -> Result<PrunedRun, PruneError> {
+    run_pruned_encoder_observed_from(wl, settings, initial, |_, _, _| {})
+}
+
 /// Runs the pruned encoder, invoking `observe(block_index, layer_output,
 /// prune_info)` after each block — the hook the accelerator model uses to
 /// replay every block on hardware without keeping all outputs in memory.
@@ -140,6 +155,23 @@ pub fn run_pruned_encoder(
 pub fn run_pruned_encoder_observed<F>(
     wl: &SyntheticWorkload,
     settings: &PruneSettings,
+    observe: F,
+) -> Result<PrunedRun, PruneError>
+where
+    F: FnMut(usize, &LayerOutput, &BlockPruneInfo),
+{
+    run_pruned_encoder_observed_from(wl, settings, wl.initial_fmap(), observe)
+}
+
+/// [`run_pruned_encoder_observed`] over a caller-provided initial pyramid.
+///
+/// # Errors
+///
+/// Propagates model and mask errors.
+pub fn run_pruned_encoder_observed_from<F>(
+    wl: &SyntheticWorkload,
+    settings: &PruneSettings,
+    initial: &FmapPyramid,
     mut observe: F,
 ) -> Result<PrunedRun, PruneError>
 where
@@ -156,7 +188,7 @@ where
         None => None,
     };
 
-    let mut x = wl.initial_fmap().clone();
+    let mut x = initial.clone();
     if let Some(bits) = settings.quant_bits {
         x = FmapPyramid::from_tensor(cfg, fake_quantize_features(x.tensor(), bits)?)?;
     }
@@ -313,6 +345,24 @@ mod tests {
         })
         .unwrap();
         assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn explicit_initial_fmap_matches_and_diverges() {
+        let wl = workload();
+        let own = run_pruned_encoder_from(&wl, &PruneSettings::paper_defaults(), wl.initial_fmap())
+            .unwrap();
+        let plain = run_pruned_encoder(&wl, &PruneSettings::paper_defaults()).unwrap();
+        assert_eq!(own.final_features, plain.final_features);
+        let gen = defa_model::RequestGenerator::new(
+            vec![defa_model::RequestScenario::from_workload(wl.clone())],
+            11,
+        )
+        .unwrap();
+        let req = gen.request(4);
+        let other =
+            run_pruned_encoder_from(&wl, &PruneSettings::paper_defaults(), &req.fmap).unwrap();
+        assert!(other.final_features.relative_l2_error(&plain.final_features).unwrap() > 1e-3);
     }
 
     #[test]

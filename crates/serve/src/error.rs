@@ -1,0 +1,61 @@
+//! Error type for the serving runtime.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or running the serving runtime.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The functional model failed.
+    Model(defa_model::ModelError),
+    /// The pruning pipeline failed.
+    Prune(defa_prune::PruneError),
+    /// The accelerator simulation failed.
+    Core(defa_core::CoreError),
+    /// A serving configuration failed validation.
+    InvalidConfig(String),
+    /// A worker shard died before delivering its batch.
+    WorkerLost(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Model(e) => write!(f, "model error: {e}"),
+            ServeError::Prune(e) => write!(f, "pruning error: {e}"),
+            ServeError::Core(e) => write!(f, "accelerator error: {e}"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serving configuration: {msg}"),
+            ServeError::WorkerLost(msg) => write!(f, "worker shard lost: {msg}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Model(e) => Some(e),
+            ServeError::Prune(e) => Some(e),
+            ServeError::Core(e) => Some(e),
+            ServeError::InvalidConfig(_) | ServeError::WorkerLost(_) => None,
+        }
+    }
+}
+
+impl From<defa_model::ModelError> for ServeError {
+    fn from(e: defa_model::ModelError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+impl From<defa_prune::PruneError> for ServeError {
+    fn from(e: defa_prune::PruneError) -> Self {
+        ServeError::Prune(e)
+    }
+}
+
+impl From<defa_core::CoreError> for ServeError {
+    fn from(e: defa_core::CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}

@@ -1,0 +1,61 @@
+//! `defa-serve`: a batched multi-backend inference runtime for the DEFA
+//! reproduction.
+//!
+//! The paper's accelerator argument is about *throughput under a stream of
+//! detection queries*; this crate supplies the serving layer that turns
+//! the workspace's single-run pipelines into a service:
+//!
+//! ```text
+//!  load generator ──> bounded queue ──> dynamic batcher ──> shard 0 ──┐
+//!  (seeded, open       (backpressure:    (size- or deadline- shard 1 ──┤──> latency
+//!   loop, multi-        overflow drops)   triggered)          ...      │    histograms,
+//!   scenario)                                                shard S ──┘    ServeReport
+//! ```
+//!
+//! * [`loadgen`] derives a Poisson arrival trace from a seed;
+//!   [`defa_model::workload::RequestGenerator`] materializes each request
+//!   (scenario pick + fresh feature pyramid) purely from `(seed, id)`.
+//! * [`runtime`] admits arrivals into a bounded FIFO, coalesces them into
+//!   dynamic batches and round-robins the batches over worker shards on a
+//!   persistent [`defa_parallel::WorkerPool`].
+//! * [`backend`] hides the three execution engines behind one trait:
+//!   the dense reference encoder, the DEFA pruned pipeline, and the
+//!   cycle-simulated accelerator.
+//! * [`histogram`] accounts queue/compute/total latency per request in
+//!   fixed log2 buckets with deterministic p50/p95/p99.
+//!
+//! **Determinism contract.** With a fixed generator seed and
+//! [`ServeConfig`], per-request responses are bit-identical regardless of
+//! batch size, shard count or `RAYON_NUM_THREADS`, and the full
+//! [`ServeReport`] (outcomes, bucket counts, quantiles) is byte-identical
+//! across thread counts — time is virtual, driven by the load trace and
+//! the backends' deterministic cost models, never by the wall clock.
+//! `tests/tests/serving.rs` pins all of this.
+//!
+//! # Example
+//!
+//! ```
+//! use defa_model::workload::RequestGenerator;
+//! use defa_model::MsdaConfig;
+//! use defa_serve::{BackendKind, ServeConfig, ServeRuntime};
+//!
+//! # fn main() -> Result<(), defa_serve::ServeError> {
+//! let gen = RequestGenerator::standard(&MsdaConfig::tiny(), 42)?;
+//! let runtime = ServeRuntime::new(gen);
+//! let report = runtime.run(&BackendKind::Pruned.build(), &ServeConfig::at_load(800.0, 12))?;
+//! println!("{report}");
+//! assert_eq!(report.completed + report.dropped, 12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod backend;
+pub mod error;
+pub mod histogram;
+pub mod loadgen;
+pub mod runtime;
+
+pub use backend::{Backend, BackendKind, BackendOutput};
+pub use error::ServeError;
+pub use histogram::LatencyHistogram;
+pub use runtime::{RequestOutcome, ServeConfig, ServeReport, ServeRuntime};

@@ -1,0 +1,635 @@
+//! The serving runtime: admission queue → dynamic batcher → worker shards.
+//!
+//! # Execution model
+//!
+//! The runtime separates *what* is computed from *when* it is deemed to
+//! happen:
+//!
+//! * **Real execution** — every admitted request is materialized from the
+//!   seeded [`RequestGenerator`] and evaluated by the backend on a
+//!   long-lived [`WorkerPool`] worker (one per shard, round-robin batch
+//!   assignment, FIFO per shard). Requests are independent, so per-request
+//!   results are bit-identical regardless of batch composition, shard
+//!   count or thread count. Pool workers are persistent threads, so the
+//!   thread-local [`defa_tensor::Scratch`] arenas inside the GEMM kernels
+//!   act as per-shard arenas: after the first batch warms the high-water
+//!   mark, steady-state serving performs no packing allocations.
+//!
+//! * **Virtual-time accounting** — arrivals, queueing, batching triggers
+//!   and service times are tracked on an integer virtual clock driven by
+//!   the seeded load generator and the backends' deterministic cost
+//!   models. Latency numbers therefore never observe wall-clock jitter:
+//!   the full [`ServeReport`] — per-request outcomes, histogram buckets,
+//!   quantiles — is byte-identical for any `RAYON_NUM_THREADS`, pinned by
+//!   `tests/tests/serving.rs`.
+//!
+//! # Queue → batcher → backend
+//!
+//! Requests are admitted, in arrival order, to a bounded FIFO; when the
+//! queue is full the request is **dropped** (open-loop backpressure — the
+//! report counts it). A batch launches on the next round-robin shard when
+//! either [`ServeConfig::max_batch`] requests are waiting or the oldest
+//! waiting request has aged past [`ServeConfig::batch_deadline_us`]
+//! (size/deadline-triggered dynamic batching); the shard then serves the
+//! batch sequentially after a fixed dispatch overhead, and per-request
+//! queue/compute/total latencies land in fixed-bucket histograms.
+
+use crate::backend::{Backend, BackendOutput};
+use crate::histogram::{fmt_ns, LatencyHistogram};
+use crate::loadgen::arrival_times;
+use crate::ServeError;
+use defa_model::workload::RequestGenerator;
+use defa_parallel::WorkerPool;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{mpsc, Arc};
+
+/// Salt applied to the generator seed for the arrival-time stream, so load
+/// timing and request payloads draw from independent streams.
+const ARRIVAL_SALT: u64 = 0x5E54_1A7E_57A6_0001;
+
+/// Digest marker mixed in for dropped requests.
+const DROP_MARK: u64 = 0xD20D_D20D_D20D_D20D;
+
+/// One serving operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Offered load of the open-loop generator, requests per virtual
+    /// second.
+    pub offered_load: f64,
+    /// Number of requests in the trace.
+    pub n_requests: usize,
+    /// Admission-queue capacity; arrivals beyond it are dropped.
+    pub queue_capacity: usize,
+    /// Maximum requests coalesced into one batch.
+    pub max_batch: usize,
+    /// Oldest-request age (virtual µs) that forces a partial batch out.
+    pub batch_deadline_us: u64,
+    /// Fixed per-batch dispatch overhead (virtual µs) — the cost batching
+    /// amortizes.
+    pub batch_overhead_us: u64,
+    /// Number of worker shards serving batches round-robin.
+    pub shards: usize,
+}
+
+impl ServeConfig {
+    /// A reasonable operating point at a given offered load: queue of 64,
+    /// batches of up to 8 with a 2 ms deadline, 50 µs dispatch overhead,
+    /// two shards.
+    pub fn at_load(offered_load: f64, n_requests: usize) -> Self {
+        ServeConfig {
+            offered_load,
+            n_requests,
+            queue_capacity: 64,
+            max_batch: 8,
+            batch_deadline_us: 2_000,
+            batch_overhead_us: 50,
+            shards: 2,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] on nonsensical values.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if !(self.offered_load.is_finite() && self.offered_load > 0.0) {
+            return Err(ServeError::InvalidConfig(format!(
+                "offered_load must be positive, got {}",
+                self.offered_load
+            )));
+        }
+        if self.n_requests == 0 {
+            return Err(ServeError::InvalidConfig("n_requests must be at least 1".into()));
+        }
+        if self.queue_capacity == 0 || self.max_batch == 0 || self.shards == 0 {
+            return Err(ServeError::InvalidConfig(
+                "queue_capacity, max_batch and shards must all be at least 1".into(),
+            ));
+        }
+        if self.max_batch > self.queue_capacity {
+            return Err(ServeError::InvalidConfig(format!(
+                "max_batch {} exceeds queue_capacity {} — full batches could never form",
+                self.max_batch, self.queue_capacity
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// What happened to one request, indexed by request id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Served: response digest plus the virtual-time latency split.
+    Completed {
+        /// Scenario the request drew.
+        scenario: usize,
+        /// Digest of the response features.
+        digest: u64,
+        /// Shard that served it.
+        shard: usize,
+        /// Batch it rode in (global batch counter).
+        batch: u64,
+        /// Admission-queue wait (batch start − arrival).
+        queue_ns: u64,
+        /// Service time including dispatch overhead and in-batch
+        /// serialization (completion − batch start).
+        compute_ns: u64,
+    },
+    /// Rejected at admission: the queue was full.
+    Dropped {
+        /// Virtual arrival time of the rejected request.
+        arrival_ns: u64,
+    },
+}
+
+/// The outcome of serving one trace at one operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Backend display name.
+    pub backend: String,
+    /// The operating point served.
+    pub config: ServeConfig,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests dropped by backpressure.
+    pub dropped: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Sum of batch sizes (for the mean).
+    pub batched_requests: u64,
+    /// Admission-queue wait per completed request.
+    pub queue: LatencyHistogram,
+    /// Service time per completed request.
+    pub compute: LatencyHistogram,
+    /// End-to-end latency per completed request.
+    pub total: LatencyHistogram,
+    /// Virtual time at which the last batch finished.
+    pub makespan_ns: u64,
+    /// FNV fold of all per-request digests in id order (drops included as
+    /// markers) — one number that pins every response bit.
+    pub digest: u64,
+    /// Per-request outcomes, indexed by request id.
+    pub outcomes: Vec<RequestOutcome>,
+}
+
+impl ServeReport {
+    /// Completed requests per virtual second.
+    pub fn achieved_rps(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            0.0
+        } else {
+            self.completed as f64 / (self.makespan_ns as f64 * 1e-9)
+        }
+    }
+
+    /// Fraction of the trace rejected by backpressure.
+    pub fn drop_fraction(&self) -> f64 {
+        self.dropped as f64 / self.config.n_requests.max(1) as f64
+    }
+
+    /// Mean requests per dispatched batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "serve report — {} backend", self.backend)?;
+        writeln!(
+            f,
+            "  offered         : {:.1} req/s x {} requests ({} shards, batch <= {}, queue {})",
+            self.config.offered_load,
+            self.config.n_requests,
+            self.config.shards,
+            self.config.max_batch,
+            self.config.queue_capacity,
+        )?;
+        writeln!(
+            f,
+            "  served          : {} completed / {} dropped in {} batches (mean size {:.1})",
+            self.completed,
+            self.dropped,
+            self.batches,
+            self.mean_batch_size()
+        )?;
+        writeln!(
+            f,
+            "  throughput      : {:.1} req/s over {} (virtual)",
+            self.achieved_rps(),
+            fmt_ns(self.makespan_ns)
+        )?;
+        for (name, h) in
+            [("queue", &self.queue), ("compute", &self.compute), ("total", &self.total)]
+        {
+            writeln!(
+                f,
+                "  {name:<7} latency : p50 {:>9}  p95 {:>9}  p99 {:>9}  mean {:>9}",
+                fmt_ns(h.p50_ns()),
+                fmt_ns(h.p95_ns()),
+                fmt_ns(h.p99_ns()),
+                fmt_ns(h.mean_ns()),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A batch handed to a shard: its virtual start plus the channel its real
+/// results arrive on.
+struct Inflight {
+    start_ns: u64,
+    batch: u64,
+    members: Vec<(u64, u64)>, // (request id, arrival ns)
+    rx: mpsc::Receiver<Vec<Result<BackendOutput, ServeError>>>,
+}
+
+/// Mutable accounting state of one `run` call.
+struct SimState {
+    outcomes: Vec<Option<RequestOutcome>>,
+    queue: LatencyHistogram,
+    compute: LatencyHistogram,
+    total: LatencyHistogram,
+    completed: u64,
+    dropped: u64,
+    shard_free: Vec<u64>,
+    makespan_ns: u64,
+    scenarios: Vec<usize>,
+}
+
+impl SimState {
+    /// Settles a shard's in-flight batch: blocks for its real results and
+    /// advances the shard's virtual clock through them in batch order.
+    fn settle(
+        &mut self,
+        shard: usize,
+        slot: &mut Option<Inflight>,
+        overhead_ns: u64,
+    ) -> Result<(), ServeError> {
+        let Some(inf) = slot.take() else { return Ok(()) };
+        let results = inf.rx.recv().map_err(|_| {
+            ServeError::WorkerLost(format!("shard {shard} dropped batch {}", inf.batch))
+        })?;
+        debug_assert_eq!(results.len(), inf.members.len());
+        let mut t = inf.start_ns + overhead_ns;
+        for (&(id, arrive), res) in inf.members.iter().zip(results) {
+            let out = res?;
+            t += out.cost_ns;
+            let queue_ns = inf.start_ns - arrive;
+            let compute_ns = t - inf.start_ns;
+            self.queue.record(queue_ns);
+            self.compute.record(compute_ns);
+            self.total.record(queue_ns + compute_ns);
+            self.completed += 1;
+            self.outcomes[id as usize] = Some(RequestOutcome::Completed {
+                scenario: self.scenarios[id as usize],
+                digest: out.digest,
+                shard,
+                batch: inf.batch,
+                queue_ns,
+                compute_ns,
+            });
+        }
+        self.shard_free[shard] = t;
+        self.makespan_ns = self.makespan_ns.max(t);
+        Ok(())
+    }
+
+    /// Admits one arrival against the bounded queue, dropping on overflow.
+    fn admit(
+        &mut self,
+        queue: &mut VecDeque<(u64, u64)>,
+        capacity: usize,
+        id: u64,
+        arrival_ns: u64,
+    ) {
+        if queue.len() >= capacity {
+            self.dropped += 1;
+            self.outcomes[id as usize] = Some(RequestOutcome::Dropped { arrival_ns });
+        } else {
+            queue.push_back((id, arrival_ns));
+        }
+    }
+}
+
+/// The batched inference runtime: one request generator, one worker pool,
+/// any number of `run` calls across backends and operating points.
+///
+/// The pool is created once and reused, so a sweep over backends × loads ×
+/// batch sizes pays the thread-spawn cost a single time.
+///
+/// # Example
+///
+/// ```
+/// use defa_model::workload::RequestGenerator;
+/// use defa_model::MsdaConfig;
+/// use defa_serve::{BackendKind, ServeConfig, ServeRuntime};
+///
+/// # fn main() -> Result<(), defa_serve::ServeError> {
+/// let gen = RequestGenerator::standard(&MsdaConfig::tiny(), 42)?;
+/// let runtime = ServeRuntime::new(gen);
+/// let report = runtime.run(
+///     &BackendKind::Accelerator.build(),
+///     &ServeConfig::at_load(500.0, 8),
+/// )?;
+/// assert_eq!(report.completed + report.dropped, 8);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ServeRuntime {
+    gen: Arc<RequestGenerator>,
+    pool: WorkerPool,
+}
+
+impl ServeRuntime {
+    /// A runtime over `gen` with one pool worker per configured thread
+    /// ([`defa_parallel::current_num_threads`]).
+    pub fn new(gen: RequestGenerator) -> Self {
+        Self::with_pool_threads(gen, defa_parallel::current_num_threads())
+    }
+
+    /// A runtime with an explicit pool size.
+    pub fn with_pool_threads(gen: RequestGenerator, threads: usize) -> Self {
+        ServeRuntime { gen: Arc::new(gen), pool: WorkerPool::new(threads) }
+    }
+
+    /// The request generator backing this runtime.
+    pub fn generator(&self) -> &RequestGenerator {
+        &self.gen
+    }
+
+    /// Serves one trace at one operating point and reports latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for a bad configuration and
+    /// propagates backend failures.
+    pub fn run(
+        &self,
+        backend: &Arc<dyn Backend>,
+        cfg: &ServeConfig,
+    ) -> Result<ServeReport, ServeError> {
+        cfg.validate()?;
+        let arrivals =
+            arrival_times(cfg.n_requests, cfg.offered_load, self.gen.seed() ^ ARRIVAL_SALT);
+        // Scenario of every request, precomputed cheaply (a hash) so
+        // outcomes can name it without regenerating payloads.
+        let scenarios: Vec<usize> =
+            (0..cfg.n_requests as u64).map(|id| self.gen.request_scenario(id)).collect();
+        let deadline_ns = cfg.batch_deadline_us.saturating_mul(1_000);
+        let overhead_ns = cfg.batch_overhead_us.saturating_mul(1_000);
+
+        let mut state = SimState {
+            outcomes: vec![None; cfg.n_requests],
+            queue: LatencyHistogram::new(),
+            compute: LatencyHistogram::new(),
+            total: LatencyHistogram::new(),
+            completed: 0,
+            dropped: 0,
+            shard_free: vec![0; cfg.shards],
+            makespan_ns: 0,
+            scenarios,
+        };
+        let mut queue: VecDeque<(u64, u64)> = VecDeque::new();
+        let mut inflight: Vec<Option<Inflight>> = (0..cfg.shards).map(|_| None).collect();
+        let mut arr_i = 0usize;
+        let mut batches = 0u64;
+        let mut batched_requests = 0u64;
+
+        loop {
+            if queue.is_empty() && arr_i == arrivals.len() {
+                break;
+            }
+            // Round-robin shard choice keeps every shard's batch stream
+            // FIFO and the schedule independent of real completion order.
+            let shard = (batches % cfg.shards as u64) as usize;
+            state.settle(shard, &mut inflight[shard], overhead_ns)?;
+            let t_free = state.shard_free[shard];
+
+            // Admit everything that arrived while this shard was busy.
+            while arr_i < arrivals.len() && arrivals[arr_i] <= t_free {
+                state.admit(&mut queue, cfg.queue_capacity, arr_i as u64, arrivals[arr_i]);
+                arr_i += 1;
+            }
+            if queue.is_empty() {
+                if arr_i == arrivals.len() {
+                    continue; // other shards may still be in flight; loop exits above
+                }
+                // Idle shard: virtually wait for the next arrival (an
+                // empty queue always admits).
+                state.admit(&mut queue, cfg.queue_capacity, arr_i as u64, arrivals[arr_i]);
+                arr_i += 1;
+            }
+            // Batching window: wait for a full batch unless the oldest
+            // request's deadline fires first.
+            let t_deadline = queue.front().expect("queue non-empty").1 + deadline_ns;
+            while queue.len() < cfg.max_batch
+                && arr_i < arrivals.len()
+                && arrivals[arr_i] <= t_deadline
+            {
+                state.admit(&mut queue, cfg.queue_capacity, arr_i as u64, arrivals[arr_i]);
+                arr_i += 1;
+            }
+            let ready_at = if queue.len() >= cfg.max_batch {
+                queue[cfg.max_batch - 1].1 // when the filling request arrived
+            } else if arr_i < arrivals.len() {
+                t_deadline
+            } else {
+                queue.back().expect("queue non-empty").1 // trace exhausted: flush
+            };
+            let start_ns = t_free.max(ready_at);
+
+            let take = queue.len().min(cfg.max_batch);
+            let members: Vec<(u64, u64)> = queue.drain(..take).collect();
+            batched_requests += take as u64;
+
+            // Real execution: materialize and evaluate the batch on this
+            // shard's pool worker. Results come back over a per-batch
+            // channel; timing comes from the cost model, never the wall
+            // clock.
+            let (tx, rx) = mpsc::channel();
+            let gen = Arc::clone(&self.gen);
+            let backend = Arc::clone(backend);
+            let ids: Vec<u64> = members.iter().map(|&(id, _)| id).collect();
+            self.pool.submit(shard, move || {
+                let results = ids
+                    .iter()
+                    .map(|&id| {
+                        let req = gen.request(id);
+                        gen.scenario(req.scenario)
+                            .map_err(ServeError::from)
+                            .and_then(|wl| backend.run(wl, &req))
+                    })
+                    .collect();
+                // The receiver disappears only if `run` already failed;
+                // nothing to report to in that case.
+                let _ = tx.send(results);
+            });
+            inflight[shard] = Some(Inflight { start_ns, batch: batches, members, rx });
+            batches += 1;
+        }
+        for (shard, slot) in inflight.iter_mut().enumerate() {
+            state.settle(shard, slot, overhead_ns)?;
+        }
+
+        let outcomes: Vec<RequestOutcome> = state
+            .outcomes
+            .into_iter()
+            .map(|o| o.expect("every request settled or dropped"))
+            .collect();
+        let digest = outcomes.iter().fold(crate::backend::FNV_OFFSET, |h, outcome| {
+            crate::backend::fnv_fold(
+                h,
+                match outcome {
+                    RequestOutcome::Completed { digest, .. } => *digest,
+                    RequestOutcome::Dropped { .. } => DROP_MARK,
+                },
+            )
+        });
+
+        Ok(ServeReport {
+            backend: backend.name().to_string(),
+            config: cfg.clone(),
+            completed: state.completed,
+            dropped: state.dropped,
+            batches,
+            batched_requests,
+            queue: state.queue,
+            compute: state.compute,
+            total: state.total,
+            makespan_ns: state.makespan_ns,
+            digest,
+            outcomes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendKind;
+    use defa_model::MsdaConfig;
+
+    fn runtime() -> ServeRuntime {
+        ServeRuntime::new(RequestGenerator::standard(&MsdaConfig::tiny(), 42).unwrap())
+    }
+
+    #[test]
+    fn every_request_is_accounted_for() {
+        let rt = runtime();
+        let cfg = ServeConfig::at_load(2_000.0, 24);
+        let report = rt.run(&BackendKind::Accelerator.build(), &cfg).unwrap();
+        assert_eq!(report.completed + report.dropped, 24);
+        assert_eq!(report.outcomes.len(), 24);
+        assert_eq!(report.total.count(), report.completed);
+        assert!(report.makespan_ns > 0);
+        assert!(report.batches > 0);
+        assert!(report.mean_batch_size() >= 1.0);
+    }
+
+    #[test]
+    fn repeated_runs_are_byte_identical() {
+        let rt = runtime();
+        let cfg = ServeConfig::at_load(1_000.0, 16);
+        let backend = BackendKind::Pruned.build();
+        let a = rt.run(&backend, &cfg).unwrap();
+        let b = rt.run(&backend, &cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn overload_triggers_backpressure_drops() {
+        let rt = runtime();
+        // A tiny queue, one shard and a huge offered load must shed.
+        let cfg = ServeConfig {
+            queue_capacity: 2,
+            max_batch: 2,
+            shards: 1,
+            ..ServeConfig::at_load(5e6, 64)
+        };
+        let report = rt.run(&BackendKind::Dense.build(), &cfg).unwrap();
+        assert!(report.dropped > 0, "expected drops under overload");
+        assert_eq!(report.completed + report.dropped, 64);
+        // Drops are outcomes too.
+        let drops = report
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o, RequestOutcome::Dropped { .. }))
+            .count() as u64;
+        assert_eq!(drops, report.dropped);
+    }
+
+    #[test]
+    fn low_load_produces_partial_deadline_batches() {
+        let rt = runtime();
+        // Offered load far below service rate: batches go out on the
+        // deadline with few requests each.
+        let cfg = ServeConfig {
+            max_batch: 8,
+            batch_deadline_us: 100,
+            ..ServeConfig::at_load(50.0, 12)
+        };
+        let report = rt.run(&BackendKind::Accelerator.build(), &cfg).unwrap();
+        assert_eq!(report.dropped, 0);
+        assert!(
+            report.mean_batch_size() < 4.0,
+            "deadline batching should stay small at low load, got {}",
+            report.mean_batch_size()
+        );
+    }
+
+    #[test]
+    fn deeper_batches_amortize_dispatch_overhead() {
+        let rt = runtime();
+        let backend = BackendKind::Accelerator.build();
+        let base = ServeConfig {
+            shards: 1,
+            batch_overhead_us: 500,
+            batch_deadline_us: 10_000,
+            queue_capacity: 256,
+            ..ServeConfig::at_load(4_000.0, 32)
+        };
+        let singles = rt.run(&backend, &ServeConfig { max_batch: 1, ..base.clone() }).unwrap();
+        let batched = rt.run(&backend, &ServeConfig { max_batch: 16, ..base.clone() }).unwrap();
+        assert_eq!(singles.dropped, 0);
+        assert_eq!(batched.dropped, 0);
+        assert!(
+            batched.makespan_ns < singles.makespan_ns,
+            "batching must amortize overhead: {} vs {}",
+            batched.makespan_ns,
+            singles.makespan_ns
+        );
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let rt = runtime();
+        let backend = BackendKind::Dense.build();
+        for cfg in [
+            ServeConfig { offered_load: 0.0, ..ServeConfig::at_load(1.0, 1) },
+            ServeConfig { n_requests: 0, ..ServeConfig::at_load(1.0, 1) },
+            ServeConfig { shards: 0, ..ServeConfig::at_load(1.0, 1) },
+            ServeConfig { max_batch: 100, queue_capacity: 10, ..ServeConfig::at_load(1.0, 1) },
+        ] {
+            assert!(matches!(rt.run(&backend, &cfg), Err(ServeError::InvalidConfig(_))));
+        }
+    }
+
+    #[test]
+    fn display_covers_the_key_lines() {
+        let rt = runtime();
+        let report =
+            rt.run(&BackendKind::Accelerator.build(), &ServeConfig::at_load(500.0, 8)).unwrap();
+        let s = report.to_string();
+        for key in ["serve report", "offered", "served", "throughput", "total", "p99"] {
+            assert!(s.contains(key), "missing {key} in:\n{s}");
+        }
+    }
+}

@@ -10,6 +10,19 @@
 
 use crate::{Shape, Tensor};
 
+/// One SplitMix64 step from `state`: adds the golden-gamma increment and
+/// applies the finalizer (public domain construction by Steele et al.).
+///
+/// This doubles as the workspace's keyed hash — callers that need a
+/// deterministic, well-mixed value per `(seed, index)` pair fold the key
+/// into `state` and take one step, without carrying generator state.
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// xoshiro256++ state (<https://prng.di.unimi.it/>), public domain
 /// construction by Blackman & Vigna.
 #[derive(Debug, Clone)]
@@ -23,11 +36,9 @@ impl Xoshiro256pp {
     fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
         let mut next = || {
+            let out = splitmix64(sm);
             sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = sm;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^ (z >> 31)
+            out
         };
         Xoshiro256pp { s: [next(), next(), next(), next()] }
     }

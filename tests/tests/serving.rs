@@ -1,0 +1,139 @@
+//! Determinism contract of the `defa-serve` batched runtime.
+//!
+//! The serving layer must not trade reproducibility for throughput:
+//!
+//! * per-request responses are **bit-identical** whatever the batch size,
+//!   shard count or worker-thread count — batching is an execution detail,
+//!   never a numerical one;
+//! * the latency accounting runs on a virtual clock, so the *entire*
+//!   report — outcomes, histogram bucket counts, quantiles, drops — is
+//!   byte-identical across `RAYON_NUM_THREADS` settings (pinned here via
+//!   `with_num_threads`, exactly like `determinism.rs` pins the compute
+//!   core).
+
+use defa_model::workload::RequestGenerator;
+use defa_model::MsdaConfig;
+use defa_parallel::with_num_threads;
+use defa_serve::{BackendKind, RequestOutcome, ServeConfig, ServeRuntime};
+
+fn runtime(seed: u64) -> ServeRuntime {
+    ServeRuntime::new(RequestGenerator::standard(&MsdaConfig::tiny(), seed).unwrap())
+}
+
+/// Digests of completed requests in id order (drops are `None`).
+fn digests(outcomes: &[RequestOutcome]) -> Vec<Option<u64>> {
+    outcomes
+        .iter()
+        .map(|o| match o {
+            RequestOutcome::Completed { digest, .. } => Some(*digest),
+            RequestOutcome::Dropped { .. } => None,
+        })
+        .collect()
+}
+
+#[test]
+fn results_are_batch_size_invariant() {
+    let rt = runtime(42);
+    // Capacity covers the whole trace so every request completes and the
+    // three runs serve identical request sets.
+    let base = ServeConfig {
+        queue_capacity: 64,
+        batch_deadline_us: 5_000,
+        ..ServeConfig::at_load(1_500.0, 20)
+    };
+    for backend in [BackendKind::Dense, BackendKind::Pruned, BackendKind::Accelerator] {
+        let backend = backend.build();
+        let mut seen = Vec::new();
+        for max_batch in [1usize, 4, 16] {
+            let report = rt.run(&backend, &ServeConfig { max_batch, ..base.clone() }).unwrap();
+            assert_eq!(report.dropped, 0, "capacity sized to avoid drops");
+            seen.push((max_batch, report.digest, digests(&report.outcomes)));
+        }
+        for w in seen.windows(2) {
+            assert_eq!(
+                w[0].2, w[1].2,
+                "per-request outputs differ between batch sizes {} and {}",
+                w[0].0, w[1].0
+            );
+            assert_eq!(w[0].1, w[1].1, "combined digest differs");
+        }
+    }
+}
+
+#[test]
+fn results_are_shard_count_invariant() {
+    let rt = runtime(7);
+    let base = ServeConfig { queue_capacity: 64, ..ServeConfig::at_load(2_000.0, 18) };
+    let backend = BackendKind::Accelerator.build();
+    let one = rt.run(&backend, &ServeConfig { shards: 1, ..base.clone() }).unwrap();
+    let four = rt.run(&backend, &ServeConfig { shards: 4, ..base.clone() }).unwrap();
+    assert_eq!(one.dropped, 0);
+    assert_eq!(four.dropped, 0);
+    assert_eq!(digests(&one.outcomes), digests(&four.outcomes));
+    assert_eq!(one.digest, four.digest);
+    // Extra shards service the same queue faster, never slower.
+    assert!(four.makespan_ns <= one.makespan_ns);
+}
+
+/// The whole report — per-request latencies, histogram bucket counts,
+/// quantiles, drop counts — must be byte-identical between a
+/// single-threaded and a multi-threaded runtime.
+#[test]
+fn serve_report_is_byte_identical_across_thread_counts() {
+    let cfg = ServeConfig {
+        queue_capacity: 16,
+        max_batch: 4,
+        shards: 2,
+        ..ServeConfig::at_load(3_000.0, 24)
+    };
+    for kind in BackendKind::all() {
+        let multi = with_num_threads(4, || {
+            let rt = runtime(11);
+            rt.run(&kind.build(), &cfg).unwrap()
+        });
+        let single = with_num_threads(1, || {
+            let rt = runtime(11);
+            rt.run(&kind.build(), &cfg).unwrap()
+        });
+        assert_eq!(multi, single, "{} report diverged across thread counts", kind.name());
+        assert_eq!(format!("{multi:?}"), format!("{single:?}"));
+        assert_eq!(multi.queue.bucket_counts(), single.queue.bucket_counts());
+        assert_eq!(multi.compute.bucket_counts(), single.compute.bucket_counts());
+        assert_eq!(multi.total.bucket_counts(), single.total.bucket_counts());
+    }
+}
+
+#[test]
+fn backpressure_drops_are_deterministic() {
+    let cfg = ServeConfig {
+        queue_capacity: 3,
+        max_batch: 3,
+        shards: 1,
+        ..ServeConfig::at_load(1e6, 40)
+    };
+    let backend = BackendKind::Dense.build();
+    let a = runtime(23).run(&backend, &cfg).unwrap();
+    let b = runtime(23).run(&backend, &cfg).unwrap();
+    assert!(a.dropped > 0, "overload must shed load");
+    assert_eq!(a, b);
+    // Dropped requests cost no compute: only completed ones have digests.
+    let served = digests(&a.outcomes).iter().filter(|d| d.is_some()).count() as u64;
+    assert_eq!(served, a.completed);
+}
+
+#[test]
+fn backends_disagree_on_approximation_but_agree_on_accounting() {
+    let rt = runtime(5);
+    let cfg = ServeConfig { queue_capacity: 64, ..ServeConfig::at_load(1_000.0, 10) };
+    let dense = rt.run(&BackendKind::Dense.build(), &cfg).unwrap();
+    let pruned = rt.run(&BackendKind::Pruned.build(), &cfg).unwrap();
+    let accel = rt.run(&BackendKind::Accelerator.build(), &cfg).unwrap();
+    // Same admitted trace everywhere…
+    assert_eq!(dense.completed, 10);
+    assert_eq!(pruned.completed, 10);
+    assert_eq!(accel.completed, 10);
+    // …but the pruned/quantized backends approximate, so responses differ
+    // from the exact reference.
+    assert_ne!(dense.digest, pruned.digest);
+    assert_ne!(dense.digest, accel.digest);
+}
