@@ -99,6 +99,18 @@ impl EnergyBreakdown {
     pub fn memory_pj(&self) -> f64 {
         self.dram_pj + self.sram_pj
     }
+
+    /// Component energies quantized to integer picojoules, grouped as
+    /// `(compute, sram, dram)` where compute = PE + softmax.
+    ///
+    /// Serving-side accounting (`defa-serve`) sums per-request energies in
+    /// fixed-point so totals are byte-identical regardless of summation
+    /// order; this is the single quantization point, applied once per
+    /// priced region (negative components clamp to zero).
+    pub fn quantize_pj(&self) -> (u128, u128, u128) {
+        let q = |pj: f64| if pj > 0.0 { pj.round() as u128 } else { 0 };
+        (q(self.logic_pj()), q(self.sram_pj), q(self.dram_pj))
+    }
 }
 
 impl std::ops::Add for EnergyBreakdown {
@@ -171,5 +183,12 @@ mod tests {
     #[test]
     fn empty_breakdown_has_zero_shares() {
         assert_eq!(EnergyBreakdown::default().shares(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn quantization_rounds_components_to_integer_pj() {
+        let e = EnergyBreakdown { pe_pj: 1.4, softmax_pj: 0.2, sram_pj: 2.5, dram_pj: 1e6 + 0.4 };
+        assert_eq!(e.quantize_pj(), (2, 3, 1_000_000)); // logic = 1.4 + 0.2 -> 2
+        assert_eq!(EnergyBreakdown::default().quantize_pj(), (0, 0, 0));
     }
 }

@@ -97,6 +97,17 @@ impl GpuSpec {
     pub fn energy_joules(&self, seconds: f64) -> f64 {
         self.tdp_w * self.activity * seconds
     }
+
+    /// Energy for a modeled duration of `cost_ns` virtual nanoseconds, in
+    /// integer picojoules.
+    ///
+    /// This is the serving-side fixed-point form of [`Self::energy_joules`]
+    /// (TDP × activity × time): quantizing once per request lets the
+    /// runtime accumulate totals that are byte-identical regardless of
+    /// summation order. 1 W · 1 ns = 1000 pJ, hence the 1e3 factor.
+    pub fn energy_picojoules(&self, cost_ns: u64) -> u128 {
+        (self.tdp_w * self.activity * 1e3 * cost_ns as f64).round() as u128
+    }
 }
 
 /// GPU latency split into the two §2.2 components.
@@ -154,6 +165,17 @@ mod tests {
         let g = GpuSpec::rtx_3090ti();
         let e = g.energy_joules(0.05);
         assert!((e - 450.0 * 0.5 * 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn picojoule_form_matches_the_float_model() {
+        let g = GpuSpec::rtx_3090ti();
+        // 1 ms at 225 W effective = 0.225 J = 2.25e11 pJ, exactly.
+        assert_eq!(g.energy_picojoules(1_000_000), 225_000_000_000);
+        assert_eq!(g.energy_picojoules(0), 0);
+        let pj = g.energy_picojoules(123_456_789) as f64 * 1e-12;
+        let j = g.energy_joules(123_456_789e-9);
+        assert!((pj - j).abs() / j < 1e-9, "{pj} vs {j}");
     }
 
     #[test]

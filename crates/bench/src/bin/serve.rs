@@ -17,6 +17,7 @@ use defa_bench::table::print_table;
 use defa_bench::RunOptions;
 use defa_model::workload::RequestGenerator;
 use defa_model::MsdaConfig;
+use defa_serve::energy::fmt_joules;
 use defa_serve::histogram::fmt_ns;
 use defa_serve::{BackendKind, ServeConfig, ServeRuntime};
 use std::time::Instant;
@@ -88,6 +89,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     fmt_ns(report.total.p50_ns()),
                     fmt_ns(report.total.p95_ns()),
                     fmt_ns(report.total.p99_ns()),
+                    fmt_joules(report.joules_per_request()),
+                    format!("{:.0}", report.gops_per_watt()),
                 ]);
             }
         }
@@ -105,11 +108,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "p50",
             "p95",
             "p99",
+            "J/req",
+            "GOPS/W",
         ],
         &rows,
     );
     println!(
-        "\nLatency/throughput columns use the deterministic virtual clock;\n\
+        "\nLatency/throughput columns use the deterministic virtual clock and the energy\n\
+         columns the fixed-point per-request attribution (see defa_serve::energy);\n\
          the whole sweep took {:.1} s of wall clock on this host.",
         wall.elapsed().as_secs_f64()
     );

@@ -1,0 +1,194 @@
+//! `table_energy` — the paper-level serving-efficiency comparison.
+//!
+//! Serves the same nine-scenario request stream (3 DAC-24 networks × 3
+//! input scales, [`RequestGenerator::grid`]) through all three backends at
+//! the fixed ROADMAP load point (2× modeled capacity, batch ≤ 8, 2 shards)
+//! and prints per-scenario energy per request plus a per-backend summary —
+//! the energy half of the serve tables, which deliberately only measured
+//! latency before this bin existed.
+//!
+//! Energy attribution (see `defa_serve::energy`): the dense/pruned
+//! backends are priced by the GPU TDP × activity model over their modeled
+//! compute time; the accelerator by the event-priced 40 nm model over its
+//! own simulated counters. The bin asserts the paper's headline — the
+//! accelerator beats the dense GPU model on energy/request in every
+//! scenario it served — so the CI smoke run enforces it.
+//!
+//! Flags (on top of the shared `--full` / `--seed`):
+//!
+//! * `--quick` — tiny config, fewer requests (the CI smoke mode);
+//! * `--requests <n>` — requests in the trace;
+//! * `--shards <n>` — worker shards.
+
+use defa_bench::table::print_table;
+use defa_bench::RunOptions;
+use defa_model::workload::RequestGenerator;
+use defa_model::MsdaConfig;
+use defa_serve::backend::scenario_dense_flops;
+use defa_serve::energy::fmt_joules;
+use defa_serve::histogram::fmt_ns;
+use defa_serve::{BackendKind, EnergyBreakdown, RequestOutcome, ServeConfig, ServeRuntime};
+use std::time::Instant;
+
+/// Per-scenario accumulation for one backend.
+#[derive(Clone, Copy, Default)]
+struct ScenarioEnergy {
+    requests: u64,
+    energy: EnergyBreakdown,
+}
+
+impl ScenarioEnergy {
+    fn joules_per_request(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.energy.total_joules() / self.requests as f64
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = RunOptions::parse(args.iter().cloned());
+    let quick = args.iter().any(|a| a == "--quick");
+    // Enough requests that the seeded scenario hash populates all nine
+    // grid cells (72 covers the default seed; the table dashes out any
+    // cell an exotic seed leaves empty).
+    let mut n_requests = if quick { 72 } else { 108 };
+    let mut shards = 2usize;
+    for w in args.windows(2) {
+        match w[0].as_str() {
+            "--requests" => n_requests = w[1].parse().unwrap_or(n_requests),
+            "--shards" => shards = w[1].parse::<usize>().unwrap_or(shards).max(1),
+            _ => {}
+        }
+    }
+
+    let base = if quick { MsdaConfig::tiny() } else { opts.config() };
+    let gen = RequestGenerator::grid(&base, opts.seed)?;
+    let n_scenarios = gen.scenarios().len();
+    println!(
+        "Serving energy table (scale: {}; {} scenarios, {} requests, {} shards, 2x load)",
+        if quick { "tiny (--quick)" } else { opts.scale_label() },
+        n_scenarios,
+        n_requests,
+        shards,
+    );
+    let runtime = ServeRuntime::new(gen);
+
+    let wall = Instant::now();
+    // (per-scenario energies, full report) per backend, presentation order.
+    let mut per_backend = Vec::new();
+    for kind in BackendKind::all() {
+        let backend = kind.build();
+        // The ROADMAP load point: offered load at 2x this backend's own
+        // modeled capacity (probed deterministically on request 0).
+        let probe = {
+            let req = runtime.generator().request(0);
+            let wl = runtime.generator().scenario(req.scenario)?;
+            backend.run(wl, &req)?
+        };
+        let cfg = ServeConfig {
+            offered_load: 1e9 / probe.cost_ns as f64 * shards as f64 * 2.0,
+            n_requests,
+            queue_capacity: 64,
+            max_batch: 8,
+            batch_deadline_us: 2_000,
+            batch_overhead_us: 50,
+            shards,
+        };
+        let report = runtime.run(&backend, &cfg)?;
+        let mut scenarios = vec![ScenarioEnergy::default(); n_scenarios];
+        for outcome in &report.outcomes {
+            if let RequestOutcome::Completed { scenario, energy, .. } = outcome {
+                scenarios[*scenario].requests += 1;
+                scenarios[*scenario].energy += *energy;
+            }
+        }
+        per_backend.push((scenarios, report));
+    }
+
+    // Per-scenario table: J/req per backend plus the accelerator's win.
+    let mut rows = Vec::new();
+    let mut accel_wins_everywhere = true;
+    for (i, s) in runtime.generator().scenarios().iter().enumerate() {
+        let dense_flops = scenario_dense_flops(&s.workload);
+        let cells: Vec<ScenarioEnergy> = per_backend.iter().map(|(sc, _)| sc[i]).collect();
+        let (dense, pruned, accel) = (cells[0], cells[1], cells[2]);
+        if accel.requests > 0 && dense.requests > 0 {
+            accel_wins_everywhere &=
+                accel.joules_per_request() < dense.joules_per_request();
+        }
+        let jpr = |c: ScenarioEnergy| {
+            if c.requests == 0 {
+                "-".to_string()
+            } else {
+                fmt_joules(c.joules_per_request())
+            }
+        };
+        let accel_gops_w = if accel.energy.total_pj() == 0 {
+            "-".to_string()
+        } else {
+            format!(
+                "{:.0}",
+                accel.requests as f64 * dense_flops as f64 / 1e9 / accel.energy.total_joules()
+            )
+        };
+        rows.push(vec![
+            s.name.clone(),
+            // Per-backend counts: each backend runs at its own 2x load
+            // point and may shed a different subset under overload, so a
+            // single number would misstate whose average covers what.
+            format!("{}/{}/{}", dense.requests, pruned.requests, accel.requests),
+            jpr(dense),
+            jpr(pruned),
+            jpr(accel),
+            if accel.requests > 0 && dense.requests > 0 && accel.joules_per_request() > 0.0 {
+                format!("{:.0}x", dense.joules_per_request() / accel.joules_per_request())
+            } else {
+                "-".to_string()
+            },
+            accel_gops_w,
+        ]);
+    }
+    print_table(
+        "Energy per request: dense GPU vs pruned GPU vs DEFA accelerator (9 scenarios)",
+        &["scenario", "reqs d/p/a", "dense J/req", "pruned J/req", "accel J/req", "accel win", "accel GOPS/W"],
+        &rows,
+    );
+
+    // Per-backend summary at its own 2x load point.
+    let rows: Vec<Vec<String>> = per_backend
+        .iter()
+        .map(|(_, r)| {
+            vec![
+                r.backend.clone(),
+                format!("{}/{}", r.completed, r.dropped),
+                fmt_joules(r.energy.total_joules()),
+                fmt_joules(r.joules_per_request()),
+                format!("{:.1}", r.requests_per_joule()),
+                format!("{:.2}", r.average_power_w()),
+                format!("{:.0}", r.gops_per_watt()),
+                fmt_ns(r.total.p99_ns()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Backend summary at 2x modeled capacity",
+        &["backend", "done/drop", "energy", "J/req", "req/J", "avg W", "GOPS/W", "p99 total"],
+        &rows,
+    );
+
+    assert!(
+        accel_wins_everywhere,
+        "paper-level claim violated: the accelerator must beat the dense GPU \
+         model on energy/request in every scenario it served"
+    );
+    println!(
+        "\nAccelerator beats the dense GPU model on energy/request in every served scenario.\n\
+         Energy columns use the deterministic fixed-point accounting; the whole table took \
+         {:.1} s of wall clock on this host.",
+        wall.elapsed().as_secs_f64()
+    );
+    Ok(())
+}

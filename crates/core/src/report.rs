@@ -40,24 +40,48 @@ impl RunReport {
         self.counters.seconds_at(self.clock_hz)
     }
 
-    /// Encoder inferences per second.
+    /// Encoder inferences per second (0 for an empty run).
     pub fn fps(&self) -> f64 {
-        1.0 / self.seconds().max(1e-18)
+        let s = self.seconds();
+        if s == 0.0 {
+            0.0
+        } else {
+            1.0 / s
+        }
     }
 
-    /// Effective throughput in GOPS (dense-equivalent work / time).
+    /// Effective throughput in GOPS (dense-equivalent work / time; 0 for an
+    /// empty run).
     pub fn effective_gops(&self) -> f64 {
-        self.dense_flops as f64 / self.seconds().max(1e-18) / 1e9
+        let s = self.seconds();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.dense_flops as f64 / s / 1e9
+        }
     }
 
-    /// Average power in watts (dynamic energy / time).
+    /// Average power in watts (dynamic energy / time; 0 for an empty run —
+    /// a zero-cycle run consumed no time, not astronomical power).
     pub fn average_power_w(&self) -> f64 {
-        self.energy.total_joules() / self.seconds().max(1e-18)
+        let s = self.seconds();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.energy.total_joules() / s
+        }
     }
 
-    /// Energy efficiency in GOPS/W.
+    /// Energy efficiency in GOPS/W: work per energy, which both divides the
+    /// run's seconds away — so it is defined whenever any energy was spent,
+    /// and 0 for a run that spent none.
     pub fn gops_per_watt(&self) -> f64 {
-        self.effective_gops() / self.average_power_w().max(1e-18)
+        let joules = self.energy.total_joules();
+        if joules == 0.0 {
+            0.0
+        } else {
+            self.dense_flops as f64 / 1e9 / joules
+        }
     }
 
     /// Energy per encoder inference in millijoules.
@@ -138,6 +162,29 @@ mod tests {
         assert!((r.effective_gops() - 1000.0).abs() < 1.0);
         // 10 mJ over 1 ms = 10 W.
         assert!((r.average_power_w() - 10.0).abs() < 1e-6);
+        assert!((r.gops_per_watt() - 100.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn zero_cycle_run_reports_zero_rates_not_infinities() {
+        // Regression: the old `.max(1e-18)` guard made an empty run report
+        // ~1e18x inflated power/fps, and gops_per_watt inherited the
+        // nonsense. Empty means zero, full stop.
+        let r = RunReport {
+            counters: EventCounters::default(),
+            energy: EnergyBreakdown::default(),
+            dense_flops: 0,
+            ..dummy()
+        };
+        assert_eq!(r.seconds(), 0.0);
+        assert_eq!(r.fps(), 0.0);
+        assert_eq!(r.effective_gops(), 0.0);
+        assert_eq!(r.average_power_w(), 0.0);
+        assert_eq!(r.gops_per_watt(), 0.0);
+        // Zero time but nonzero (e.g. static) energy must still not panic
+        // or explode: power is undefined-as-zero, efficiency well-defined.
+        let r = RunReport { counters: EventCounters::default(), ..dummy() };
+        assert_eq!(r.average_power_w(), 0.0);
         assert!((r.gops_per_watt() - 100.0).abs() < 0.1);
     }
 

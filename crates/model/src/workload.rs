@@ -382,6 +382,21 @@ impl RequestGenerator {
         Ok(RequestGenerator { scenarios, seed })
     }
 
+    /// The three input scales used by the multi-scenario streams: the base
+    /// pyramid and its 3/4 and 1/2 downscales.
+    pub const INPUT_SCALES: [f64; 3] = [1.0, 0.75, 0.5];
+
+    /// Scales every pyramid level of `base` by `scale` (each side, floored
+    /// at one pixel).
+    fn scaled_config(base: &MsdaConfig, scale: f64) -> MsdaConfig {
+        let mut cfg = base.clone();
+        for level in &mut cfg.levels {
+            level.h = ((level.h as f64 * scale).round() as usize).max(1);
+            level.w = ((level.w as f64 * scale).round() as usize).max(1);
+        }
+        cfg
+    }
+
     /// The standard three-scenario mix derived from a base configuration:
     /// each DAC-24 benchmark at a different input scale (1, 3/4 and 1/2 of
     /// the base pyramid), so the stream varies both weights and shapes.
@@ -390,17 +405,31 @@ impl RequestGenerator {
     ///
     /// Returns [`ModelError::InvalidConfig`] if `base` fails validation.
     pub fn standard(base: &MsdaConfig, seed: u64) -> Result<Self, ModelError> {
-        let mix =
-            [(Benchmark::DeformableDetr, 1.0f64), (Benchmark::DnDetr, 0.75), (Benchmark::Dino, 0.5)];
-        let mut scenarios = Vec::with_capacity(mix.len());
-        for (benchmark, scale) in mix {
-            let mut cfg = base.clone();
-            for level in &mut cfg.levels {
-                level.h = ((level.h as f64 * scale).round() as usize).max(1);
-                level.w = ((level.w as f64 * scale).round() as usize).max(1);
-            }
+        let mut scenarios = Vec::with_capacity(3);
+        for (benchmark, scale) in Benchmark::all().into_iter().zip(Self::INPUT_SCALES) {
+            let cfg = Self::scaled_config(base, scale);
             let wl = SyntheticWorkload::generate(benchmark, &cfg, seed)?;
             scenarios.push(RequestScenario::from_workload(wl));
+        }
+        Self::new(scenarios, seed)
+    }
+
+    /// The full nine-scenario grid: every DAC-24 benchmark × every input
+    /// scale ([`Self::INPUT_SCALES`]), benchmark-major. This is the stream
+    /// the efficiency tables sweep — it exercises each network at each
+    /// shape point instead of pairing them off as [`Self::standard`] does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] if `base` fails validation.
+    pub fn grid(base: &MsdaConfig, seed: u64) -> Result<Self, ModelError> {
+        let mut scenarios = Vec::with_capacity(9);
+        for benchmark in Benchmark::all() {
+            for scale in Self::INPUT_SCALES {
+                let cfg = Self::scaled_config(base, scale);
+                let wl = SyntheticWorkload::generate(benchmark, &cfg, seed)?;
+                scenarios.push(RequestScenario::from_workload(wl));
+            }
         }
         Self::new(scenarios, seed)
     }
@@ -566,6 +595,33 @@ mod tests {
         let names: Vec<_> = gen.scenarios().iter().map(|s| s.name.as_str()).collect();
         assert!(names[0].starts_with("De DETR"));
         assert!(names[2].starts_with("DINO"));
+    }
+
+    #[test]
+    fn grid_covers_every_benchmark_at_every_scale() {
+        let base = MsdaConfig::tiny();
+        let gen = RequestGenerator::grid(&base, 5).unwrap();
+        assert_eq!(gen.scenarios().len(), 9);
+        // Benchmark-major: three consecutive scenarios per network, shapes
+        // shrinking within each triple.
+        for (b, benchmark) in Benchmark::all().into_iter().enumerate() {
+            let triple = &gen.scenarios()[3 * b..3 * b + 3];
+            let n_ins: Vec<usize> = triple.iter().map(|s| s.workload.config().n_in()).collect();
+            assert!(triple.iter().all(|s| s.workload.benchmark() == benchmark));
+            assert_eq!(n_ins[0], base.n_in());
+            assert!(n_ins[1] < n_ins[0] && n_ins[2] < n_ins[1], "shapes must shrink: {n_ins:?}");
+        }
+        // Names are distinct (benchmark + finest-level shape).
+        let mut names: Vec<_> = gen.scenarios().iter().map(|s| s.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+        // A long-enough stream hits all nine scenarios.
+        let mut seen = [0usize; 9];
+        for id in 0..180 {
+            seen[gen.request(id).scenario] += 1;
+        }
+        assert!(seen.iter().all(|&c| c > 0), "scenario mix missed a cell: {seen:?}");
     }
 
     #[test]

@@ -11,16 +11,18 @@
 //! * [`AcceleratorBackend`] — the MSGS-simulated DEFA accelerator
 //!   ([`defa_core`]), costed by its own simulated cycle count.
 //!
-//! Costs are pure functions of the request and configuration — no
-//! wall-clock measurement — which is what lets the runtime's latency
-//! accounting stay bit-deterministic across thread counts (see
-//! [`crate::runtime`]).
+//! Costs — time *and* energy (see [`crate::energy`]) — are pure functions
+//! of the request and configuration — no wall-clock measurement — which is
+//! what lets the runtime's accounting stay bit-deterministic across thread
+//! counts (see [`crate::runtime`]).
 
+use crate::energy::EnergyBreakdown;
 use crate::ServeError;
 use defa_arch::CLOCK_HZ;
 use defa_baseline::gpu::GpuSpec;
 use defa_core::runner::DefaAccelerator;
 use defa_model::encoder::run_encoder_from;
+use defa_model::flops::BlockFlops;
 use defa_model::workload::{InferenceRequest, SyntheticWorkload};
 use defa_prune::pipeline::{run_pruned_encoder_from, PruneSettings};
 use defa_tensor::Tensor;
@@ -42,13 +44,32 @@ pub fn tensor_digest(t: &Tensor) -> u64 {
     t.as_slice().iter().fold(FNV_OFFSET, |h, &v| fnv_fold(h, u64::from(v.to_bits())))
 }
 
-/// One request's outcome: response identity plus modeled compute cost.
+/// One request's outcome: response identity plus modeled compute cost and
+/// energy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BackendOutput {
     /// Digest of the final feature tensor (the response payload).
     pub digest: u64,
     /// Modeled service time of this request in virtual nanoseconds.
     pub cost_ns: u64,
+    /// Modeled energy of this request, in integer picojoules (see
+    /// [`crate::energy`] for which model prices which backend).
+    pub energy: EnergyBreakdown,
+    /// Dense-equivalent attention FLOPs of this request — the numerator of
+    /// effective-throughput metrics (GOPS, GOPS/W), as sparse accelerators
+    /// report them; identical across backends for the same request.
+    pub dense_flops: u64,
+}
+
+/// Dense-equivalent attention FLOPs of one request of a scenario: the full
+/// (unpruned) MSDeformAttn work over all encoder layers.
+///
+/// This is the single definition behind every backend's
+/// [`BackendOutput::dense_flops`] and the efficiency tables' GOPS/W
+/// numerators — change it here and they all move together.
+pub fn scenario_dense_flops(scenario: &SyntheticWorkload) -> u64 {
+    let cfg = scenario.config();
+    BlockFlops::for_config(cfg).attention_only() * cfg.n_layers as u64
 }
 
 /// A pluggable inference engine the serving runtime dispatches batches to.
@@ -114,7 +135,13 @@ impl Backend for DenseBackend {
     ) -> Result<BackendOutput, ServeError> {
         let trace = run_encoder_from(scenario, &req.fmap)?;
         let cost = self.gpu.msda_latency(scenario.config()).total_s();
-        Ok(BackendOutput { digest: tensor_digest(&trace.final_features), cost_ns: secs_to_ns(cost) })
+        let cost_ns = secs_to_ns(cost);
+        Ok(BackendOutput {
+            digest: tensor_digest(&trace.final_features),
+            cost_ns,
+            energy: EnergyBreakdown::from_gpu(&self.gpu, cost_ns),
+            dense_flops: scenario_dense_flops(scenario),
+        })
     }
 }
 
@@ -156,7 +183,15 @@ impl Backend for PrunedBackend {
         // the serve tables is therefore conservative.
         let keep = (1.0 - run.stats.flop_reduction()).clamp(0.0, 1.0);
         let cost = self.gpu.msda_latency(scenario.config()).total_s() * keep;
-        Ok(BackendOutput { digest: tensor_digest(&run.final_features), cost_ns: secs_to_ns(cost) })
+        let cost_ns = secs_to_ns(cost);
+        // Energy rides the keep-scaled time, so each request's energy
+        // reflects the FLOP share its own masks kept.
+        Ok(BackendOutput {
+            digest: tensor_digest(&run.final_features),
+            cost_ns,
+            energy: EnergyBreakdown::from_gpu(&self.gpu, cost_ns),
+            dense_flops: scenario_dense_flops(scenario),
+        })
     }
 }
 
@@ -204,7 +239,12 @@ impl Backend for AcceleratorBackend {
         // Exact integer conversion: cycles · 1e9 / f_clk.
         let cycles = run.report.counters.total_cycles() as u128;
         let cost_ns = ((cycles * 1_000_000_000) / CLOCK_HZ as u128).max(1) as u64;
-        Ok(BackendOutput { digest: tensor_digest(&run.final_features), cost_ns })
+        Ok(BackendOutput {
+            digest: tensor_digest(&run.final_features),
+            cost_ns,
+            energy: EnergyBreakdown::from_accelerator(&run.report.energy),
+            dense_flops: run.report.dense_flops,
+        })
     }
 }
 
@@ -305,6 +345,37 @@ mod tests {
             accel.cost_ns,
             dense.cost_ns
         );
+    }
+
+    #[test]
+    fn energy_attribution_reproduces_the_paper_level_ordering() {
+        let gen = tiny_gen();
+        let req = gen.request(0);
+        let wl = gen.scenario(req.scenario).unwrap();
+        let dense = DenseBackend::new().run(wl, &req).unwrap();
+        let pruned = PrunedBackend::new(PruneSettings::paper_defaults()).run(wl, &req).unwrap();
+        let accel = AcceleratorBackend::new().run(wl, &req).unwrap();
+        for out in [&dense, &pruned, &accel] {
+            assert!(out.energy.total_pj() > 0, "every request must cost energy");
+        }
+        // All backends account the same dense-equivalent work.
+        assert_eq!(dense.dense_flops, pruned.dense_flops);
+        assert_eq!(dense.dense_flops, accel.dense_flops);
+        assert!(dense.dense_flops > 0);
+        // Pruning cuts GPU energy (keep-scaled time at the same power).
+        assert!(pruned.energy.total_pj() < dense.energy.total_pj());
+        // The paper's headline: the accelerator's event-priced energy is
+        // orders of magnitude below the GPU board model's.
+        assert!(
+            accel.energy.total_pj() * 100 < dense.energy.total_pj(),
+            "accel {} pJ vs dense {} pJ",
+            accel.energy.total_pj(),
+            dense.energy.total_pj()
+        );
+        // GPU backends are board-priced (no component split); the
+        // accelerator keeps the Figure-8 split.
+        assert_eq!(dense.energy.sram_pj + dense.energy.dram_pj, 0);
+        assert!(accel.energy.dram_pj > 0 && accel.energy.sram_pj > 0);
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Per-request energy attribution for the serving runtime.
+//!
+//! The paper's headline claim is *energy* efficiency, so the serving layer
+//! accounts it per request, exactly like latency: every
+//! [`crate::BackendOutput`] carries an [`EnergyBreakdown`] priced by the
+//! backend's own deterministic model, and the runtime folds them into the
+//! [`crate::ServeReport`] totals.
+//!
+//! # Which model prices which backend
+//!
+//! * **dense / pruned (GPU)** — the board-level TDP × activity model
+//!   ([`GpuSpec::energy_picojoules`]) applied to the request's *modeled*
+//!   compute time. The pruned backend's time is already scaled by the FLOP
+//!   share the request's masks actually kept, so its energy inherits the
+//!   per-request pruning win. A board model cannot split components, so
+//!   the whole request lands in `compute_pj`.
+//! * **defa-accel** — the event-priced 40 nm model
+//!   ([`defa_arch::EnergyModel::price`]) over the request's own simulated
+//!   [`defa_arch::EventCounters`], quantized once via
+//!   [`defa_arch::EnergyBreakdown::quantize_pj`]. Compute (PE + softmax),
+//!   SRAM and DRAM stay separate, as in the paper's Figure 8 breakdown.
+//!
+//! # Fixed-point accumulation
+//!
+//! Energies are held in **integer picojoules** (`u128`). Each backend
+//! quantizes exactly once, per request; the runtime then only ever adds
+//! integers, so totals are byte-identical for any summation order — and
+//! therefore for any `RAYON_NUM_THREADS`, shard count or batch size, the
+//! same contract the latency histograms already keep. Floating-point sums
+//! would make report identity depend on reduction order; integer sums make
+//! the question moot. `u128` headroom: the costliest modeled request is
+//! ~1e13 pJ, so even trillion-request traces cannot overflow.
+
+use defa_baseline::gpu::GpuSpec;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Energy attributed to one request (or summed over many), in integer
+/// picojoules, split by component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EnergyBreakdown {
+    /// Compute energy: the PE array + softmax unit for the accelerator;
+    /// the whole board for the GPU backends (their model cannot split).
+    pub compute_pj: u128,
+    /// On-chip SRAM energy (accelerator only; 0 for the GPU backends).
+    pub sram_pj: u128,
+    /// External DRAM energy (accelerator only; 0 for the GPU backends).
+    pub dram_pj: u128,
+}
+
+impl EnergyBreakdown {
+    /// The zero energy, for accumulators.
+    pub const ZERO: EnergyBreakdown = EnergyBreakdown { compute_pj: 0, sram_pj: 0, dram_pj: 0 };
+
+    /// Board-level GPU energy for a modeled duration: TDP × activity ×
+    /// time, quantized by [`GpuSpec::energy_picojoules`].
+    pub fn from_gpu(gpu: &GpuSpec, cost_ns: u64) -> Self {
+        EnergyBreakdown { compute_pj: gpu.energy_picojoules(cost_ns), sram_pj: 0, dram_pj: 0 }
+    }
+
+    /// Event-priced accelerator energy, quantized to integer picojoules
+    /// (PE + softmax grouped as compute, exactly
+    /// [`defa_arch::EnergyBreakdown::quantize_pj`]).
+    pub fn from_accelerator(e: &defa_arch::EnergyBreakdown) -> Self {
+        let (compute_pj, sram_pj, dram_pj) = e.quantize_pj();
+        EnergyBreakdown { compute_pj, sram_pj, dram_pj }
+    }
+
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> u128 {
+        self.compute_pj + self.sram_pj + self.dram_pj
+    }
+
+    /// Total energy in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.total_pj() as f64 * 1e-12
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute_pj: self.compute_pj + rhs.compute_pj,
+            sram_pj: self.sram_pj + rhs.sram_pj,
+            dram_pj: self.dram_pj + rhs.dram_pj,
+        }
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&fmt_joules(self.total_joules()))
+    }
+}
+
+/// Formats joules with an SI prefix (pJ up to J).
+pub fn fmt_joules(j: f64) -> String {
+    if j >= 1.0 {
+        format!("{j:.2} J")
+    } else if j >= 1e-3 {
+        format!("{:.2} mJ", j * 1e3)
+    } else if j >= 1e-6 {
+        format!("{:.2} µJ", j * 1e6)
+    } else if j >= 1e-9 {
+        format!("{:.2} nJ", j * 1e9)
+    } else {
+        format!("{:.0} pJ", j * 1e12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_energy_is_board_level_compute_only() {
+        let e = EnergyBreakdown::from_gpu(&GpuSpec::rtx_3090ti(), 1_000_000);
+        assert_eq!(e.sram_pj, 0);
+        assert_eq!(e.dram_pj, 0);
+        assert_eq!(e.total_pj(), 225_000_000_000); // 225 W x 1 ms
+        assert!((e.total_joules() - 0.225).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accelerator_energy_keeps_the_component_split() {
+        let arch = defa_arch::EnergyBreakdown {
+            pe_pj: 10.4,
+            softmax_pj: 2.0,
+            sram_pj: 100.6,
+            dram_pj: 1000.0,
+        };
+        let e = EnergyBreakdown::from_accelerator(&arch);
+        assert_eq!(e, EnergyBreakdown { compute_pj: 12, sram_pj: 101, dram_pj: 1000 });
+        assert_eq!(e.total_pj(), 1113);
+    }
+
+    #[test]
+    fn accumulation_is_exact_integer_addition() {
+        let a = EnergyBreakdown { compute_pj: 1, sram_pj: 2, dram_pj: 3 };
+        let b = EnergyBreakdown { compute_pj: 10, sram_pj: 20, dram_pj: 30 };
+        let mut acc = EnergyBreakdown::ZERO;
+        acc += a;
+        acc += b;
+        assert_eq!(acc, a + b);
+        assert_eq!(acc.total_pj(), 66);
+        // Order cannot matter: integers are associative and commutative.
+        assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn joule_formatting_scales() {
+        assert!(fmt_joules(2.5).ends_with(" J"));
+        assert!(fmt_joules(2.5e-3).ends_with("mJ"));
+        assert!(fmt_joules(2.5e-6).ends_with("µJ"));
+        assert!(fmt_joules(2.5e-9).ends_with("nJ"));
+        assert!(fmt_joules(2.5e-12).ends_with("pJ"));
+        assert_eq!(EnergyBreakdown::ZERO.to_string(), "0 pJ");
+    }
+}

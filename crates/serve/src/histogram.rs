@@ -15,8 +15,12 @@ const LOG2_LO: u32 = 10;
 
 /// A log2-spaced latency histogram over `[0, ~2^57) ns`.
 ///
-/// Bucket `i` covers `[2^(i+10-1), 2^(i+10)) ns` (bucket 0 absorbs
-/// everything below ~1 µs, the last bucket everything above ~2^57 ns).
+/// Bucket 0 covers `[0, 2^10) ns` — *everything* below ~1 µs, not one
+/// power-of-two like the rest — and bucket `i ≥ 1` covers
+/// `[2^(i+9), 2^(i+10)) ns`, with the last bucket additionally absorbing
+/// everything from 2^57 ns up. (`index()` saturates `log2` at the low end,
+/// so ns = 1 and ns = 1023 both land in bucket 0 while ns = 1024 starts
+/// bucket 1; the boundary tests pin this so doc and code cannot drift.)
 /// One power-of-two per bucket resolves p50/p95/p99 to within 2×, which is
 /// the right fidelity for a model-driven runtime — and the fixed layout is
 /// what lets determinism tests compare bucket counts across thread counts.
@@ -190,6 +194,21 @@ mod tests {
             let i = LatencyHistogram::index(1u64 << shift);
             assert!(i >= prev);
             prev = i;
+        }
+    }
+
+    #[test]
+    fn bucket_zero_boundary_matches_the_documented_layout() {
+        // Bucket 0 is [0, 2^10): ns = 1 and ns = 1023 are inside, ns = 1024
+        // opens bucket 1 ([2^10, 2^11)), which also holds ns = 1025.
+        assert_eq!(LatencyHistogram::index(1), 0);
+        assert_eq!(LatencyHistogram::index(1023), 0);
+        assert_eq!(LatencyHistogram::index(1024), 1);
+        assert_eq!(LatencyHistogram::index(1025), 1);
+        // General layout: bucket i >= 1 covers [2^(i+9), 2^(i+10)).
+        for i in 1..(N_BUCKETS - 1) as u32 {
+            assert_eq!(LatencyHistogram::index(1u64 << (i + 9)), i as usize);
+            assert_eq!(LatencyHistogram::index((1u64 << (i + 10)) - 1), i as usize);
         }
     }
 

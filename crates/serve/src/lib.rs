@@ -23,14 +23,19 @@
 //!   cycle-simulated accelerator.
 //! * [`histogram`] accounts queue/compute/total latency per request in
 //!   fixed log2 buckets with deterministic p50/p95/p99.
+//! * [`energy`] attributes a deterministic per-request energy to every
+//!   backend (GPU TDP × activity model for dense/pruned, event-priced
+//!   40 nm model for the accelerator), accumulated in integer picojoules —
+//!   the paper's headline metric, reported as J/req, req/J, average W and
+//!   GOPS/W.
 //!
 //! **Determinism contract.** With a fixed generator seed and
 //! [`ServeConfig`], per-request responses are bit-identical regardless of
 //! batch size, shard count or `RAYON_NUM_THREADS`, and the full
-//! [`ServeReport`] (outcomes, bucket counts, quantiles) is byte-identical
-//! across thread counts — time is virtual, driven by the load trace and
-//! the backends' deterministic cost models, never by the wall clock.
-//! `tests/tests/serving.rs` pins all of this.
+//! [`ServeReport`] (outcomes, bucket counts, quantiles, fixed-point energy
+//! totals) is byte-identical across thread counts — time is virtual,
+//! driven by the load trace and the backends' deterministic cost models,
+//! never by the wall clock. `tests/tests/serving.rs` pins all of this.
 //!
 //! # Example
 //!
@@ -50,12 +55,14 @@
 //! ```
 
 pub mod backend;
+pub mod energy;
 pub mod error;
 pub mod histogram;
 pub mod loadgen;
 pub mod runtime;
 
 pub use backend::{Backend, BackendKind, BackendOutput};
+pub use energy::EnergyBreakdown;
 pub use error::ServeError;
 pub use histogram::LatencyHistogram;
 pub use runtime::{RequestOutcome, ServeConfig, ServeReport, ServeRuntime};

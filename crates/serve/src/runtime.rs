@@ -35,6 +35,7 @@
 //! queue/compute/total latencies land in fixed-bucket histograms.
 
 use crate::backend::{Backend, BackendOutput};
+use crate::energy::{fmt_joules, EnergyBreakdown};
 use crate::histogram::{fmt_ns, LatencyHistogram};
 use crate::loadgen::arrival_times;
 use crate::ServeError;
@@ -136,6 +137,9 @@ pub enum RequestOutcome {
         /// Service time including dispatch overhead and in-batch
         /// serialization (completion − batch start).
         compute_ns: u64,
+        /// Modeled energy this request cost its backend (integer
+        /// picojoules; see [`crate::energy`]).
+        energy: EnergyBreakdown,
     },
     /// Rejected at admission: the queue was full.
     Dropped {
@@ -167,6 +171,13 @@ pub struct ServeReport {
     pub total: LatencyHistogram,
     /// Virtual time at which the last batch finished.
     pub makespan_ns: u64,
+    /// Total energy of all completed requests, in integer picojoules
+    /// (fixed-point: byte-identical across thread counts, shard counts and
+    /// batch sizes — see [`crate::energy`]).
+    pub energy: EnergyBreakdown,
+    /// Dense-equivalent attention FLOPs completed (sum over completed
+    /// requests) — the numerator of the effective GOPS/W metric.
+    pub dense_flops: u128,
     /// FNV fold of all per-request digests in id order (drops included as
     /// markers) — one number that pins every response bit.
     pub digest: u64,
@@ -184,9 +195,19 @@ impl ServeReport {
         }
     }
 
-    /// Fraction of the trace rejected by backpressure.
+    /// Fraction of *observed arrivals* rejected by backpressure.
+    ///
+    /// The denominator is what actually arrived (`completed + dropped`),
+    /// not the configured trace length — for a full trace the two
+    /// coincide, but a partial-trace run must not silently under-report
+    /// its drop rate.
     pub fn drop_fraction(&self) -> f64 {
-        self.dropped as f64 / self.config.n_requests.max(1) as f64
+        let arrivals = self.completed + self.dropped;
+        if arrivals == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / arrivals as f64
+        }
     }
 
     /// Mean requests per dispatched batch.
@@ -195,6 +216,57 @@ impl ServeReport {
             0.0
         } else {
             self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean energy per completed request in joules (0 when nothing
+    /// completed).
+    pub fn joules_per_request(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.energy.total_joules() / self.completed as f64
+        }
+    }
+
+    /// Completed requests per joule (0 when no energy was spent).
+    pub fn requests_per_joule(&self) -> f64 {
+        let j = self.energy.total_joules();
+        if j == 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / j
+        }
+    }
+
+    /// Average power over the serving window in watts: total energy /
+    /// makespan (0 for an empty run).
+    pub fn average_power_w(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            0.0
+        } else {
+            self.energy.total_joules() / (self.makespan_ns as f64 * 1e-9)
+        }
+    }
+
+    /// Effective throughput in GOPS: dense-equivalent completed work /
+    /// makespan (0 for an empty run).
+    pub fn effective_gops(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            0.0
+        } else {
+            self.dense_flops as f64 / (self.makespan_ns as f64 * 1e-9) / 1e9
+        }
+    }
+
+    /// Energy efficiency in GOPS/W — dense-equivalent work per energy,
+    /// time cancelling out (0 when no energy was spent).
+    pub fn gops_per_watt(&self) -> f64 {
+        let j = self.energy.total_joules();
+        if j == 0.0 {
+            0.0
+        } else {
+            self.dense_flops as f64 / 1e9 / j
         }
     }
 }
@@ -237,6 +309,15 @@ impl fmt::Display for ServeReport {
                 fmt_ns(h.mean_ns()),
             )?;
         }
+        writeln!(
+            f,
+            "  energy          : {} total ({}/req, {:.1} req/J, {:.1} W avg, {:.0} GOPS/W)",
+            fmt_joules(self.energy.total_joules()),
+            fmt_joules(self.joules_per_request()),
+            self.requests_per_joule(),
+            self.average_power_w(),
+            self.gops_per_watt(),
+        )?;
         Ok(())
     }
 }
@@ -261,6 +342,8 @@ struct SimState {
     shard_free: Vec<u64>,
     makespan_ns: u64,
     scenarios: Vec<usize>,
+    energy: EnergyBreakdown,
+    dense_flops: u128,
 }
 
 impl SimState {
@@ -287,6 +370,11 @@ impl SimState {
             self.compute.record(compute_ns);
             self.total.record(queue_ns + compute_ns);
             self.completed += 1;
+            // Fixed reduction order: settle() runs on the accounting
+            // thread in batch order, and the energies are integers, so the
+            // totals are byte-identical however the batches were executed.
+            self.energy += out.energy;
+            self.dense_flops += out.dense_flops as u128;
             self.outcomes[id as usize] = Some(RequestOutcome::Completed {
                 scenario: self.scenarios[id as usize],
                 digest: out.digest,
@@ -294,6 +382,7 @@ impl SimState {
                 batch: inf.batch,
                 queue_ns,
                 compute_ns,
+                energy: out.energy,
             });
         }
         self.shard_free[shard] = t;
@@ -395,6 +484,8 @@ impl ServeRuntime {
             shard_free: vec![0; cfg.shards],
             makespan_ns: 0,
             scenarios,
+            energy: EnergyBreakdown::ZERO,
+            dense_flops: 0,
         };
         let mut queue: VecDeque<(u64, u64)> = VecDeque::new();
         let mut inflight: Vec<Option<Inflight>> = (0..cfg.shards).map(|_| None).collect();
@@ -477,6 +568,17 @@ impl ServeRuntime {
         for (shard, slot) in inflight.iter_mut().enumerate() {
             state.settle(shard, slot, overhead_ns)?;
         }
+        // Conservation: every observed arrival was either served or shed.
+        // `drop_fraction` divides by this sum, so the invariant is what
+        // keeps the reported rate meaningful for partial traces too.
+        assert_eq!(
+            state.completed + state.dropped,
+            arrivals.len() as u64,
+            "runtime lost requests: {} completed + {} dropped != {} arrivals",
+            state.completed,
+            state.dropped,
+            arrivals.len()
+        );
 
         let outcomes: Vec<RequestOutcome> = state
             .outcomes
@@ -504,6 +606,8 @@ impl ServeRuntime {
             compute: state.compute,
             total: state.total,
             makespan_ns: state.makespan_ns,
+            energy: state.energy,
+            dense_flops: state.dense_flops,
             digest,
             outcomes,
         })
@@ -606,6 +710,66 @@ mod tests {
             batched.makespan_ns,
             singles.makespan_ns
         );
+    }
+
+    #[test]
+    fn energy_totals_equal_the_sum_of_per_request_attributions() {
+        let rt = runtime();
+        let cfg = ServeConfig::at_load(2_000.0, 20);
+        for kind in BackendKind::all() {
+            let report = rt.run(&kind.build(), &cfg).unwrap();
+            let mut sum = EnergyBreakdown::ZERO;
+            for o in &report.outcomes {
+                if let RequestOutcome::Completed { energy, .. } = o {
+                    sum += *energy;
+                }
+            }
+            assert_eq!(sum, report.energy, "{} energy totals disagree", kind.name());
+            assert!(report.energy.total_pj() > 0);
+            assert!(report.joules_per_request() > 0.0);
+            assert!(report.requests_per_joule() > 0.0);
+            assert!(report.average_power_w() > 0.0);
+            assert!(report.gops_per_watt() > 0.0);
+            assert!(report.dense_flops > 0);
+        }
+    }
+
+    #[test]
+    fn energy_per_request_is_load_invariant() {
+        // Energy is a property of the request, not of the schedule: two
+        // very different load points must attribute identical totals when
+        // they serve the same (complete) trace.
+        let rt = runtime();
+        let backend = BackendKind::Accelerator.build();
+        let low = rt.run(&backend, &ServeConfig::at_load(300.0, 12)).unwrap();
+        let high = rt.run(&backend, &ServeConfig::at_load(30_000.0, 12)).unwrap();
+        assert_eq!(low.dropped, 0);
+        assert_eq!(high.dropped, 0);
+        assert_eq!(low.energy, high.energy);
+        assert_eq!(low.dense_flops, high.dense_flops);
+    }
+
+    #[test]
+    fn drop_fraction_divides_by_observed_arrivals() {
+        let rt = runtime();
+        let cfg = ServeConfig {
+            queue_capacity: 2,
+            max_batch: 2,
+            shards: 1,
+            ..ServeConfig::at_load(5e6, 64)
+        };
+        let report = rt.run(&BackendKind::Dense.build(), &cfg).unwrap();
+        assert!(report.dropped > 0);
+        let arrivals = report.completed + report.dropped;
+        assert_eq!(arrivals, 64, "full trace: arrivals match the config");
+        assert!(
+            (report.drop_fraction() - report.dropped as f64 / arrivals as f64).abs() < 1e-12
+        );
+        assert!(report.drop_fraction() > 0.0 && report.drop_fraction() < 1.0);
+        // A drop-free run reports zero.
+        let calm = rt.run(&BackendKind::Dense.build(), &ServeConfig::at_load(100.0, 4)).unwrap();
+        assert_eq!(calm.dropped, 0);
+        assert_eq!(calm.drop_fraction(), 0.0);
     }
 
     #[test]

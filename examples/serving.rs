@@ -8,7 +8,7 @@
 //! scales) is admitted into a bounded queue, coalesced into dynamic
 //! batches and dispatched to the dense GPU reference, the pruned pipeline
 //! and the cycle-simulated DEFA accelerator — same trace, same virtual
-//! clock, directly comparable latency reports.
+//! clock, directly comparable latency *and energy* reports.
 
 use defa_model::workload::RequestGenerator;
 use defa_model::MsdaConfig;
@@ -18,9 +18,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gen = RequestGenerator::standard(&MsdaConfig::tiny(), 42)?;
     let runtime = ServeRuntime::new(gen);
     let cfg = ServeConfig::at_load(100_000.0, 32);
+    let mut joules_per_req = Vec::new();
     for kind in BackendKind::all() {
         let report = runtime.run(&kind.build(), &cfg)?;
         println!("{report}");
+        joules_per_req.push((kind.name(), report.joules_per_request()));
+    }
+    // The paper's headline, measured on the served trace itself.
+    let by_name = |name: &str| joules_per_req.iter().find(|(n, _)| *n == name).map(|&(_, j)| j);
+    if let (Some(dense), Some(accel)) = (by_name("dense"), by_name("defa-accel")) {
+        if accel > 0.0 {
+            println!(
+                "energy per request: accelerator {:.0}x below the dense GPU model on this trace",
+                dense / accel
+            );
+        }
     }
     Ok(())
 }

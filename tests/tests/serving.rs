@@ -9,12 +9,15 @@
 //!   report — outcomes, histogram bucket counts, quantiles, drops — is
 //!   byte-identical across `RAYON_NUM_THREADS` settings (pinned here via
 //!   `with_num_threads`, exactly like `determinism.rs` pins the compute
-//!   core).
+//!   core);
+//! * energy is accounted per request in integer picojoules
+//!   (`defa_serve::energy`), so totals are byte-identical across thread
+//!   counts, shard counts and batch sizes too.
 
 use defa_model::workload::RequestGenerator;
 use defa_model::MsdaConfig;
 use defa_parallel::with_num_threads;
-use defa_serve::{BackendKind, RequestOutcome, ServeConfig, ServeRuntime};
+use defa_serve::{BackendKind, EnergyBreakdown, RequestOutcome, ServeConfig, ServeRuntime};
 
 fn runtime(seed: u64) -> ServeRuntime {
     ServeRuntime::new(RequestGenerator::standard(&MsdaConfig::tiny(), seed).unwrap())
@@ -100,6 +103,62 @@ fn serve_report_is_byte_identical_across_thread_counts() {
         assert_eq!(multi.queue.bucket_counts(), single.queue.bucket_counts());
         assert_eq!(multi.compute.bucket_counts(), single.compute.bucket_counts());
         assert_eq!(multi.total.bucket_counts(), single.total.bucket_counts());
+    }
+}
+
+/// Energy accounting keeps the same determinism contract as latency: the
+/// accelerator backend's fixed-point totals — and the whole report digest —
+/// are byte-identical between a single- and a multi-threaded runtime, at an
+/// under- and an over-loaded operating point.
+#[test]
+fn energy_totals_are_byte_identical_across_thread_counts() {
+    for offered_load in [800.0, 20_000.0] {
+        let cfg = ServeConfig {
+            queue_capacity: 16,
+            max_batch: 4,
+            shards: 2,
+            ..ServeConfig::at_load(offered_load, 24)
+        };
+        let multi = with_num_threads(4, || {
+            let rt = runtime(13);
+            rt.run(&BackendKind::Accelerator.build(), &cfg).unwrap()
+        });
+        let single = with_num_threads(1, || {
+            let rt = runtime(13);
+            rt.run(&BackendKind::Accelerator.build(), &cfg).unwrap()
+        });
+        assert!(multi.energy.total_pj() > 0, "accelerator requests must cost energy");
+        assert_eq!(
+            multi.energy, single.energy,
+            "energy totals diverged across thread counts at load {offered_load}"
+        );
+        assert_eq!(multi.dense_flops, single.dense_flops);
+        assert_eq!(multi.digest, single.digest);
+        assert_eq!(multi, single, "report diverged across thread counts at load {offered_load}");
+    }
+}
+
+/// Per-request energy is a property of the request alone, so totals over
+/// the same completed trace are invariant to batch size and shard count —
+/// not just reproducible, but *identical* fixed-point integers.
+#[test]
+fn energy_totals_are_batch_and_shard_invariant() {
+    let rt = runtime(42);
+    let base = ServeConfig {
+        queue_capacity: 64,
+        batch_deadline_us: 5_000,
+        ..ServeConfig::at_load(1_500.0, 20)
+    };
+    let backend = BackendKind::Accelerator.build();
+    let mut seen: Vec<(EnergyBreakdown, u128)> = Vec::new();
+    for (max_batch, shards) in [(1usize, 1usize), (4, 2), (16, 4)] {
+        let report =
+            rt.run(&backend, &ServeConfig { max_batch, shards, ..base.clone() }).unwrap();
+        assert_eq!(report.dropped, 0, "capacity sized to avoid drops");
+        seen.push((report.energy, report.dense_flops));
+    }
+    for w in seen.windows(2) {
+        assert_eq!(w[0], w[1], "energy totals must not depend on batching/sharding");
     }
 }
 
