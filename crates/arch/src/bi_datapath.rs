@@ -56,7 +56,7 @@ pub fn interpolate(neighbors: [Fixed; 4], t0: Fixed, t1: Fixed) -> BiResult {
     let d10 = n1 - n0; //               add 2
     let d32 = n3 - n2; //               add 3
     let dxx = d32 - d10; //             add 4: N3 − N2 − N1 + N0
-    // Multipliers (3):
+                         // Multipliers (3):
     let m1 = dxx * t0v; //              mul 1
     let inner = d10 + m1; //            add 5
     let m2 = inner * t1v; //            mul 2

@@ -119,7 +119,12 @@ mod tests {
     #[test]
     fn add_assign_merges_everything() {
         let mut a = EventCounters { mm_macs: 1, sram_read_bits: 8, ..Default::default() };
-        let b = EventCounters { mm_macs: 2, sram_write_bits: 4, bank_conflicts: 3, ..Default::default() };
+        let b = EventCounters {
+            mm_macs: 2,
+            sram_write_bits: 4,
+            bank_conflicts: 3,
+            ..Default::default()
+        };
         a += b;
         assert_eq!(a.mm_macs, 3);
         assert_eq!(a.sram_bits(), 12);

@@ -141,10 +141,7 @@ mod tests {
     #[test]
     fn scattered_small_accesses_waste_bandwidth() {
         let (sweep, scatter) = sweep_vs_scatter(DramTiming::hbm2(), 64 * 1024, 48);
-        assert!(
-            sweep > scatter * 5.0,
-            "sweep {sweep} vs scatter {scatter} B/cycle"
-        );
+        assert!(sweep > scatter * 5.0, "sweep {sweep} vs scatter {scatter} B/cycle");
     }
 
     #[test]

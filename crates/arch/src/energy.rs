@@ -163,8 +163,8 @@ mod tests {
         // traffic to compute must land DRAM-dominated.
         let m = EnergyModel::forty_nm();
         let c = EventCounters {
-            mm_macs: 1_000_000,          // 0.18 mJ-scale compute
-            dram_read_bits: 10_000_000,  // 12 mJ-scale DRAM
+            mm_macs: 1_000_000,         // 0.18 mJ-scale compute
+            dram_read_bits: 10_000_000, // 12 mJ-scale DRAM
             sram_read_bits: 8_000_000,
             ..Default::default()
         };

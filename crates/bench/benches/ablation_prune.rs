@@ -13,14 +13,14 @@ fn bench_ablation(c: &mut Criterion) {
 
     let variants: [(&str, PruneSettings); 5] = [
         ("all_on", PruneSettings::paper_defaults()),
-        ("fwp_only", PruneSettings {
-            fwp: Some(FwpConfig::paper_default()),
-            ..PruneSettings::disabled()
-        }),
-        ("pap_only", PruneSettings {
-            pap: Some(PapConfig::paper_default()),
-            ..PruneSettings::disabled()
-        }),
+        (
+            "fwp_only",
+            PruneSettings { fwp: Some(FwpConfig::paper_default()), ..PruneSettings::disabled() },
+        ),
+        (
+            "pap_only",
+            PruneSettings { pap: Some(PapConfig::paper_default()), ..PruneSettings::disabled() },
+        ),
         ("range_only", PruneSettings { range_narrowing: true, ..PruneSettings::disabled() }),
         ("int12_only", PruneSettings { quant_bits: Some(12), ..PruneSettings::disabled() }),
     ];

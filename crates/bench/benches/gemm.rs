@@ -51,13 +51,8 @@ fn bench_gemm_512(c: &mut Criterion) {
         let mut scratch = Scratch::new();
         let mut out = Tensor::zeros([512, 512]);
         bch.iter(|| {
-            matmul_into(
-                std::hint::black_box(&a),
-                std::hint::black_box(&b),
-                &mut out,
-                &mut scratch,
-            )
-            .unwrap()
+            matmul_into(std::hint::black_box(&a), std::hint::black_box(&b), &mut out, &mut scratch)
+                .unwrap()
         })
     });
     group.bench_function("blocked_seed", |bch| {

@@ -16,11 +16,9 @@ fn bench_msgs(c: &mut Criterion) {
     for (label, mapping) in
         [("inter_level", BankMapping::InterLevel), ("intra_level", BankMapping::IntraLevel)]
     {
-        let engine = MsgsEngine::new(
-            &cfg,
-            MsgsSettings { mapping, ..MsgsSettings::paper_default() },
-        )
-        .unwrap();
+        let engine =
+            MsgsEngine::new(&cfg, MsgsSettings { mapping, ..MsgsSettings::paper_default() })
+                .unwrap();
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mut counters = EventCounters::new();

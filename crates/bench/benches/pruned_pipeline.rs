@@ -13,8 +13,7 @@ fn bench_pipeline(c: &mut Criterion) {
     group.bench_function("exact", |b| b.iter(|| run_encoder(std::hint::black_box(&wl)).unwrap()));
     group.bench_function("pruned_paper_defaults", |b| {
         b.iter(|| {
-            run_pruned_encoder(std::hint::black_box(&wl), &PruneSettings::paper_defaults())
-                .unwrap()
+            run_pruned_encoder(std::hint::black_box(&wl), &PruneSettings::paper_defaults()).unwrap()
         })
     });
     group.bench_function("pruned_disabled", |b| {

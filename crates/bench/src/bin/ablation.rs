@@ -31,11 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             PruneSettings { range_narrowing: true, ..PruneSettings::disabled() },
             0.26,
         ),
-        (
-            "INT12 only",
-            PruneSettings { quant_bits: Some(12), ..PruneSettings::disabled() },
-            0.07,
-        ),
+        ("INT12 only", PruneSettings { quant_bits: Some(12), ..PruneSettings::disabled() }, 0.07),
         (
             "INT8 only (rejected)",
             PruneSettings { quant_bits: Some(8), ..PruneSettings::disabled() },
@@ -61,8 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (_, settings, _) = &variants[idx / nb];
         let (wl, exact) = &exacts[idx % nb];
         let pruned = run_pruned_encoder(wl, settings)?;
-        let est =
-            estimate_ap(benches[idx % nb], &exact.final_features, &pruned.final_features)?;
+        let est = estimate_ap(benches[idx % nb], &exact.final_features, &pruned.final_features)?;
         Ok::<(f64, f64), Box<dyn std::error::Error + Send + Sync>>((
             est.fidelity_error as f64,
             est.drop() as f64,
@@ -99,11 +94,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Level-wise vs unified bounded ranges (§4.1)",
         &["metric", "ours", "paper"],
         &[
-            vec![
-                "unified-range extra storage".into(),
-                pct(overhead),
-                pct(0.25),
-            ],
+            vec!["unified-range extra storage".into(), pct(overhead), pct(0.25)],
             vec![
                 "level-wise storage (pixel slots)".into(),
                 ranges.storage_pixels(&cfg).to_string(),

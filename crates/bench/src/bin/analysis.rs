@@ -20,10 +20,19 @@ fn main() {
         "MSDeformAttn vs DeformConv workload",
         &["metric", "ours", "paper"],
         &[
-            vec!["multi-scale fmap amplification".into(), ratio(cmp.fmap_amplification), "21.3x".into()],
+            vec![
+                "multi-scale fmap amplification".into(),
+                ratio(cmp.fmap_amplification),
+                "21.3x".into(),
+            ],
             vec![
                 "sampling points per head".into(),
-                format!("{} vs {} ({})", cfg.points_per_head(), dc.points_per_pixel(), ratio(cmp.points_per_head_ratio)),
+                format!(
+                    "{} vs {} ({})",
+                    cfg.points_per_head(),
+                    dc.points_per_pixel(),
+                    ratio(cmp.points_per_head_ratio)
+                ),
                 "N_l*N_p x more".into(),
             ],
             vec!["total sampling points".into(), ratio(cmp.total_points_ratio), "-".into()],
@@ -58,8 +67,16 @@ fn main() {
         "On-chip buffer required for MSGS",
         &["design", "buffer", "paper"],
         &[
-            vec!["attention accelerator (unbounded sampling)".into(), format!("{unbounded:.1} MB"), "up to 9.8 MB".into()],
-            vec!["DEFA (level-wise bounded row buffers)".into(), format!("{ours:.2} MB"), "-".into()],
+            vec![
+                "attention accelerator (unbounded sampling)".into(),
+                format!("{unbounded:.1} MB"),
+                "up to 9.8 MB".into(),
+            ],
+            vec![
+                "DEFA (level-wise bounded row buffers)".into(),
+                format!("{ours:.2} MB"),
+                "-".into(),
+            ],
             vec!["reduction".into(), ratio(unbounded / ours), "-".into()],
         ],
     );

@@ -40,7 +40,10 @@ fn msgs_memory_energy(
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_env();
     let cfg = opts.config();
-    println!("Figure 7(b) — energy savings of op fusion and fmap reuse (scale: {})", opts.scale_label());
+    println!(
+        "Figure 7(b) — energy savings of op fusion and fmap reuse (scale: {})",
+        opts.scale_label()
+    );
 
     let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &cfg, opts.seed)?;
     let all_on = MsgsSettings::paper_default();
@@ -48,18 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut rows = Vec::new();
     for (label, settings, paper_dram, paper_sram) in [
-        (
-            "Op Fusion",
-            MsgsSettings { fused: false, ..all_on },
-            0.733,
-            0.159,
-        ),
-        (
-            "Fmap Reuse",
-            MsgsSettings { fmap_reuse: false, ..all_on },
-            0.882,
-            0.227,
-        ),
+        ("Op Fusion", MsgsSettings { fused: false, ..all_on }, 0.733, 0.159),
+        ("Fmap Reuse", MsgsSettings { fmap_reuse: false, ..all_on }, 0.882, 0.227),
     ] {
         let (dram_off, sram_off) = msgs_memory_energy(&wl, settings)?;
         let total_off = dram_off + sram_off;
@@ -78,6 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &["feature", "DRAM saving (ours)", "DRAM (paper)", "SRAM saving (ours)", "SRAM (paper)"],
         &rows,
     );
-    println!("\nBaseline (all features on): DRAM {:.1} µJ, SRAM {:.1} µJ per encoder.", dram_on / 1e6, sram_on / 1e6);
+    println!(
+        "\nBaseline (all features on): DRAM {:.1} µJ, SRAM {:.1} µJ per encoder.",
+        dram_on / 1e6,
+        sram_on / 1e6
+    );
     Ok(())
 }

@@ -17,11 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Figure 9 — speedup and energy efficiency vs GPUs (scale: {})", opts.scale_label());
 
     // Paper values: (speedup 2080Ti, speedup 3090Ti, EE 2080Ti, EE 3090Ti).
-    let paper = [
-        (11.8, 31.9, 23.2, 37.7),
-        (10.1, 29.4, 20.3, 35.3),
-        (10.8, 30.2, 21.6, 36.3),
-    ];
+    let paper = [(11.8, 31.9, 23.2, 37.7), (10.1, 29.4, 20.3, 35.3), (10.8, 30.2, 21.6, 36.3)];
 
     let accel = DefaAccelerator { measure_fidelity: false, ..DefaAccelerator::paper_default() };
     let gpus = [(GpuSpec::rtx_2080ti(), 13.3), (GpuSpec::rtx_3090ti(), 40.0)];

@@ -11,21 +11,31 @@
 //! * `--quick` — tiny config, single operating point per backend (the CI
 //!   smoke mode);
 //! * `--requests <n>` — requests per operating point;
-//! * `--shards <n>` — worker shards.
+//! * `--shards <n>` — worker shards;
+//! * `--json` — machine-readable output on stdout instead of the table
+//!   (virtual-time metrics only, so the document is byte-stable across
+//!   hosts; `BENCH_serve.json` pins the `--quick` form in CI).
 
+use defa_bench::json::{to_document, Json};
 use defa_bench::table::print_table;
 use defa_bench::RunOptions;
 use defa_model::workload::RequestGenerator;
 use defa_model::MsdaConfig;
 use defa_serve::energy::fmt_joules;
 use defa_serve::histogram::fmt_ns;
-use defa_serve::{BackendKind, ServeConfig, ServeRuntime};
+use defa_serve::{BackendKind, ServeConfig, ServeReport, ServeRuntime};
 use std::time::Instant;
+
+struct Row {
+    report: ServeReport,
+    load_mult: f64,
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = RunOptions::parse(args.iter().cloned());
     let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
     let mut n_requests = if quick { 16 } else { 48 };
     let mut shards = 2usize;
     for w in args.windows(2) {
@@ -38,16 +48,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let base = if quick { MsdaConfig::tiny() } else { opts.config() };
     let gen = RequestGenerator::standard(&base, opts.seed)?;
-    println!(
-        "Serving sweep (scale: {}; {} scenarios, {} requests/point, {} shards)",
-        if quick { "tiny (--quick)" } else { opts.scale_label() },
-        gen.scenarios().len(),
-        n_requests,
-        shards,
-    );
-    for s in gen.scenarios() {
-        let cfg = s.workload.config();
-        println!("  scenario: {:<14} ({} queries x {} dims)", s.name, cfg.n_in(), cfg.d_model);
+    if !json {
+        println!(
+            "Serving sweep (scale: {}; {} scenarios, {} requests/point, {} shards)",
+            if quick { "tiny (--quick)" } else { opts.scale_label() },
+            gen.scenarios().len(),
+            n_requests,
+            shards,
+        );
+        for s in gen.scenarios() {
+            let cfg = s.workload.config();
+            println!("  scenario: {:<14} ({} queries x {} dims)", s.name, cfg.n_in(), cfg.d_model);
+        }
     }
     let runtime = ServeRuntime::new(gen);
 
@@ -55,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let load_mults: &[f64] = if quick { &[2.0] } else { &[0.5, 2.0] };
 
     let wall = Instant::now();
-    let mut rows = Vec::new();
+    let mut rows: Vec<Row> = Vec::new();
     for kind in BackendKind::all() {
         let backend = kind.build();
         // Deterministic calibration probe: request 0's modeled cost.
@@ -73,28 +85,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     n_requests,
                     queue_capacity: (4 * max_batch).max(16),
                     max_batch,
-                    batch_deadline_us: 2_000,
-                    batch_overhead_us: 50,
                     shards,
+                    ..ServeConfig::at_load(offered, n_requests)
                 };
                 let report = runtime.run(&backend, &cfg)?;
-                rows.push(vec![
-                    report.backend.clone(),
-                    format!("{mult:.1}x"),
-                    format!("{offered:.0}"),
-                    format!("{max_batch}"),
-                    format!("{:.1}", report.mean_batch_size()),
-                    format!("{}/{}", report.completed, report.dropped),
-                    format!("{:.0}", report.achieved_rps()),
-                    fmt_ns(report.total.p50_ns()),
-                    fmt_ns(report.total.p95_ns()),
-                    fmt_ns(report.total.p99_ns()),
-                    fmt_joules(report.joules_per_request()),
-                    format!("{:.0}", report.gops_per_watt()),
-                ]);
+                rows.push(Row { report, load_mult: mult });
             }
         }
     }
+
+    if json {
+        let doc = Json::obj([
+            ("bench", Json::str("serve")),
+            ("scale", Json::str(if quick { "tiny" } else { opts.scale_label() })),
+            ("seed", Json::uint(opts.seed as u128)),
+            ("requests_per_point", Json::uint(n_requests as u128)),
+            ("shards", Json::uint(shards as u128)),
+            ("rows", Json::Arr(rows.iter().map(row_json).collect())),
+        ]);
+        print!("{}", to_document(&doc));
+        return Ok(());
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.report.backend.clone(),
+                format!("{:.1}x", r.load_mult),
+                format!("{:.0}", r.report.config.offered_load),
+                format!("{}", r.report.config.max_batch),
+                format!("{:.1}", r.report.mean_batch_size()),
+                format!("{}/{}", r.report.completed, r.report.dropped),
+                format!("{:.0}", r.report.achieved_rps()),
+                fmt_ns(r.report.total.p50_ns()),
+                fmt_ns(r.report.total.p95_ns()),
+                fmt_ns(r.report.total.p99_ns()),
+                fmt_joules(r.report.joules_per_request()),
+                format!("{:.0}", r.report.gops_per_watt()),
+            ]
+        })
+        .collect();
     print_table(
         "Serving: offered load x batch size x backend (virtual time)",
         &[
@@ -111,7 +142,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "J/req",
             "GOPS/W",
         ],
-        &rows,
+        &table,
     );
     println!(
         "\nLatency/throughput columns use the deterministic virtual clock and the energy\n\
@@ -120,4 +151,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         wall.elapsed().as_secs_f64()
     );
     Ok(())
+}
+
+/// One sweep row as a flat JSON object of virtual-time metrics only (no
+/// wall clock, so the document is byte-stable).
+fn row_json(r: &Row) -> Json {
+    let rep = &r.report;
+    Json::obj([
+        ("backend", Json::str(rep.backend.clone())),
+        ("load_mult", Json::num(r.load_mult)),
+        ("offered_rps", Json::num(rep.config.offered_load)),
+        ("max_batch", Json::uint(rep.config.max_batch as u128)),
+        ("mean_batch", Json::num(rep.mean_batch_size())),
+        ("completed", Json::uint(rep.completed as u128)),
+        ("dropped", Json::uint(rep.dropped as u128)),
+        ("slo_violations", Json::uint(rep.slo_violations as u128)),
+        ("achieved_rps", Json::num(rep.achieved_rps())),
+        ("p50_total_ns", Json::uint(rep.total.p50_ns() as u128)),
+        ("p95_total_ns", Json::uint(rep.total.p95_ns() as u128)),
+        ("p99_total_ns", Json::uint(rep.total.p99_ns() as u128)),
+        ("makespan_ns", Json::uint(rep.makespan_ns as u128)),
+        ("energy_total_pj", Json::uint(rep.energy.total_pj())),
+        ("gops_per_watt", Json::num(rep.gops_per_watt())),
+        ("digest", Json::str(format!("{:#018x}", rep.digest))),
+    ])
 }

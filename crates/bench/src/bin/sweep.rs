@@ -48,10 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let thresholds = [0.005f32, 0.01, 0.02, 0.05];
     let rows = defa_parallel::par_map_collect(thresholds.len(), |i| {
         let thr = thresholds[i];
-        let settings = PruneSettings {
-            pap: Some(PapConfig::new(thr)?),
-            ..PruneSettings::paper_defaults()
-        };
+        let settings =
+            PruneSettings { pap: Some(PapConfig::new(thr)?), ..PruneSettings::paper_defaults() };
         let run = run_pruned_encoder(&wl, &settings)?;
         Ok(vec![
             format!("{thr:.3}"),

@@ -21,10 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             accel.run_workload(&wl, &PruneSettings::paper_defaults())
         },
         || {
-            accel.area.price(
-                &DefaAccelerator::sram_inventory(&defa_model::MsdaConfig::full()),
-                &accel.pe,
-            )
+            accel
+                .area
+                .price(&DefaAccelerator::sram_inventory(&defa_model::MsdaConfig::full()), &accel.pe)
         },
     );
     let report = report?;
@@ -72,16 +71,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
     print_table(
         "ASIC comparison",
-        &[
-            "design", "venue", "function", "nm", "mm²", "MHz", "prec", "mW", "GOPS", "GOPS/W",
-        ],
+        &["design", "venue", "function", "nm", "mm²", "MHz", "prec", "mW", "GOPS", "GOPS/W"],
         &rows,
     );
 
     let ours = report.gops_per_watt();
     println!("\nEnergy-efficiency improvement of DEFA (ours) over:");
     for a in &ASICS {
-        println!("  {:>8}: {:.1}x  (paper: {:.1}x)", a.name, ours / a.energy_efficiency(), DEFA_PAPER.energy_efficiency() / a.energy_efficiency());
+        println!(
+            "  {:>8}: {:.1}x  (paper: {:.1}x)",
+            a.name,
+            ours / a.energy_efficiency(),
+            DEFA_PAPER.energy_efficiency() / a.energy_efficiency()
+        );
     }
     println!("\nOnly DEFA supports the MSDeformAttn grid-sampling dataflow;");
     println!("the attention ASICs cannot execute MSGS at all (§2.2).");

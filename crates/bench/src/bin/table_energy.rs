@@ -18,8 +18,12 @@
 //!
 //! * `--quick` — tiny config, fewer requests (the CI smoke mode);
 //! * `--requests <n>` — requests in the trace;
-//! * `--shards <n>` — worker shards.
+//! * `--shards <n>` — worker shards;
+//! * `--json` — machine-readable per-scenario and per-backend energy
+//!   metrics on stdout instead of the tables (virtual-time only, so the
+//!   document is byte-stable across hosts).
 
+use defa_bench::json::{to_document, Json};
 use defa_bench::table::print_table;
 use defa_bench::RunOptions;
 use defa_model::workload::RequestGenerator;
@@ -51,6 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = RunOptions::parse(args.iter().cloned());
     let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
     // Enough requests that the seeded scenario hash populates all nine
     // grid cells (72 covers the default seed; the table dashes out any
     // cell an exotic seed leaves empty).
@@ -67,13 +72,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = if quick { MsdaConfig::tiny() } else { opts.config() };
     let gen = RequestGenerator::grid(&base, opts.seed)?;
     let n_scenarios = gen.scenarios().len();
-    println!(
-        "Serving energy table (scale: {}; {} scenarios, {} requests, {} shards, 2x load)",
-        if quick { "tiny (--quick)" } else { opts.scale_label() },
-        n_scenarios,
-        n_requests,
-        shards,
-    );
+    if !json {
+        println!(
+            "Serving energy table (scale: {}; {} scenarios, {} requests, {} shards, 2x load)",
+            if quick { "tiny (--quick)" } else { opts.scale_label() },
+            n_scenarios,
+            n_requests,
+            shards,
+        );
+    }
     let runtime = ServeRuntime::new(gen);
 
     let wall = Instant::now();
@@ -88,14 +95,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let wl = runtime.generator().scenario(req.scenario)?;
             backend.run(wl, &req)?
         };
+        let offered = 1e9 / probe.cost_ns as f64 * shards as f64 * 2.0;
         let cfg = ServeConfig {
-            offered_load: 1e9 / probe.cost_ns as f64 * shards as f64 * 2.0,
-            n_requests,
             queue_capacity: 64,
             max_batch: 8,
-            batch_deadline_us: 2_000,
-            batch_overhead_us: 50,
             shards,
+            ..ServeConfig::at_load(offered, n_requests)
         };
         let report = runtime.run(&backend, &cfg)?;
         let mut scenarios = vec![ScenarioEnergy::default(); n_scenarios];
@@ -108,6 +113,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         per_backend.push((scenarios, report));
     }
 
+    if json {
+        let scenario_rows: Vec<Json> = runtime
+            .generator()
+            .scenarios()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let cells: Vec<Json> = per_backend
+                    .iter()
+                    .map(|(sc, r)| {
+                        Json::obj([
+                            ("backend", Json::str(r.backend.clone())),
+                            ("requests", Json::uint(sc[i].requests as u128)),
+                            ("energy_pj", Json::uint(sc[i].energy.total_pj())),
+                        ])
+                    })
+                    .collect();
+                Json::obj([
+                    ("scenario", Json::str(s.name.clone())),
+                    (
+                        "dense_flops_per_request",
+                        Json::uint(scenario_dense_flops(&s.workload) as u128),
+                    ),
+                    ("backends", Json::Arr(cells)),
+                ])
+            })
+            .collect();
+        let summaries: Vec<Json> = per_backend
+            .iter()
+            .map(|(_, r)| {
+                Json::obj([
+                    ("backend", Json::str(r.backend.clone())),
+                    ("completed", Json::uint(r.completed as u128)),
+                    ("dropped", Json::uint(r.dropped as u128)),
+                    ("energy_total_pj", Json::uint(r.energy.total_pj())),
+                    ("requests_per_joule", Json::num(r.requests_per_joule())),
+                    ("average_power_w", Json::num(r.average_power_w())),
+                    ("gops_per_watt", Json::num(r.gops_per_watt())),
+                    ("p99_total_ns", Json::uint(r.total.p99_ns() as u128)),
+                ])
+            })
+            .collect();
+        let doc = Json::obj([
+            ("bench", Json::str("table_energy")),
+            ("scale", Json::str(if quick { "tiny" } else { opts.scale_label() })),
+            ("seed", Json::uint(opts.seed as u128)),
+            ("requests", Json::uint(n_requests as u128)),
+            ("shards", Json::uint(shards as u128)),
+            ("scenarios", Json::Arr(scenario_rows)),
+            ("backends", Json::Arr(summaries)),
+        ]);
+        print!("{}", to_document(&doc));
+        return Ok(());
+    }
+
     // Per-scenario table: J/req per backend plus the accelerator's win.
     let mut rows = Vec::new();
     let mut accel_wins_everywhere = true;
@@ -116,8 +176,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cells: Vec<ScenarioEnergy> = per_backend.iter().map(|(sc, _)| sc[i]).collect();
         let (dense, pruned, accel) = (cells[0], cells[1], cells[2]);
         if accel.requests > 0 && dense.requests > 0 {
-            accel_wins_everywhere &=
-                accel.joules_per_request() < dense.joules_per_request();
+            accel_wins_everywhere &= accel.joules_per_request() < dense.joules_per_request();
         }
         let jpr = |c: ScenarioEnergy| {
             if c.requests == 0 {
@@ -153,7 +212,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     print_table(
         "Energy per request: dense GPU vs pruned GPU vs DEFA accelerator (9 scenarios)",
-        &["scenario", "reqs d/p/a", "dense J/req", "pruned J/req", "accel J/req", "accel win", "accel GOPS/W"],
+        &[
+            "scenario",
+            "reqs d/p/a",
+            "dense J/req",
+            "pruned J/req",
+            "accel J/req",
+            "accel win",
+            "accel GOPS/W",
+        ],
         &rows,
     );
 

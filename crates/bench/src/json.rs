@@ -1,0 +1,160 @@
+//! Minimal JSON emission for machine-readable bench output.
+//!
+//! The container has no registry access, so instead of `serde` this is a
+//! tiny value tree with a deterministic writer: keys keep insertion
+//! order, floats print with up to six fractional digits via Rust's
+//! locale-independent formatter, and integers stay integers. Output is
+//! therefore byte-stable across platforms for the virtual-time metrics
+//! the bins report — `BENCH_serve.json` is diffed in CI on that basis.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept exact; serving counters are integers).
+    Int(i128),
+    /// A float, emitted with up to six fractional digits (values below
+    /// 5e-7 collapse to `0` — keep sub-microscopic metrics in integer
+    /// units like picojoules instead).
+    Num(f64),
+    /// A string (escaped on write).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object from `(key, value)` pairs, preserving order.
+    pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An integer value (anything convertible to `i128`).
+    pub fn int(v: impl Into<i128>) -> Json {
+        Json::Int(v.into())
+    }
+
+    /// A u128 value, saturating into `i128` range (serving totals fit).
+    pub fn uint(v: u128) -> Json {
+        Json::Int(i128::try_from(v).unwrap_or(i128::MAX))
+    }
+
+    /// A float value.
+    pub fn num(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+fn escape(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(i) => write!(f, "{i}"),
+            Json::Num(n) if n.is_finite() => {
+                // Six fractional digits: stable, compact, and more
+                // precision than any virtual-time metric is good for.
+                let s = format!("{n:.6}");
+                let s = s.trim_end_matches('0').trim_end_matches('.');
+                f.write_str(if s.is_empty() || s == "-" { "0" } else { s })
+            }
+            Json::Num(_) => f.write_str("null"), // NaN/inf have no JSON form
+            Json::Str(s) => escape(s, f),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape(k, f)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Renders a value with a trailing newline — the whole-document form the
+/// `--json` bin modes print.
+pub fn to_document(v: &Json) -> String {
+    format!("{v}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_render_canonically() {
+        let v = Json::obj([
+            ("name", Json::str("serve")),
+            ("n", Json::int(3u32)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("rows", Json::Arr(vec![Json::int(1u32), Json::num(2.5)])),
+        ]);
+        assert_eq!(v.to_string(), r#"{"name":"serve","n":3,"ok":true,"none":null,"rows":[1,2.5]}"#);
+    }
+
+    #[test]
+    fn floats_trim_but_integers_do_not() {
+        assert_eq!(Json::num(1234.0).to_string(), "1234");
+        assert_eq!(Json::num(0.125).to_string(), "0.125");
+        assert_eq!(Json::num(1.0 / 3.0).to_string(), "0.333333");
+        assert_eq!(Json::num(0.0).to_string(), "0");
+        assert_eq!(Json::num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::int(7i64).to_string(), "7");
+        assert_eq!(Json::uint(u128::MAX).to_string(), i128::MAX.to_string());
+    }
+
+    #[test]
+    fn strings_escape_control_characters() {
+        assert_eq!(Json::str("a\"b\\c\nd").to_string(), r#""a\"b\\c\nd""#);
+        assert_eq!(Json::str("\u{1}").to_string(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn documents_end_with_a_newline() {
+        assert!(to_document(&Json::Null).ends_with('\n'));
+    }
+}

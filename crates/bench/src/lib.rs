@@ -5,6 +5,7 @@
 //! whole suite runs in seconds. Tables print "ours" next to the paper's
 //! reported value wherever the paper gives one.
 
+pub mod json;
 pub mod scaling;
 pub mod table;
 
@@ -80,9 +81,7 @@ mod tests {
 
     #[test]
     fn full_and_seed_are_parsed() {
-        let o = RunOptions::parse(
-            ["--full", "--seed", "7"].iter().map(|s| s.to_string()),
-        );
+        let o = RunOptions::parse(["--full", "--seed", "7"].iter().map(|s| s.to_string()));
         assert!(o.full);
         assert_eq!(o.seed, 7);
         assert_eq!(o.config(), MsdaConfig::full());

@@ -30,9 +30,9 @@ pub fn scaled_seconds(report: &RunReport, target_tops: f64) -> f64 {
     let s = (target_tops / base_peak_tops()).max(1.0);
     let util = scaled_utilization(s);
     let c = &report.counters;
-    let compute_cycles =
-        (c.mm_cycles + c.msgs_cycles + c.softmax_cycles + c.conflict_stall_cycles) as f64
-            / (s * util);
+    let compute_cycles = (c.mm_cycles + c.msgs_cycles + c.softmax_cycles + c.conflict_stall_cycles)
+        as f64
+        / (s * util);
     let dram_cycles = c.dram_bits() as f64 / Dram::hbm2().bits_per_cycle() as f64;
     compute_cycles.max(dram_cycles) / CLOCK_HZ as f64
 }

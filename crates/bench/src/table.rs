@@ -21,11 +21,8 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             }
         }
     }
-    let header_line: Vec<String> = headers
-        .iter()
-        .enumerate()
-        .map(|(i, h)| format!("{:<w$}", h, w = widths[i]))
-        .collect();
+    let header_line: Vec<String> =
+        headers.iter().enumerate().map(|(i, h)| format!("{:<w$}", h, w = widths[i])).collect();
     println!("{}", header_line.join("  "));
     println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
     for row in rows {
@@ -60,6 +57,10 @@ mod tests {
 
     #[test]
     fn print_table_does_not_panic_on_ragged_rows() {
-        print_table("t", &["a", "b"], &[vec!["1".into()], vec!["1".into(), "2".into(), "3".into()]]);
+        print_table(
+            "t",
+            &["a", "b"],
+            &[vec!["1".into()], vec!["1".into(), "2".into(), "3".into()]],
+        );
     }
 }

@@ -134,7 +134,6 @@ pub fn simulate_block(
     Ok((stats, stages))
 }
 
-
 /// Simulates one *decoder* cross-attention block: `n_queries` object
 /// queries sample the `cfg`-shaped encoder memory.
 ///
@@ -299,16 +298,8 @@ mod tests {
         let cfg = MsdaConfig::tiny();
         let (engine, locs, keep) = setup(&cfg);
         let mut c = EventCounters::new();
-        simulate_block(
-            &cfg,
-            &engine,
-            &PeArray::new(),
-            &locs,
-            &keep,
-            BlockPruning::dense(),
-            &mut c,
-        )
-        .unwrap();
+        simulate_block(&cfg, &engine, &PeArray::new(), &locs, &keep, BlockPruning::dense(), &mut c)
+            .unwrap();
         // Either stalls exist or compute fully hides the traffic; both are
         // legal, but total cycles must dominate pure-MM cycles.
         assert!(c.total_cycles() >= c.mm_cycles);

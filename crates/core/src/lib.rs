@@ -43,5 +43,5 @@ pub mod trace;
 pub use error::CoreError;
 pub use msgs::{MsgsEngine, MsgsSettings, MsgsStats};
 pub use report::RunReport;
-pub use trace::StageCycles;
 pub use runner::DefaAccelerator;
+pub use trace::StageCycles;

@@ -99,11 +99,7 @@ impl MsgsEngine {
     /// Returns [`CoreError::Model`] if the configuration is invalid.
     pub fn new(cfg: &MsdaConfig, settings: MsgsSettings) -> Result<Self, CoreError> {
         cfg.validate()?;
-        Ok(MsgsEngine {
-            ranges: RangeConfig::paper_defaults(cfg),
-            cfg: cfg.clone(),
-            settings,
-        })
+        Ok(MsgsEngine { ranges: RangeConfig::paper_defaults(cfg), cfg: cfg.clone(), settings })
     }
 
     /// The engine's settings.
@@ -253,11 +249,8 @@ impl MsgsEngine {
                         let pt = locations[slot];
                         let fp = Footprint::at(pt.x, pt.y);
                         let (y0, x0) = (fp.neighbors[0].y, fp.neighbors[0].x);
-                        let banks = self.settings.mapping.footprint_banks(
-                            pt.level as usize,
-                            y0,
-                            x0,
-                        )?;
+                        let banks =
+                            self.settings.mapping.footprint_banks(pt.level as usize, y0, x0)?;
                         group_banks.extend_from_slice(&banks);
                         pts_in_group += 1;
                     }
@@ -324,10 +317,7 @@ mod tests {
     use super::*;
     use defa_model::workload::{Benchmark, SyntheticWorkload};
 
-    fn block_inputs(
-        cfg: &MsdaConfig,
-        seed: u64,
-    ) -> (Vec<SamplePoint>, Vec<bool>) {
+    fn block_inputs(cfg: &MsdaConfig, seed: u64) -> (Vec<SamplePoint>, Vec<bool>) {
         let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, cfg, seed).unwrap();
         let out = wl.layer(0).unwrap().forward(wl.initial_fmap(), Some(wl.warp())).unwrap();
         let keep = vec![true; out.locations.len()];
@@ -370,11 +360,9 @@ mod tests {
         let cfg = MsdaConfig::tiny();
         let (locs, keep) = block_inputs(&cfg, 3);
         let fused = MsgsEngine::new(&cfg, MsgsSettings::paper_default()).unwrap();
-        let unfused = MsgsEngine::new(
-            &cfg,
-            MsgsSettings { fused: false, ..MsgsSettings::paper_default() },
-        )
-        .unwrap();
+        let unfused =
+            MsgsEngine::new(&cfg, MsgsSettings { fused: false, ..MsgsSettings::paper_default() })
+                .unwrap();
         let mut cf = EventCounters::new();
         let sf = fused.run_block(&locs, &keep, 1.0, &mut cf).unwrap();
         let mut cu = EventCounters::new();

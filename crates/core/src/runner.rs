@@ -208,9 +208,10 @@ impl DefaAccelerator {
         use defa_prune::pap::point_mask;
         use defa_prune::BitMask;
 
-        let first = dec.layers().first().ok_or_else(|| {
-            CoreError::Inconsistent("decoder workload has no layers".into())
-        })?;
+        let first = dec
+            .layers()
+            .first()
+            .ok_or_else(|| CoreError::Inconsistent("decoder workload has no layers".into()))?;
         let cfg = first.inner().config().clone();
         let nq = first.n_queries();
         let ppq = cfg.points_per_query();
@@ -389,8 +390,7 @@ mod tests {
     fn fidelity_can_be_disabled() {
         let cfg = MsdaConfig::tiny();
         let wl = SyntheticWorkload::generate(Benchmark::Dino, &cfg, 9).unwrap();
-        let accel =
-            DefaAccelerator { measure_fidelity: false, ..DefaAccelerator::paper_default() };
+        let accel = DefaAccelerator { measure_fidelity: false, ..DefaAccelerator::paper_default() };
         let r = accel.run_workload(&wl, &PruneSettings::paper_defaults()).unwrap();
         assert!(r.fidelity_error.is_none());
     }
@@ -400,13 +400,9 @@ mod tests {
         use defa_model::decoder::{DecoderConfig, DecoderWorkload};
         let cfg = MsdaConfig::tiny();
         let enc = SyntheticWorkload::generate(Benchmark::DeformableDetr, &cfg, 4).unwrap();
-        let dec = DecoderWorkload::generate(
-            Benchmark::DeformableDetr,
-            &cfg,
-            DecoderConfig::tiny(),
-            4,
-        )
-        .unwrap();
+        let dec =
+            DecoderWorkload::generate(Benchmark::DeformableDetr, &cfg, DecoderConfig::tiny(), 4)
+                .unwrap();
         let accel = DefaAccelerator::paper_default();
         let report = accel
             .run_decoder_workload(&dec, enc.initial_fmap(), &PruneSettings::paper_defaults())

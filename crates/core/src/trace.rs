@@ -28,7 +28,11 @@ pub struct StageCycles {
 impl StageCycles {
     /// Total cycles across stages.
     pub fn total(&self) -> u64 {
-        self.attn_proj + self.softmax + self.offset_proj + self.value_proj + self.msgs
+        self.attn_proj
+            + self.softmax
+            + self.offset_proj
+            + self.value_proj
+            + self.msgs
             + self.dram_stall
     }
 
@@ -42,10 +46,7 @@ impl StageCycles {
             ("msgs", self.msgs),
             ("dram_stall", self.dram_stall),
         ];
-        entries
-            .into_iter()
-            .max_by_key(|&(_, c)| c)
-            .expect("entries are non-empty")
+        entries.into_iter().max_by_key(|&(_, c)| c).expect("entries are non-empty")
     }
 
     /// Fraction of cycles in MSGS + aggregation — the quantity DEFA's

@@ -136,13 +136,8 @@ impl Bencher {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F, test_mode: bool) {
-    let mut b = Bencher {
-        mean_ns: 0.0,
-        min_ns: f64::INFINITY,
-        max_ns: 0.0,
-        total_iters: 0,
-        test_mode,
-    };
+    let mut b =
+        Bencher { mean_ns: 0.0, min_ns: f64::INFINITY, max_ns: 0.0, total_iters: 0, test_mode };
     f(&mut b);
     if test_mode {
         println!("{name:<40} ok (test mode, 1 iter, {})", fmt_ns(b.mean_ns));

@@ -61,9 +61,9 @@ impl Footprint {
 
     /// Whether all four neighbors are inside the level.
     pub fn fully_inside(&self, shape: LevelShape) -> bool {
-        self.neighbors.iter().all(|n| {
-            n.x >= 0 && n.y >= 0 && (n.x as usize) < shape.w && (n.y as usize) < shape.h
-        })
+        self.neighbors
+            .iter()
+            .all(|n| n.x >= 0 && n.y >= 0 && (n.x as usize) < shape.w && (n.y as usize) < shape.h)
     }
 }
 

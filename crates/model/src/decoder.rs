@@ -207,7 +207,10 @@ impl DecoderWorkload {
         let value_w_std = 1.0 / (d as f32).sqrt();
 
         let references: Vec<RefPoint> = (0..dec.n_queries)
-            .map(|_| RefPoint { x: rng.uniform_value(0.05, 0.95), y: rng.uniform_value(0.05, 0.95) })
+            .map(|_| RefPoint {
+                x: rng.uniform_value(0.05, 0.95),
+                y: rng.uniform_value(0.05, 0.95),
+            })
             .collect();
 
         let mut layers = Vec::with_capacity(dec.n_layers);
@@ -257,13 +260,9 @@ mod tests {
     fn setup() -> (MsdaConfig, DecoderWorkload, FmapPyramid) {
         let cfg = MsdaConfig::tiny();
         let enc = SyntheticWorkload::generate(Benchmark::DeformableDetr, &cfg, 1).unwrap();
-        let dec = DecoderWorkload::generate(
-            Benchmark::DeformableDetr,
-            &cfg,
-            DecoderConfig::tiny(),
-            1,
-        )
-        .unwrap();
+        let dec =
+            DecoderWorkload::generate(Benchmark::DeformableDetr, &cfg, DecoderConfig::tiny(), 1)
+                .unwrap();
         let memory = enc.initial_fmap().clone();
         (cfg, dec, memory)
     }
@@ -279,9 +278,7 @@ mod tests {
     #[test]
     fn cross_layer_probs_normalize_per_head() {
         let (cfg, dec, memory) = setup();
-        let out = dec.layers()[0]
-            .forward(dec.initial_queries(), &memory, None, None)
-            .unwrap();
+        let out = dec.layers()[0].forward(dec.initial_queries(), &memory, None, None).unwrap();
         let lp = cfg.points_per_head();
         for q in 0..dec.layers()[0].n_queries() {
             let row = out.probs.row(q).unwrap();
@@ -295,9 +292,7 @@ mod tests {
     #[test]
     fn locations_count_matches_queries() {
         let (cfg, dec, memory) = setup();
-        let out = dec.layers()[0]
-            .forward(dec.initial_queries(), &memory, None, None)
-            .unwrap();
+        let out = dec.layers()[0].forward(dec.initial_queries(), &memory, None, None).unwrap();
         assert_eq!(out.locations.len(), 12 * cfg.points_per_query());
     }
 
@@ -308,14 +303,11 @@ mod tests {
         let exact = layer.forward(dec.initial_queries(), &memory, None, None).unwrap();
         let all_mem = vec![true; cfg.n_in()];
         let all_pts = vec![true; 12 * cfg.points_per_query()];
-        let masked = layer
-            .forward(dec.initial_queries(), &memory, Some(&all_mem), Some(&all_pts))
-            .unwrap();
+        let masked =
+            layer.forward(dec.initial_queries(), &memory, Some(&all_mem), Some(&all_pts)).unwrap();
         assert!(masked.output.relative_l2_error(&exact.output).unwrap() < 1e-6);
         let no_pts = vec![false; 12 * cfg.points_per_query()];
-        let zero = layer
-            .forward(dec.initial_queries(), &memory, None, Some(&no_pts))
-            .unwrap();
+        let zero = layer.forward(dec.initial_queries(), &memory, None, Some(&no_pts)).unwrap();
         assert_eq!(zero.output.max_abs(), 0.0);
     }
 

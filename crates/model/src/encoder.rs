@@ -151,8 +151,7 @@ mod tests {
         let o = Tensor::full([3, 4], 2.0);
         let next = block_update(&x, &o).unwrap();
         for r in 0..3 {
-            let ms: f32 =
-                next.row(r).unwrap().iter().map(|&v| v * v).sum::<f32>() / 4.0;
+            let ms: f32 = next.row(r).unwrap().iter().map(|&v| v * v).sum::<f32>() / 4.0;
             assert!((ms - 1.0).abs() < 1e-5);
         }
     }
@@ -172,10 +171,7 @@ mod tests {
         let wl = SyntheticWorkload::generate(Benchmark::DnDetr, &cfg, 3).unwrap();
         let exact = run_encoder(&wl).unwrap();
         let masked = run_encoder_masked(&wl, |_, _| LayerMasks::default()).unwrap();
-        let err = masked
-            .final_features
-            .relative_l2_error(&exact.final_features)
-            .unwrap();
+        let err = masked.final_features.relative_l2_error(&exact.final_features).unwrap();
         assert!(err < 1e-6);
     }
 

@@ -140,7 +140,13 @@ impl SaliencyWarp {
 
     /// Generates hotspots for a configuration: a handful per level,
     /// positioned uniformly at random.
-    pub fn generate(cfg: &MsdaConfig, fraction: f32, jitter: f32, rng: &mut TensorRng, seed: u64) -> Self {
+    pub fn generate(
+        cfg: &MsdaConfig,
+        fraction: f32,
+        jitter: f32,
+        rng: &mut TensorRng,
+        seed: u64,
+    ) -> Self {
         let mut hotspots = Vec::with_capacity(cfg.n_levels());
         for shape in &cfg.levels {
             let count = ((shape.pixels() as f32).sqrt() / 3.0).ceil().max(1.0) as usize;
@@ -163,7 +169,8 @@ impl SaliencyWarp {
 
     fn unit(&self, query: usize, slot: usize, stream: u64) -> f32 {
         let h = mix64(
-            self.seed ^ (query as u64).wrapping_mul(0xA24BAED4963EE407)
+            self.seed
+                ^ (query as u64).wrapping_mul(0xA24BAED4963EE407)
                 ^ (slot as u64).wrapping_mul(0x9FB21C651E98DF25)
                 ^ stream.wrapping_mul(0xD6E8FEB86659FD93),
         );
@@ -222,11 +229,7 @@ impl SyntheticWorkload {
     /// # Errors
     ///
     /// Returns [`ModelError::InvalidConfig`] if `cfg` fails validation.
-    pub fn generate(
-        benchmark: Benchmark,
-        cfg: &MsdaConfig,
-        seed: u64,
-    ) -> Result<Self, ModelError> {
+    pub fn generate(benchmark: Benchmark, cfg: &MsdaConfig, seed: u64) -> Result<Self, ModelError> {
         cfg.validate()?;
         let (logit_std, hotspot_fraction, offset_std) = benchmark.workload_stats();
         let mut rng = TensorRng::seed_from(seed ^ benchmark.seed_salt());
@@ -247,8 +250,7 @@ impl SyntheticWorkload {
             layers.push(MsdaLayer::new(cfg.clone(), weights)?);
         }
 
-        let initial =
-            FmapPyramid::from_tensor(cfg, rng.uniform([cfg.n_in(), d], -1.0, 1.0))?;
+        let initial = FmapPyramid::from_tensor(cfg, rng.uniform([cfg.n_in(), d], -1.0, 1.0))?;
         let warp = SaliencyWarp::generate(cfg, hotspot_fraction, 1.5, &mut rng, seed);
         Ok(SyntheticWorkload { benchmark, cfg: cfg.clone(), layers, initial, warp, seed })
     }
@@ -297,6 +299,83 @@ impl SyntheticWorkload {
     }
 }
 
+/// Service-level objective class of one request.
+///
+/// A production stream is never latency-uniform: some requests sit on an
+/// interactive path (a user is waiting), most are ordinary, and some are
+/// offline re-processing that only cares about throughput. The class
+/// carries the end-to-end latency budget a request is held to and a
+/// coarse priority; deadline-aware schedulers (EDF in `defa-serve`) order
+/// batches by `arrival + deadline_ns()` and reports count budget misses
+/// per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SloClass {
+    /// A user is blocked on the response: tight budget, top priority.
+    Interactive,
+    /// The default service class.
+    Standard,
+    /// Offline/bulk work: generous budget, lowest priority.
+    Batch,
+}
+
+/// Salt for the SLO-class hash stream, independent of the scenario and
+/// payload streams so attaching SLOs never perturbs existing traces.
+const SLO_SALT: u64 = 0x510C_1A55_0000_0001;
+
+impl SloClass {
+    /// All classes, tightest budget first.
+    pub fn all() -> [SloClass; 3] {
+        [SloClass::Interactive, SloClass::Standard, SloClass::Batch]
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SloClass::Interactive => "interactive",
+            SloClass::Standard => "standard",
+            SloClass::Batch => "batch",
+        }
+    }
+
+    /// End-to-end (queue + service) latency budget in virtual nanoseconds.
+    pub fn deadline_ns(&self) -> u64 {
+        match self {
+            SloClass::Interactive => 2_000_000, // 2 ms
+            SloClass::Standard => 10_000_000,   // 10 ms
+            SloClass::Batch => 100_000_000,     // 100 ms
+        }
+    }
+
+    /// Scheduling priority: lower is more urgent.
+    pub fn priority(&self) -> u8 {
+        match self {
+            SloClass::Interactive => 0,
+            SloClass::Standard => 1,
+            SloClass::Batch => 2,
+        }
+    }
+
+    /// The class request `id` draws under generator seed `seed`: a pure
+    /// hash, 25 % interactive / 50 % standard / 25 % batch.
+    ///
+    /// Drawn from its own salted stream so the scenario pick and payload
+    /// bits of pre-SLO traces are unchanged.
+    pub fn derive(seed: u64, id: u64) -> SloClass {
+        let h = mix64(seed ^ SLO_SALT ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        match h % 4 {
+            0 => SloClass::Interactive,
+            1 | 2 => SloClass::Standard,
+            _ => SloClass::Batch,
+        }
+    }
+}
+
+impl std::fmt::Display for SloClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One serving scenario: a named benchmark workload at one shape point.
 ///
 /// Scenarios own the expensive, request-independent state (layer weights,
@@ -330,6 +409,8 @@ pub struct InferenceRequest {
     pub id: u64,
     /// Index into the generator's scenario list.
     pub scenario: usize,
+    /// Service-level objective class of this request.
+    pub slo: SloClass,
     /// The request's input feature pyramid.
     pub fmap: FmapPyramid,
 }
@@ -464,17 +545,24 @@ impl RequestGenerator {
             as usize
     }
 
+    /// SLO class request `id` will draw — like [`Self::request_scenario`],
+    /// cheap enough for admission-time accounting.
+    pub fn request_slo(&self, id: u64) -> SloClass {
+        SloClass::derive(self.seed, id)
+    }
+
     /// Materializes request `id` — a pure function of `(seed, id)`.
+    ///
+    /// The scenario pick, SLO class and payload each come from their own
+    /// salted hash stream, so adding a stream leaves the others untouched
+    /// (the SLO stream was added without moving a single payload bit).
     pub fn request(&self, id: u64) -> InferenceRequest {
         let scenario = self.request_scenario(id);
         let cfg = self.scenarios[scenario].workload.config();
         let mut rng = TensorRng::seed_from(mix64(self.seed.rotate_left(17) ^ id));
-        let fmap = FmapPyramid::from_tensor(
-            cfg,
-            rng.uniform([cfg.n_in(), cfg.d_model], -1.0, 1.0),
-        )
-        .expect("scenario config validated at construction");
-        InferenceRequest { id, scenario, fmap }
+        let fmap = FmapPyramid::from_tensor(cfg, rng.uniform([cfg.n_in(), cfg.d_model], -1.0, 1.0))
+            .expect("scenario config validated at construction");
+        InferenceRequest { id, scenario, slo: self.request_slo(id), fmap }
     }
 }
 
@@ -622,6 +710,41 @@ mod tests {
             seen[gen.request(id).scenario] += 1;
         }
         assert!(seen.iter().all(|&c| c > 0), "scenario mix missed a cell: {seen:?}");
+    }
+
+    #[test]
+    fn slo_classes_are_deterministic_and_mixed() {
+        let gen = RequestGenerator::standard(&MsdaConfig::tiny(), 9).unwrap();
+        let mut seen = [0usize; 3];
+        for id in 0..200 {
+            let slo = gen.request_slo(id);
+            assert_eq!(slo, gen.request(id).slo, "accessor and payload must agree");
+            assert_eq!(slo, SloClass::derive(9, id));
+            seen[slo.priority() as usize] += 1;
+        }
+        // 25/50/25 mix: every class present, standard the plurality.
+        assert!(seen.iter().all(|&c| c > 20), "class mix too skewed: {seen:?}");
+        assert!(seen[1] > seen[0] && seen[1] > seen[2], "standard must dominate: {seen:?}");
+        // Budgets are ordered with priority.
+        let [i, s, b] = SloClass::all();
+        assert!(i.deadline_ns() < s.deadline_ns() && s.deadline_ns() < b.deadline_ns());
+        assert!(i.priority() < s.priority() && s.priority() < b.priority());
+        assert_eq!(i.to_string(), "interactive");
+    }
+
+    #[test]
+    fn slo_stream_does_not_perturb_payloads() {
+        // The SLO hash draws from its own salted stream: scenario picks and
+        // payload tensors must match a generator that never asks for SLOs.
+        let gen = RequestGenerator::standard(&MsdaConfig::tiny(), 9).unwrap();
+        let other = RequestGenerator::standard(&MsdaConfig::tiny(), 9).unwrap();
+        for id in 0..8 {
+            let _ = other.request_slo(id); // consume the SLO stream first…
+            let a = gen.request(id);
+            let b = other.request(id);
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.fmap.tensor(), b.fmap.tensor()); // …payload unmoved
+        }
     }
 
     #[test]

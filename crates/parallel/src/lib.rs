@@ -328,14 +328,12 @@ impl WorkerPool {
             let shared = Arc::clone(&shared);
             handles.push(thread::spawn(move || {
                 while let Ok(job) = rx.recv() {
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        as_worker(job)
-                    }));
+                    let outcome =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| as_worker(job)));
                     if outcome.is_err() {
                         shared.panicked.store(true, Ordering::SeqCst);
                     }
-                    let mut pending =
-                        shared.pending.lock().unwrap_or_else(|p| p.into_inner());
+                    let mut pending = shared.pending.lock().unwrap_or_else(|p| p.into_inner());
                     *pending -= 1;
                     if *pending == 0 {
                         shared.idle.notify_all();
@@ -364,8 +362,7 @@ impl WorkerPool {
     /// out through a channel or shared slot keyed by caller-chosen index.
     pub fn submit(&self, worker: usize, job: impl FnOnce() + Send + 'static) {
         {
-            let mut pending =
-                self.shared.pending.lock().unwrap_or_else(|p| p.into_inner());
+            let mut pending = self.shared.pending.lock().unwrap_or_else(|p| p.into_inner());
             *pending += 1;
         }
         let slot = worker % self.senders.len();
@@ -383,17 +380,10 @@ impl WorkerPool {
     pub fn wait_idle(&self) {
         let mut pending = self.shared.pending.lock().unwrap_or_else(|p| p.into_inner());
         while *pending > 0 {
-            pending = self
-                .shared
-                .idle
-                .wait(pending)
-                .unwrap_or_else(|p| p.into_inner());
+            pending = self.shared.idle.wait(pending).unwrap_or_else(|p| p.into_inner());
         }
         drop(pending);
-        assert!(
-            !self.shared.panicked.load(Ordering::SeqCst),
-            "a WorkerPool job panicked"
-        );
+        assert!(!self.shared.panicked.load(Ordering::SeqCst), "a WorkerPool job panicked");
     }
 }
 
@@ -489,8 +479,7 @@ mod tests {
         // nested call must degrade to sequential (no thread explosion)
         // and still produce identical results.
         let outer = par_map_collect(8, |i| {
-            let inner_threads =
-                par_map_collect(4, |_| current_num_threads());
+            let inner_threads = par_map_collect(4, |_| current_num_threads());
             assert!(inner_threads.iter().all(|&t| t == 1), "nested call must see 1 thread");
             let mut v = vec![0usize; 32];
             par_chunks_mut(&mut v, 5, |c, chunk| chunk.iter_mut().for_each(|x| *x = i + c));

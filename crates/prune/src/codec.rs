@@ -120,7 +120,8 @@ mod tests {
 
     #[test]
     fn pack_unpack_round_trips() {
-        let mask = BitMask::from_bools(vec![true, false, true, true, false, false, true, false, true]);
+        let mask =
+            BitMask::from_bools(vec![true, false, true, true, false, false, true, false, true]);
         let packed = PackedMask::pack(&mask);
         assert_eq!(packed.unpack(), mask);
         assert_eq!(packed.as_bytes().len(), 2);

@@ -48,8 +48,11 @@ pub fn stats(values: &[f64]) -> DistributionStats {
 
     // Gini via the sorted-index formula.
     let gini = if total > 0.0 {
-        let weighted: f64 =
-            sorted.iter().enumerate().map(|(i, &v)| (2.0 * (i as f64 + 1.0) - count as f64 - 1.0) * v).sum();
+        let weighted: f64 = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (2.0 * (i as f64 + 1.0) - count as f64 - 1.0) * v)
+            .sum();
         weighted / (count as f64 * total)
     } else {
         0.0
@@ -58,8 +61,7 @@ pub fn stats(values: &[f64]) -> DistributionStats {
     let decile = (count / 10).max(1);
     let top: f64 = sorted[count - decile..].iter().sum();
     let top_decile_share = if total > 0.0 { top / total } else { 0.0 };
-    let below_mean_fraction =
-        values.iter().filter(|&&v| v < mean).count() as f64 / count as f64;
+    let below_mean_fraction = values.iter().filter(|&&v| v < mean).count() as f64 / count as f64;
 
     DistributionStats { count, mean, gini, top_decile_share, below_mean_fraction }
 }
@@ -87,11 +89,7 @@ pub fn text_histogram(values: &[f64], buckets: usize, width: usize) -> String {
     let max = values.iter().cloned().fold(0.0f64, f64::max);
     let mut counts = vec![0usize; buckets];
     for &v in values {
-        let b = if max > 0.0 {
-            ((v / max * buckets as f64) as usize).min(buckets - 1)
-        } else {
-            0
-        };
+        let b = if max > 0.0 { ((v / max * buckets as f64) as usize).min(buckets - 1) } else { 0 };
         counts[b] += 1;
     }
     let peak = counts.iter().copied().max().unwrap_or(1).max(1);

@@ -92,10 +92,9 @@ impl BitMask {
     ///
     /// Returns [`PruneError::ShapeMismatch`] if `i` is out of range.
     pub fn is_kept(&self, i: usize) -> Result<bool, PruneError> {
-        self.bits
-            .get(i)
-            .copied()
-            .ok_or_else(|| PruneError::ShapeMismatch(format!("mask index {i} out of {}", self.len())))
+        self.bits.get(i).copied().ok_or_else(|| {
+            PruneError::ShapeMismatch(format!("mask index {i} out of {}", self.len()))
+        })
     }
 
     /// Intersection with another mask (`keep = both keep`).
@@ -111,9 +110,7 @@ impl BitMask {
                 other.len()
             )));
         }
-        Ok(BitMask {
-            bits: self.bits.iter().zip(&other.bits).map(|(&a, &b)| a && b).collect(),
-        })
+        Ok(BitMask { bits: self.bits.iter().zip(&other.bits).map(|(&a, &b)| a && b).collect() })
     }
 
     /// Storage cost of the bit mask itself, in bits.

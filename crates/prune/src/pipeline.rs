@@ -90,10 +90,7 @@ pub struct PrunedRun {
     pub blocks: Vec<BlockPruneInfo>,
 }
 
-fn quantized_layers(
-    wl: &SyntheticWorkload,
-    bits: u8,
-) -> Result<Vec<MsdaLayer>, PruneError> {
+fn quantized_layers(wl: &SyntheticWorkload, bits: u8) -> Result<Vec<MsdaLayer>, PruneError> {
     let mut layers = Vec::with_capacity(wl.layers().len());
     for layer in wl.layers() {
         let w = layer.weights();
@@ -219,8 +216,8 @@ where
         // value projection. Location generation is per-query parallel and
         // bit-identical to the monolithic forward (pinned by the golden
         // geometry test).
-        let offsets = matmul(x.tensor(), &layer.weights().w_offset)
-            .map_err(defa_model::ModelError::from)?;
+        let offsets =
+            matmul(x.tensor(), &layer.weights().w_offset).map_err(defa_model::ModelError::from)?;
         let mut locations = defa_model::reference::generate_locations(
             cfg,
             layer.references(),
@@ -306,12 +303,8 @@ mod tests {
 
     #[test]
     fn paper_defaults_prune_points_and_pixels() {
-        let wl = SyntheticWorkload::generate(
-            Benchmark::DeformableDetr,
-            &MsdaConfig::small(),
-            22,
-        )
-        .unwrap();
+        let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &MsdaConfig::small(), 22)
+            .unwrap();
         let run = run_pruned_encoder(&wl, &PruneSettings::paper_defaults()).unwrap();
         assert!(run.stats.point_reduction() > 0.6, "{}", run.stats.point_reduction());
         assert!(run.stats.pixel_reduction() > 0.1, "{}", run.stats.pixel_reduction());
@@ -320,12 +313,8 @@ mod tests {
 
     #[test]
     fn pruned_output_stays_close_to_exact() {
-        let wl = SyntheticWorkload::generate(
-            Benchmark::DeformableDetr,
-            &MsdaConfig::small(),
-            23,
-        )
-        .unwrap();
+        let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &MsdaConfig::small(), 23)
+            .unwrap();
         let exact = run_encoder(&wl).unwrap();
         let run = run_pruned_encoder(&wl, &PruneSettings::paper_defaults()).unwrap();
         // End-to-end error compounds across blocks (offsets depend on the
@@ -410,12 +399,8 @@ mod tests {
 
     #[test]
     fn retained_mass_is_high_at_paper_threshold() {
-        let wl = SyntheticWorkload::generate(
-            Benchmark::DeformableDetr,
-            &MsdaConfig::small(),
-            24,
-        )
-        .unwrap();
+        let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &MsdaConfig::small(), 24)
+            .unwrap();
         let run = run_pruned_encoder(&wl, &PruneSettings::paper_defaults()).unwrap();
         assert!(run.stats.mean_retained_mass() > 0.85);
     }

@@ -93,10 +93,9 @@ impl RangeConfig {
     ///
     /// Returns [`PruneError::ShapeMismatch`] for an invalid level.
     pub fn level(&self, l: usize) -> Result<BoundedRange, PruneError> {
-        self.ranges
-            .get(l)
-            .copied()
-            .ok_or_else(|| PruneError::ShapeMismatch(format!("level {l} out of {}", self.ranges.len())))
+        self.ranges.get(l).copied().ok_or_else(|| {
+            PruneError::ShapeMismatch(format!("level {l} out of {}", self.ranges.len()))
+        })
     }
 
     /// Clamps one sampling point into its level's bounded range around a

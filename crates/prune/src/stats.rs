@@ -58,7 +58,8 @@ impl ReductionStats {
             self.pixels_total += pixels_total;
             self.pixels_kept += pixels_kept;
         }
-        let point_keep = if points_total == 0 { 1.0 } else { points_kept as f64 / points_total as f64 };
+        let point_keep =
+            if points_total == 0 { 1.0 } else { points_kept as f64 / points_total as f64 };
         let pixel_keep = if !fmap_masked || pixels_total == 0 {
             1.0
         } else {

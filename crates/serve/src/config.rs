@@ -1,0 +1,178 @@
+//! Serving operating points: load, batching, and the three policy knobs.
+
+use crate::admission::DropPolicy;
+use crate::loadgen::ArrivalProcess;
+use crate::router::RouterKind;
+use crate::scheduler::SchedulerKind;
+use crate::ServeError;
+
+/// One serving operating point.
+///
+/// The first seven fields shape the load and the batching window; the
+/// last four pick the policy at each layer (arrival process → admission
+/// drop policy → scheduler → router). The defaults — Poisson, tail drop,
+/// FIFO, round-robin — reproduce the PR 2/PR 3 runtime byte-for-byte,
+/// pinned by `tests/tests/serving.rs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Offered load of the open-loop generator, requests per virtual
+    /// second.
+    pub offered_load: f64,
+    /// Number of requests in the trace.
+    pub n_requests: usize,
+    /// Admission-queue capacity; arrivals beyond it invoke `drop`.
+    pub queue_capacity: usize,
+    /// Maximum requests coalesced into one batch.
+    pub max_batch: usize,
+    /// Oldest-request age (virtual µs) that forces a partial batch out.
+    pub batch_deadline_us: u64,
+    /// Fixed per-batch dispatch overhead (virtual µs) — the cost batching
+    /// amortizes.
+    pub batch_overhead_us: u64,
+    /// Number of worker shards serving batches.
+    pub shards: usize,
+    /// How arrivals are spaced at the offered rate.
+    pub arrival: ArrivalProcess,
+    /// What happens to an arrival that finds the queue full.
+    pub drop: DropPolicy,
+    /// Which queued requests form the next batch.
+    pub scheduler: SchedulerKind,
+    /// Which shard a formed batch runs on.
+    pub router: RouterKind,
+}
+
+impl ServeConfig {
+    /// A reasonable operating point at a given offered load: queue of 64,
+    /// batches of up to 8 with a 2 ms deadline, 50 µs dispatch overhead,
+    /// two shards, and the default Poisson/FIFO/round-robin policies.
+    pub fn at_load(offered_load: f64, n_requests: usize) -> Self {
+        ServeConfig {
+            offered_load,
+            n_requests,
+            queue_capacity: 64,
+            max_batch: 8,
+            batch_deadline_us: 2_000,
+            batch_overhead_us: 50,
+            shards: 2,
+            arrival: ArrivalProcess::Poisson,
+            drop: DropPolicy::RejectNewest,
+            scheduler: SchedulerKind::Fifo,
+            router: RouterKind::RoundRobin,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// Degenerate scalars (zero counts, zero deadline, non-finite or
+    /// non-positive load) are rejected with
+    /// [`ServeError::DegenerateConfig`] naming the offending field;
+    /// cross-field inconsistencies with [`ServeError::InvalidConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the error variants above; never panics.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        let degenerate =
+            |field: &'static str, got: String| Err(ServeError::DegenerateConfig { field, got });
+        if !(self.offered_load.is_finite() && self.offered_load > 0.0) {
+            return degenerate(
+                "offered_load",
+                format!("{} (must be finite and positive)", self.offered_load),
+            );
+        }
+        if self.n_requests == 0 {
+            return degenerate("n_requests", "0 (must be at least 1)".into());
+        }
+        if self.queue_capacity == 0 {
+            return degenerate("queue_capacity", "0 (must be at least 1)".into());
+        }
+        if self.max_batch == 0 {
+            return degenerate("max_batch", "0 (must be at least 1)".into());
+        }
+        if self.batch_deadline_us == 0 {
+            return degenerate(
+                "batch_deadline_us",
+                "0 (a zero batching window can never coalesce; use max_batch = 1 instead)".into(),
+            );
+        }
+        if self.shards == 0 {
+            return degenerate("shards", "0 (must be at least 1)".into());
+        }
+        if let ArrivalProcess::Bursty { burst } = self.arrival {
+            if !(burst.is_finite() && burst > 1.0) {
+                return degenerate(
+                    "arrival.burst",
+                    format!("{burst} (must be finite and exceed 1)"),
+                );
+            }
+        }
+        if self.max_batch > self.queue_capacity {
+            return Err(ServeError::InvalidConfig(format!(
+                "max_batch {} exceeds queue_capacity {} — full batches could never form",
+                self.max_batch, self.queue_capacity
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policies_are_the_pr2_configuration() {
+        let cfg = ServeConfig::at_load(1_000.0, 8);
+        assert_eq!(cfg.arrival, ArrivalProcess::Poisson);
+        assert_eq!(cfg.drop, DropPolicy::RejectNewest);
+        assert_eq!(cfg.scheduler, SchedulerKind::Fifo);
+        assert_eq!(cfg.router, RouterKind::RoundRobin);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_scalars_name_their_field() {
+        let base = ServeConfig::at_load(1_000.0, 8);
+        for (cfg, field) in [
+            (ServeConfig { offered_load: 0.0, ..base.clone() }, "offered_load"),
+            (ServeConfig { offered_load: -3.0, ..base.clone() }, "offered_load"),
+            (ServeConfig { offered_load: f64::NAN, ..base.clone() }, "offered_load"),
+            (ServeConfig { offered_load: f64::INFINITY, ..base.clone() }, "offered_load"),
+            (ServeConfig { n_requests: 0, ..base.clone() }, "n_requests"),
+            (ServeConfig { queue_capacity: 0, ..base.clone() }, "queue_capacity"),
+            (ServeConfig { max_batch: 0, ..base.clone() }, "max_batch"),
+            (ServeConfig { batch_deadline_us: 0, ..base.clone() }, "batch_deadline_us"),
+            (ServeConfig { shards: 0, ..base.clone() }, "shards"),
+            (
+                ServeConfig { arrival: ArrivalProcess::Bursty { burst: 1.0 }, ..base.clone() },
+                "arrival.burst",
+            ),
+            (
+                ServeConfig { arrival: ArrivalProcess::Bursty { burst: f64::NAN }, ..base.clone() },
+                "arrival.burst",
+            ),
+        ] {
+            match cfg.validate() {
+                Err(ServeError::DegenerateConfig { field: f, .. }) => {
+                    assert_eq!(f, field, "wrong field blamed");
+                }
+                other => panic!("{field}: expected DegenerateConfig, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cross_field_nonsense_stays_invalid_config() {
+        let cfg =
+            ServeConfig { max_batch: 100, queue_capacity: 10, ..ServeConfig::at_load(1.0, 1) };
+        assert!(matches!(cfg.validate(), Err(ServeError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn degenerate_errors_display_the_field() {
+        let err =
+            ServeConfig { max_batch: 0, ..ServeConfig::at_load(1.0, 1) }.validate().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("max_batch"), "{msg}");
+    }
+}

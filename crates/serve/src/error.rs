@@ -15,6 +15,22 @@ pub enum ServeError {
     Core(defa_core::CoreError),
     /// A serving configuration failed validation.
     InvalidConfig(String),
+    /// A single configuration field holds a zero/degenerate value that
+    /// must never reach the runtime loop (the field is named so callers
+    /// can match on it).
+    DegenerateConfig {
+        /// The offending `ServeConfig` field.
+        field: &'static str,
+        /// The rejected value, with the constraint it violated.
+        got: String,
+    },
+    /// The fleet handed to `run_fleet` does not match the configuration.
+    FleetMismatch {
+        /// Backends in the fleet.
+        fleet: usize,
+        /// Shards the configuration asks for.
+        shards: usize,
+    },
     /// A worker shard died before delivering its batch.
     WorkerLost(String),
 }
@@ -26,6 +42,14 @@ impl fmt::Display for ServeError {
             ServeError::Prune(e) => write!(f, "pruning error: {e}"),
             ServeError::Core(e) => write!(f, "accelerator error: {e}"),
             ServeError::InvalidConfig(msg) => write!(f, "invalid serving configuration: {msg}"),
+            ServeError::DegenerateConfig { field, got } => {
+                write!(f, "degenerate serving configuration: {field} = {got}")
+            }
+            ServeError::FleetMismatch { fleet, shards } => write!(
+                f,
+                "fleet of {fleet} backend(s) cannot serve {shards} shard(s): \
+                 pass exactly one backend per shard"
+            ),
             ServeError::WorkerLost(msg) => write!(f, "worker shard lost: {msg}"),
         }
     }
@@ -37,7 +61,10 @@ impl Error for ServeError {
             ServeError::Model(e) => Some(e),
             ServeError::Prune(e) => Some(e),
             ServeError::Core(e) => Some(e),
-            ServeError::InvalidConfig(_) | ServeError::WorkerLost(_) => None,
+            ServeError::InvalidConfig(_)
+            | ServeError::DegenerateConfig { .. }
+            | ServeError::FleetMismatch { .. }
+            | ServeError::WorkerLost(_) => None,
         }
     }
 }

@@ -6,36 +6,51 @@
 //! the workspace's single-run pipelines into a service:
 //!
 //! ```text
-//!  load generator ──> bounded queue ──> dynamic batcher ──> shard 0 ──┐
-//!  (seeded, open       (backpressure:    (size- or deadline- shard 1 ──┤──> latency
-//!   loop, multi-        overflow drops)   triggered)          ...      │    histograms,
-//!   scenario)                                                shard S ──┘    ServeReport
+//!  ArrivalProcess ──> AdmissionQueue ──> Scheduler ──> Router ──> shard 0 ──┐
+//!  (poisson /          (bounded; drop    (fifo / sjf   (rr / low  shard 1 ──┤─> report
+//!   bursty MMPP /       policy on         / edf over    / latency- ...      │   (latency,
+//!   uniform)            overflow)         SLO classes)  / energy-  shard S ──┘   energy,
+//!                                                       aware)                   SLO)
 //! ```
 //!
-//! * [`loadgen`] derives a Poisson arrival trace from a seed;
+//! Every layer is a policy behind a trait, configured per [`ServeConfig`]:
+//!
+//! * [`loadgen`] — pluggable [`loadgen::ArrivalProcess`] (Poisson, bursty
+//!   on/off MMPP, uniform pacing) derives the arrival trace from a seed;
 //!   [`defa_model::workload::RequestGenerator`] materializes each request
-//!   (scenario pick + fresh feature pyramid) purely from `(seed, id)`.
-//! * [`runtime`] admits arrivals into a bounded FIFO, coalesces them into
-//!   dynamic batches and round-robins the batches over worker shards on a
-//!   persistent [`defa_parallel::WorkerPool`].
-//! * [`backend`] hides the three execution engines behind one trait:
-//!   the dense reference encoder, the DEFA pruned pipeline, and the
-//!   cycle-simulated accelerator.
+//!   (scenario pick + SLO class + fresh feature pyramid) purely from
+//!   `(seed, id)`.
+//! * [`admission`] — a bounded arrival-order queue with a
+//!   [`admission::DropPolicy`] (tail drop or evict-oldest) deciding who is
+//!   shed on overflow.
+//! * [`scheduler`] — a [`scheduler::Scheduler`] picks which queued
+//!   requests form the next batch: FIFO, shortest-job-first over the
+//!   backends' cost estimates, or earliest-deadline-first over per-request
+//!   [`defa_model::workload::SloClass`] budgets.
+//! * [`router`] — a [`router::Router`] places each batch on a shard:
+//!   round-robin, least-outstanding-work, or latency-/energy-aware over
+//!   heterogeneous fleets where shards wrap *different* backends
+//!   ([`ServeRuntime::run_fleet`]).
+//! * [`backend`] — the three execution engines behind one trait: the dense
+//!   reference encoder, the DEFA pruned pipeline, and the cycle-simulated
+//!   accelerator — plus the analytic cost/energy estimates the cost-aware
+//!   policies steer by.
 //! * [`histogram`] accounts queue/compute/total latency per request in
-//!   fixed log2 buckets with deterministic p50/p95/p99.
-//! * [`energy`] attributes a deterministic per-request energy to every
-//!   backend (GPU TDP × activity model for dense/pruned, event-priced
-//!   40 nm model for the accelerator), accumulated in integer picojoules —
-//!   the paper's headline metric, reported as J/req, req/J, average W and
-//!   GOPS/W.
+//!   fixed log2 buckets with deterministic p50/p95/p99; [`energy`]
+//!   attributes deterministic per-request energy in integer picojoules;
+//!   [`report`] folds both into the [`ServeReport`] together with drop and
+//!   SLO-violation accounting.
 //!
 //! **Determinism contract.** With a fixed generator seed and
-//! [`ServeConfig`], per-request responses are bit-identical regardless of
-//! batch size, shard count or `RAYON_NUM_THREADS`, and the full
-//! [`ServeReport`] (outcomes, bucket counts, quantiles, fixed-point energy
-//! totals) is byte-identical across thread counts — time is virtual,
-//! driven by the load trace and the backends' deterministic cost models,
-//! never by the wall clock. `tests/tests/serving.rs` pins all of this.
+//! [`ServeConfig`] — *including* the policy selection — per-request
+//! responses are bit-identical regardless of batch size, shard count or
+//! `RAYON_NUM_THREADS`, and the full [`ServeReport`] (outcomes, bucket
+//! counts, quantiles, fixed-point energy totals) is byte-identical across
+//! thread counts — time is virtual, driven by the load trace and the
+//! backends' deterministic cost models, never by the wall clock. The
+//! default Poisson + FIFO + round-robin configuration reproduces the
+//! PR 2/PR 3 runtime byte-for-byte. `tests/tests/serving.rs` pins all of
+//! this.
 //!
 //! # Example
 //!
@@ -54,15 +69,26 @@
 //! # }
 //! ```
 
+pub mod admission;
 pub mod backend;
+pub mod config;
 pub mod energy;
 pub mod error;
 pub mod histogram;
 pub mod loadgen;
+pub mod report;
+pub mod router;
 pub mod runtime;
+pub mod scheduler;
 
+pub use admission::{Admission, AdmissionQueue, DropPolicy, QueuedRequest};
 pub use backend::{Backend, BackendKind, BackendOutput};
+pub use config::ServeConfig;
 pub use energy::EnergyBreakdown;
 pub use error::ServeError;
 pub use histogram::LatencyHistogram;
-pub use runtime::{RequestOutcome, ServeConfig, ServeReport, ServeRuntime};
+pub use loadgen::ArrivalProcess;
+pub use report::{RequestOutcome, ServeReport};
+pub use router::{Router, RouterKind, ShardView};
+pub use runtime::ServeRuntime;
+pub use scheduler::{Scheduler, SchedulerKind};

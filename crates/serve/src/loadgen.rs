@@ -6,6 +6,15 @@
 //! closed-loop generator would politely slow down and hide both). Arrival
 //! times are virtual nanoseconds derived purely from `(seed, rate)`, so a
 //! trace is exactly reproducible and independent of wall-clock jitter.
+//!
+//! One offered rate hides very different traffic shapes, so the process is
+//! pluggable ([`ArrivalProcess`]): memoryless [`ArrivalProcess::Poisson`]
+//! (the classic open-loop model), an on/off Markov-modulated
+//! [`ArrivalProcess::Bursty`] process that concentrates the same mean rate
+//! into bursts (what stresses admission and deadline scheduling), and a
+//! jitter-free [`ArrivalProcess::Uniform`] pacer (what isolates batching
+//! behaviour from arrival noise — and the only process that can produce
+//! *simultaneous* arrivals at extreme rates).
 
 use defa_tensor::rng::TensorRng;
 
@@ -27,16 +36,110 @@ pub fn arrival_times(n: usize, rate_per_s: f64, seed: u64) -> Vec<u64> {
     let mut t = 0u64;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        // Inverse-CDF exponential draw. The f32 uniform gives ~2^-24
-        // granularity — plenty for a load schedule — and keeps the draw
-        // identical on every platform.
-        let u = f64::from(rng.uniform_value(0.0, 1.0)).min(1.0 - 1e-9);
-        let gap_s = -(1.0 - u).ln() / rate_per_s;
-        let gap_ns = (gap_s * 1e9).round().max(1.0);
-        t = t.saturating_add(gap_ns as u64);
+        t = t.saturating_add(exp_gap_ns(&mut rng, rate_per_s));
         out.push(t);
     }
     out
+}
+
+/// One exponential inter-arrival gap at `rate_per_s`, at least 1 ns.
+///
+/// The f32 uniform gives ~2^-24 granularity — plenty for a load schedule —
+/// and keeps the draw identical on every platform.
+fn exp_gap_ns(rng: &mut TensorRng, rate_per_s: f64) -> u64 {
+    let u = f64::from(rng.uniform_value(0.0, 1.0)).min(1.0 - 1e-9);
+    let gap_s = -(1.0 - u).ln() / rate_per_s;
+    (gap_s * 1e9).round().max(1.0) as u64
+}
+
+/// Bursty phase length in mean inter-arrival gaps: one on/off cycle spans
+/// this many expected arrivals, so burst structure scales with the rate.
+const BURSTY_CYCLE_GAPS: f64 = 64.0;
+
+/// A pluggable open-loop arrival process.
+///
+/// Every variant is a pure function of `(n, rate, seed)` producing a
+/// sorted virtual-nanosecond trace with the same long-run mean rate — the
+/// variants differ only in how the arrivals are *spaced*, which is exactly
+/// the dimension scheduling and admission policies differ on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: exponential gaps (the PR 2 default).
+    Poisson,
+    /// On/off Markov-modulated Poisson: exponentially-distributed ON
+    /// phases arriving at `burst × rate` alternate with silent OFF phases
+    /// sized so the long-run mean stays `rate`. `burst` must exceed 1.
+    Bursty {
+        /// Peak-to-mean rate ratio of the ON phase (> 1).
+        burst: f64,
+    },
+    /// Deterministic pacing at exactly the offered rate. At rates above
+    /// 1 GHz the rounded gap is 0 ns, i.e. genuinely simultaneous
+    /// arrivals — the admission queue's hardest case.
+    Uniform,
+}
+
+impl ArrivalProcess {
+    /// The default bursty operating point: 8× peak-to-mean.
+    pub fn bursty_default() -> Self {
+        ArrivalProcess::Bursty { burst: 8.0 }
+    }
+
+    /// Short display name for tables (`poisson`, `bursty(8x)`, `uniform`).
+    pub fn label(&self) -> String {
+        match self {
+            ArrivalProcess::Poisson => "poisson".into(),
+            ArrivalProcess::Bursty { burst } => format!("bursty({burst:.0}x)"),
+            ArrivalProcess::Uniform => "uniform".into(),
+        }
+    }
+
+    /// Samples `n` sorted arrival times at mean rate `rate_per_s`.
+    ///
+    /// Pure in `(n, rate_per_s, seed)`; the Poisson variant reproduces
+    /// [`arrival_times`] bit-for-bit, which is what keeps pre-policy
+    /// serving traces byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive rate or a `Bursty` factor ≤ 1 (the serving
+    /// layer validates both in `ServeConfig::validate` first).
+    pub fn sample(&self, n: usize, rate_per_s: f64, seed: u64) -> Vec<u64> {
+        assert!(rate_per_s > 0.0, "offered load must be positive");
+        match *self {
+            ArrivalProcess::Poisson => arrival_times(n, rate_per_s, seed),
+            ArrivalProcess::Uniform => {
+                let gap = (1e9 / rate_per_s).round() as u64;
+                (1..=n as u64).map(|i| i.saturating_mul(gap).max(1)).collect()
+            }
+            ArrivalProcess::Bursty { burst } => {
+                assert!(burst > 1.0, "burst factor must exceed 1, got {burst}");
+                let mut rng = TensorRng::seed_from(seed);
+                let cycle_s = BURSTY_CYCLE_GAPS / rate_per_s;
+                let tau_on = cycle_s / burst; // duty cycle 1/burst keeps the mean
+                let tau_off = cycle_s - tau_on;
+                let rate_on = rate_per_s * burst;
+                let mut t = 0u64;
+                // Start inside an ON phase so short traces still arrive.
+                let mut phase_end = t.saturating_add(exp_gap_ns(&mut rng, 1.0 / tau_on));
+                let mut out = Vec::with_capacity(n);
+                while out.len() < n {
+                    let gap = exp_gap_ns(&mut rng, rate_on);
+                    if t.saturating_add(gap) <= phase_end {
+                        t = t.saturating_add(gap);
+                        out.push(t);
+                    } else {
+                        // ON phase exhausted: skip the silent OFF phase and
+                        // open the next ON phase.
+                        let off = exp_gap_ns(&mut rng, 1.0 / tau_off);
+                        t = phase_end.saturating_add(off);
+                        phase_end = t.saturating_add(exp_gap_ns(&mut rng, 1.0 / tau_on));
+                    }
+                }
+                out
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -55,10 +158,7 @@ mod tests {
         let t = arrival_times(4000, rate, 11);
         let span_s = *t.last().unwrap() as f64 * 1e-9;
         let achieved = t.len() as f64 / span_s;
-        assert!(
-            (achieved - rate).abs() / rate < 0.1,
-            "achieved {achieved} vs offered {rate}"
-        );
+        assert!((achieved - rate).abs() / rate < 0.1, "achieved {achieved} vs offered {rate}");
     }
 
     #[test]
@@ -72,5 +172,76 @@ mod tests {
     #[should_panic(expected = "offered load must be positive")]
     fn zero_rate_is_rejected() {
         arrival_times(1, 0.0, 1);
+    }
+
+    #[test]
+    fn poisson_process_matches_the_legacy_function() {
+        let p = ArrivalProcess::Poisson.sample(300, 1234.5, 99);
+        assert_eq!(p, arrival_times(300, 1234.5, 99));
+    }
+
+    #[test]
+    fn every_process_is_sorted_reproducible_and_rate_faithful() {
+        for proc in
+            [ArrivalProcess::Poisson, ArrivalProcess::bursty_default(), ArrivalProcess::Uniform]
+        {
+            let rate = 5_000.0;
+            let a = proc.sample(4000, rate, 7);
+            let b = proc.sample(4000, rate, 7);
+            assert_eq!(a, b, "{} not reproducible", proc.label());
+            assert_eq!(a.len(), 4000);
+            assert!(a.windows(2).all(|w| w[0] <= w[1]), "{} unsorted", proc.label());
+            let achieved = a.len() as f64 / (*a.last().unwrap() as f64 * 1e-9);
+            assert!(
+                (achieved - rate).abs() / rate < 0.25,
+                "{}: achieved {achieved} vs offered {rate}",
+                proc.label()
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_concentrates_arrivals() {
+        // Coefficient of variation of the gaps: bursty must exceed Poisson
+        // (whose CV is 1), uniform must be (near) zero.
+        let cv = |t: &[u64]| {
+            let gaps: Vec<f64> = t.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            var.sqrt() / mean
+        };
+        let rate = 10_000.0;
+        let poisson = ArrivalProcess::Poisson.sample(6000, rate, 21);
+        let bursty = ArrivalProcess::bursty_default().sample(6000, rate, 21);
+        let uniform = ArrivalProcess::Uniform.sample(6000, rate, 21);
+        assert!(
+            cv(&bursty) > 1.5 * cv(&poisson),
+            "bursty CV {} vs poisson {}",
+            cv(&bursty),
+            cv(&poisson)
+        );
+        assert!(cv(&uniform) < 0.01, "uniform CV {}", cv(&uniform));
+    }
+
+    #[test]
+    fn uniform_at_extreme_rate_produces_simultaneous_arrivals() {
+        // Above 1 GHz the rounded gap collapses to zero: multiple requests
+        // share one virtual nanosecond. The admission queue must handle it.
+        let t = ArrivalProcess::Uniform.sample(16, 4e9, 1);
+        assert_eq!(t.len(), 16);
+        assert!(t.windows(2).any(|w| w[0] == w[1]), "expected equal timestamps: {t:?}");
+    }
+
+    #[test]
+    fn labels_name_the_process() {
+        assert_eq!(ArrivalProcess::Poisson.label(), "poisson");
+        assert_eq!(ArrivalProcess::bursty_default().label(), "bursty(8x)");
+        assert_eq!(ArrivalProcess::Uniform.label(), "uniform");
+    }
+
+    #[test]
+    #[should_panic(expected = "burst factor must exceed 1")]
+    fn degenerate_burst_factor_is_rejected() {
+        ArrivalProcess::Bursty { burst: 1.0 }.sample(4, 100.0, 1);
     }
 }

@@ -1,0 +1,267 @@
+//! Serving outcomes and the per-run report.
+//!
+//! The report layer is deliberately passive: the runtime settles batches
+//! in virtual-time order and pushes integers here — latencies into
+//! fixed-bucket histograms, energies into fixed-point totals — so a
+//! [`ServeReport`] is byte-identical whenever the virtual schedule is,
+//! regardless of thread count, batch size or shard count. Every derived
+//! metric (req/s, drop fraction, J/req, GOPS/W, SLO violation rate) is
+//! computed from those integers on demand, never accumulated in floats.
+
+use crate::config::ServeConfig;
+use crate::energy::{fmt_joules, EnergyBreakdown};
+use crate::histogram::{fmt_ns, LatencyHistogram};
+use defa_model::workload::SloClass;
+use std::fmt;
+
+/// What happened to one request, indexed by request id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Served: response digest plus the virtual-time latency split.
+    Completed {
+        /// Scenario the request drew.
+        scenario: usize,
+        /// SLO class the request was held to.
+        slo: SloClass,
+        /// Digest of the response features.
+        digest: u64,
+        /// Shard that served it.
+        shard: usize,
+        /// Batch it rode in (global batch counter).
+        batch: u64,
+        /// Admission-queue wait (batch start − arrival).
+        queue_ns: u64,
+        /// Service time including dispatch overhead and in-batch
+        /// serialization (completion − batch start).
+        compute_ns: u64,
+        /// Modeled energy this request cost its backend (integer
+        /// picojoules; see [`crate::energy`]).
+        energy: EnergyBreakdown,
+    },
+    /// Rejected at admission: the queue was full.
+    Dropped {
+        /// Virtual arrival time of the rejected request.
+        arrival_ns: u64,
+    },
+}
+
+impl RequestOutcome {
+    /// Whether a completed request blew its SLO budget (total latency
+    /// above the class deadline). Drops never count here — they are
+    /// accounted separately.
+    pub fn violated_slo(&self) -> bool {
+        match self {
+            RequestOutcome::Completed { slo, queue_ns, compute_ns, .. } => {
+                queue_ns + compute_ns > slo.deadline_ns()
+            }
+            RequestOutcome::Dropped { .. } => false,
+        }
+    }
+}
+
+/// The outcome of serving one trace at one operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Fleet display name: the backend's name, or the distinct backend
+    /// names joined with `+` for a heterogeneous fleet.
+    pub backend: String,
+    /// The operating point served.
+    pub config: ServeConfig,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests dropped by backpressure.
+    pub dropped: u64,
+    /// Completed requests whose total latency exceeded their SLO budget.
+    pub slo_violations: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Sum of batch sizes (for the mean).
+    pub batched_requests: u64,
+    /// Admission-queue wait per completed request.
+    pub queue: LatencyHistogram,
+    /// Service time per completed request.
+    pub compute: LatencyHistogram,
+    /// End-to-end latency per completed request.
+    pub total: LatencyHistogram,
+    /// Virtual time at which the last batch finished.
+    pub makespan_ns: u64,
+    /// Total energy of all completed requests, in integer picojoules
+    /// (fixed-point: byte-identical across thread counts, shard counts and
+    /// batch sizes — see [`crate::energy`]).
+    pub energy: EnergyBreakdown,
+    /// Dense-equivalent attention FLOPs completed (sum over completed
+    /// requests) — the numerator of the effective GOPS/W metric.
+    pub dense_flops: u128,
+    /// FNV fold of all per-request digests in id order (drops included as
+    /// markers) — one number that pins every response bit.
+    pub digest: u64,
+    /// Per-request outcomes, indexed by request id.
+    pub outcomes: Vec<RequestOutcome>,
+}
+
+impl ServeReport {
+    /// Completed requests per virtual second.
+    pub fn achieved_rps(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            0.0
+        } else {
+            self.completed as f64 / (self.makespan_ns as f64 * 1e-9)
+        }
+    }
+
+    /// Fraction of *observed arrivals* rejected by backpressure.
+    ///
+    /// The denominator is what actually arrived (`completed + dropped`),
+    /// not the configured trace length — for a full trace the two
+    /// coincide, but a partial-trace run must not silently under-report
+    /// its drop rate.
+    pub fn drop_fraction(&self) -> f64 {
+        let arrivals = self.completed + self.dropped;
+        if arrivals == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / arrivals as f64
+        }
+    }
+
+    /// Fraction of completed requests that blew their SLO budget.
+    pub fn slo_violation_fraction(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.slo_violations as f64 / self.completed as f64
+        }
+    }
+
+    /// Mean requests per dispatched batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean energy per completed request in joules (0 when nothing
+    /// completed).
+    pub fn joules_per_request(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.energy.total_joules() / self.completed as f64
+        }
+    }
+
+    /// Completed requests per joule (0 when no energy was spent).
+    pub fn requests_per_joule(&self) -> f64 {
+        let j = self.energy.total_joules();
+        if j == 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / j
+        }
+    }
+
+    /// Average power over the serving window in watts: total energy /
+    /// makespan (0 for an empty run).
+    pub fn average_power_w(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            0.0
+        } else {
+            self.energy.total_joules() / (self.makespan_ns as f64 * 1e-9)
+        }
+    }
+
+    /// Effective throughput in GOPS: dense-equivalent completed work /
+    /// makespan (0 for an empty run).
+    pub fn effective_gops(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            0.0
+        } else {
+            self.dense_flops as f64 / (self.makespan_ns as f64 * 1e-9) / 1e9
+        }
+    }
+
+    /// Energy efficiency in GOPS/W — dense-equivalent work per energy,
+    /// time cancelling out (0 when no energy was spent).
+    pub fn gops_per_watt(&self) -> f64 {
+        let j = self.energy.total_joules();
+        if j == 0.0 {
+            0.0
+        } else {
+            self.dense_flops as f64 / 1e9 / j
+        }
+    }
+
+    /// Requests each shard completed, indexed by shard — the fleet-mix
+    /// view routing policies are judged on.
+    pub fn completed_per_shard(&self) -> Vec<u64> {
+        let mut per = vec![0u64; self.config.shards];
+        for o in &self.outcomes {
+            if let RequestOutcome::Completed { shard, .. } = o {
+                per[*shard] += 1;
+            }
+        }
+        per
+    }
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "serve report — {} backend", self.backend)?;
+        writeln!(
+            f,
+            "  offered         : {:.1} req/s x {} requests ({} arrivals, {} shards, batch <= {}, queue {})",
+            self.config.offered_load,
+            self.config.n_requests,
+            self.config.arrival.label(),
+            self.config.shards,
+            self.config.max_batch,
+            self.config.queue_capacity,
+        )?;
+        writeln!(
+            f,
+            "  policy          : {} scheduler, {} router, {} drops",
+            self.config.scheduler.name(),
+            self.config.router.name(),
+            self.config.drop.name(),
+        )?;
+        writeln!(
+            f,
+            "  served          : {} completed / {} dropped in {} batches (mean size {:.1}, {} SLO misses)",
+            self.completed,
+            self.dropped,
+            self.batches,
+            self.mean_batch_size(),
+            self.slo_violations,
+        )?;
+        writeln!(
+            f,
+            "  throughput      : {:.1} req/s over {} (virtual)",
+            self.achieved_rps(),
+            fmt_ns(self.makespan_ns)
+        )?;
+        for (name, h) in
+            [("queue", &self.queue), ("compute", &self.compute), ("total", &self.total)]
+        {
+            writeln!(
+                f,
+                "  {name:<7} latency : p50 {:>9}  p95 {:>9}  p99 {:>9}  mean {:>9}",
+                fmt_ns(h.p50_ns()),
+                fmt_ns(h.p95_ns()),
+                fmt_ns(h.p99_ns()),
+                fmt_ns(h.mean_ns()),
+            )?;
+        }
+        writeln!(
+            f,
+            "  energy          : {} total ({}/req, {:.1} req/J, {:.1} W avg, {:.0} GOPS/W)",
+            fmt_joules(self.energy.total_joules()),
+            fmt_joules(self.joules_per_request()),
+            self.requests_per_joule(),
+            self.average_power_w(),
+            self.gops_per_watt(),
+        )?;
+        Ok(())
+    }
+}

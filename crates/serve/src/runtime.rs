@@ -1,4 +1,5 @@
-//! The serving runtime: admission queue → dynamic batcher → worker shards.
+//! The serving runtime: the virtual-time event loop that composes the
+//! policy layers.
 //!
 //! # Execution model
 //!
@@ -6,14 +7,14 @@
 //! happen:
 //!
 //! * **Real execution** — every admitted request is materialized from the
-//!   seeded [`RequestGenerator`] and evaluated by the backend on a
-//!   long-lived [`WorkerPool`] worker (one per shard, round-robin batch
-//!   assignment, FIFO per shard). Requests are independent, so per-request
-//!   results are bit-identical regardless of batch composition, shard
-//!   count or thread count. Pool workers are persistent threads, so the
-//!   thread-local [`defa_tensor::Scratch`] arenas inside the GEMM kernels
-//!   act as per-shard arenas: after the first batch warms the high-water
-//!   mark, steady-state serving performs no packing allocations.
+//!   seeded [`RequestGenerator`] and evaluated by its shard's backend on a
+//!   long-lived [`WorkerPool`] worker. Requests are independent, so
+//!   per-request results are bit-identical regardless of batch
+//!   composition, shard count or thread count. Pool workers are
+//!   persistent threads, so the thread-local [`defa_tensor::Scratch`]
+//!   arenas inside the GEMM kernels act as per-shard arenas: after the
+//!   first batch warms the high-water mark, steady-state serving performs
+//!   no packing allocations.
 //!
 //! * **Virtual-time accounting** — arrivals, queueing, batching triggers
 //!   and service times are tracked on an integer virtual clock driven by
@@ -23,26 +24,36 @@
 //!   quantiles — is byte-identical for any `RAYON_NUM_THREADS`, pinned by
 //!   `tests/tests/serving.rs`.
 //!
-//! # Queue → batcher → backend
+//! # The policy layers
 //!
-//! Requests are admitted, in arrival order, to a bounded FIFO; when the
-//! queue is full the request is **dropped** (open-loop backpressure — the
-//! report counts it). A batch launches on the next round-robin shard when
-//! either [`ServeConfig::max_batch`] requests are waiting or the oldest
-//! waiting request has aged past [`ServeConfig::batch_deadline_us`]
-//! (size/deadline-triggered dynamic batching); the shard then serves the
-//! batch sequentially after a fixed dispatch overhead, and per-request
-//! queue/compute/total latencies land in fixed-bucket histograms.
+//! Each decision the loop takes is delegated to a layer behind a trait,
+//! configured per [`ServeConfig`]:
+//!
+//! ```text
+//!  ArrivalProcess ─> AdmissionQueue ─> Scheduler ─> Router ─> fleet ─> report
+//!  (when requests    (who may wait;    (who rides   (which     (which
+//!   arrive)           who is dropped)   the batch)   shard)     backend)
+//! ```
+//!
+//! The loop itself owns only the *timing* rules, identical for every
+//! policy: a batch launches when [`ServeConfig::max_batch`] requests are
+//! waiting or the oldest waiting request has aged past
+//! [`ServeConfig::batch_deadline_us`]; the chosen shard serves it
+//! sequentially after a fixed dispatch overhead. With the default
+//! policies (Poisson, tail drop, FIFO, round-robin) the loop replays the
+//! PR 2 runtime decision-for-decision — the byte-compat test pins it.
 
+use crate::admission::{Admission, AdmissionQueue, QueuedRequest};
 use crate::backend::{Backend, BackendOutput};
-use crate::energy::{fmt_joules, EnergyBreakdown};
-use crate::histogram::{fmt_ns, LatencyHistogram};
-use crate::loadgen::arrival_times;
+use crate::config::ServeConfig;
+use crate::energy::EnergyBreakdown;
+use crate::histogram::LatencyHistogram;
+use crate::report::{RequestOutcome, ServeReport};
+use crate::router::ShardView;
 use crate::ServeError;
-use defa_model::workload::RequestGenerator;
+use defa_model::workload::{RequestGenerator, SloClass};
 use defa_parallel::WorkerPool;
-use std::collections::VecDeque;
-use std::fmt;
+use std::fmt::Write as _;
 use std::sync::{mpsc, Arc};
 
 /// Salt applied to the generator seed for the arrival-time stream, so load
@@ -52,282 +63,12 @@ const ARRIVAL_SALT: u64 = 0x5E54_1A7E_57A6_0001;
 /// Digest marker mixed in for dropped requests.
 const DROP_MARK: u64 = 0xD20D_D20D_D20D_D20D;
 
-/// One serving operating point.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ServeConfig {
-    /// Offered load of the open-loop generator, requests per virtual
-    /// second.
-    pub offered_load: f64,
-    /// Number of requests in the trace.
-    pub n_requests: usize,
-    /// Admission-queue capacity; arrivals beyond it are dropped.
-    pub queue_capacity: usize,
-    /// Maximum requests coalesced into one batch.
-    pub max_batch: usize,
-    /// Oldest-request age (virtual µs) that forces a partial batch out.
-    pub batch_deadline_us: u64,
-    /// Fixed per-batch dispatch overhead (virtual µs) — the cost batching
-    /// amortizes.
-    pub batch_overhead_us: u64,
-    /// Number of worker shards serving batches round-robin.
-    pub shards: usize,
-}
-
-impl ServeConfig {
-    /// A reasonable operating point at a given offered load: queue of 64,
-    /// batches of up to 8 with a 2 ms deadline, 50 µs dispatch overhead,
-    /// two shards.
-    pub fn at_load(offered_load: f64, n_requests: usize) -> Self {
-        ServeConfig {
-            offered_load,
-            n_requests,
-            queue_capacity: 64,
-            max_batch: 8,
-            batch_deadline_us: 2_000,
-            batch_overhead_us: 50,
-            shards: 2,
-        }
-    }
-
-    /// Validates the configuration.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ServeError::InvalidConfig`] on nonsensical values.
-    pub fn validate(&self) -> Result<(), ServeError> {
-        if !(self.offered_load.is_finite() && self.offered_load > 0.0) {
-            return Err(ServeError::InvalidConfig(format!(
-                "offered_load must be positive, got {}",
-                self.offered_load
-            )));
-        }
-        if self.n_requests == 0 {
-            return Err(ServeError::InvalidConfig("n_requests must be at least 1".into()));
-        }
-        if self.queue_capacity == 0 || self.max_batch == 0 || self.shards == 0 {
-            return Err(ServeError::InvalidConfig(
-                "queue_capacity, max_batch and shards must all be at least 1".into(),
-            ));
-        }
-        if self.max_batch > self.queue_capacity {
-            return Err(ServeError::InvalidConfig(format!(
-                "max_batch {} exceeds queue_capacity {} — full batches could never form",
-                self.max_batch, self.queue_capacity
-            )));
-        }
-        Ok(())
-    }
-}
-
-/// What happened to one request, indexed by request id.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum RequestOutcome {
-    /// Served: response digest plus the virtual-time latency split.
-    Completed {
-        /// Scenario the request drew.
-        scenario: usize,
-        /// Digest of the response features.
-        digest: u64,
-        /// Shard that served it.
-        shard: usize,
-        /// Batch it rode in (global batch counter).
-        batch: u64,
-        /// Admission-queue wait (batch start − arrival).
-        queue_ns: u64,
-        /// Service time including dispatch overhead and in-batch
-        /// serialization (completion − batch start).
-        compute_ns: u64,
-        /// Modeled energy this request cost its backend (integer
-        /// picojoules; see [`crate::energy`]).
-        energy: EnergyBreakdown,
-    },
-    /// Rejected at admission: the queue was full.
-    Dropped {
-        /// Virtual arrival time of the rejected request.
-        arrival_ns: u64,
-    },
-}
-
-/// The outcome of serving one trace at one operating point.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ServeReport {
-    /// Backend display name.
-    pub backend: String,
-    /// The operating point served.
-    pub config: ServeConfig,
-    /// Requests completed.
-    pub completed: u64,
-    /// Requests dropped by backpressure.
-    pub dropped: u64,
-    /// Batches dispatched.
-    pub batches: u64,
-    /// Sum of batch sizes (for the mean).
-    pub batched_requests: u64,
-    /// Admission-queue wait per completed request.
-    pub queue: LatencyHistogram,
-    /// Service time per completed request.
-    pub compute: LatencyHistogram,
-    /// End-to-end latency per completed request.
-    pub total: LatencyHistogram,
-    /// Virtual time at which the last batch finished.
-    pub makespan_ns: u64,
-    /// Total energy of all completed requests, in integer picojoules
-    /// (fixed-point: byte-identical across thread counts, shard counts and
-    /// batch sizes — see [`crate::energy`]).
-    pub energy: EnergyBreakdown,
-    /// Dense-equivalent attention FLOPs completed (sum over completed
-    /// requests) — the numerator of the effective GOPS/W metric.
-    pub dense_flops: u128,
-    /// FNV fold of all per-request digests in id order (drops included as
-    /// markers) — one number that pins every response bit.
-    pub digest: u64,
-    /// Per-request outcomes, indexed by request id.
-    pub outcomes: Vec<RequestOutcome>,
-}
-
-impl ServeReport {
-    /// Completed requests per virtual second.
-    pub fn achieved_rps(&self) -> f64 {
-        if self.makespan_ns == 0 {
-            0.0
-        } else {
-            self.completed as f64 / (self.makespan_ns as f64 * 1e-9)
-        }
-    }
-
-    /// Fraction of *observed arrivals* rejected by backpressure.
-    ///
-    /// The denominator is what actually arrived (`completed + dropped`),
-    /// not the configured trace length — for a full trace the two
-    /// coincide, but a partial-trace run must not silently under-report
-    /// its drop rate.
-    pub fn drop_fraction(&self) -> f64 {
-        let arrivals = self.completed + self.dropped;
-        if arrivals == 0 {
-            0.0
-        } else {
-            self.dropped as f64 / arrivals as f64
-        }
-    }
-
-    /// Mean requests per dispatched batch.
-    pub fn mean_batch_size(&self) -> f64 {
-        if self.batches == 0 {
-            0.0
-        } else {
-            self.batched_requests as f64 / self.batches as f64
-        }
-    }
-
-    /// Mean energy per completed request in joules (0 when nothing
-    /// completed).
-    pub fn joules_per_request(&self) -> f64 {
-        if self.completed == 0 {
-            0.0
-        } else {
-            self.energy.total_joules() / self.completed as f64
-        }
-    }
-
-    /// Completed requests per joule (0 when no energy was spent).
-    pub fn requests_per_joule(&self) -> f64 {
-        let j = self.energy.total_joules();
-        if j == 0.0 {
-            0.0
-        } else {
-            self.completed as f64 / j
-        }
-    }
-
-    /// Average power over the serving window in watts: total energy /
-    /// makespan (0 for an empty run).
-    pub fn average_power_w(&self) -> f64 {
-        if self.makespan_ns == 0 {
-            0.0
-        } else {
-            self.energy.total_joules() / (self.makespan_ns as f64 * 1e-9)
-        }
-    }
-
-    /// Effective throughput in GOPS: dense-equivalent completed work /
-    /// makespan (0 for an empty run).
-    pub fn effective_gops(&self) -> f64 {
-        if self.makespan_ns == 0 {
-            0.0
-        } else {
-            self.dense_flops as f64 / (self.makespan_ns as f64 * 1e-9) / 1e9
-        }
-    }
-
-    /// Energy efficiency in GOPS/W — dense-equivalent work per energy,
-    /// time cancelling out (0 when no energy was spent).
-    pub fn gops_per_watt(&self) -> f64 {
-        let j = self.energy.total_joules();
-        if j == 0.0 {
-            0.0
-        } else {
-            self.dense_flops as f64 / 1e9 / j
-        }
-    }
-}
-
-impl fmt::Display for ServeReport {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "serve report — {} backend", self.backend)?;
-        writeln!(
-            f,
-            "  offered         : {:.1} req/s x {} requests ({} shards, batch <= {}, queue {})",
-            self.config.offered_load,
-            self.config.n_requests,
-            self.config.shards,
-            self.config.max_batch,
-            self.config.queue_capacity,
-        )?;
-        writeln!(
-            f,
-            "  served          : {} completed / {} dropped in {} batches (mean size {:.1})",
-            self.completed,
-            self.dropped,
-            self.batches,
-            self.mean_batch_size()
-        )?;
-        writeln!(
-            f,
-            "  throughput      : {:.1} req/s over {} (virtual)",
-            self.achieved_rps(),
-            fmt_ns(self.makespan_ns)
-        )?;
-        for (name, h) in
-            [("queue", &self.queue), ("compute", &self.compute), ("total", &self.total)]
-        {
-            writeln!(
-                f,
-                "  {name:<7} latency : p50 {:>9}  p95 {:>9}  p99 {:>9}  mean {:>9}",
-                fmt_ns(h.p50_ns()),
-                fmt_ns(h.p95_ns()),
-                fmt_ns(h.p99_ns()),
-                fmt_ns(h.mean_ns()),
-            )?;
-        }
-        writeln!(
-            f,
-            "  energy          : {} total ({}/req, {:.1} req/J, {:.1} W avg, {:.0} GOPS/W)",
-            fmt_joules(self.energy.total_joules()),
-            fmt_joules(self.joules_per_request()),
-            self.requests_per_joule(),
-            self.average_power_w(),
-            self.gops_per_watt(),
-        )?;
-        Ok(())
-    }
-}
-
 /// A batch handed to a shard: its virtual start plus the channel its real
 /// results arrive on.
 struct Inflight {
     start_ns: u64,
     batch: u64,
-    members: Vec<(u64, u64)>, // (request id, arrival ns)
+    members: Vec<QueuedRequest>,
     rx: mpsc::Receiver<Vec<Result<BackendOutput, ServeError>>>,
 }
 
@@ -339,9 +80,9 @@ struct SimState {
     total: LatencyHistogram,
     completed: u64,
     dropped: u64,
+    slo_violations: u64,
     shard_free: Vec<u64>,
     makespan_ns: u64,
-    scenarios: Vec<usize>,
     energy: EnergyBreakdown,
     dense_flops: u128,
 }
@@ -361,10 +102,10 @@ impl SimState {
         })?;
         debug_assert_eq!(results.len(), inf.members.len());
         let mut t = inf.start_ns + overhead_ns;
-        for (&(id, arrive), res) in inf.members.iter().zip(results) {
+        for (m, res) in inf.members.iter().zip(results) {
             let out = res?;
             t += out.cost_ns;
-            let queue_ns = inf.start_ns - arrive;
+            let queue_ns = inf.start_ns - m.arrival_ns;
             let compute_ns = t - inf.start_ns;
             self.queue.record(queue_ns);
             self.compute.record(compute_ns);
@@ -375,40 +116,95 @@ impl SimState {
             // totals are byte-identical however the batches were executed.
             self.energy += out.energy;
             self.dense_flops += out.dense_flops as u128;
-            self.outcomes[id as usize] = Some(RequestOutcome::Completed {
-                scenario: self.scenarios[id as usize],
+            let outcome = RequestOutcome::Completed {
+                scenario: m.scenario,
+                slo: m.slo,
                 digest: out.digest,
                 shard,
                 batch: inf.batch,
                 queue_ns,
                 compute_ns,
                 energy: out.energy,
-            });
+            };
+            if outcome.violated_slo() {
+                self.slo_violations += 1;
+            }
+            self.outcomes[m.id as usize] = Some(outcome);
         }
         self.shard_free[shard] = t;
         self.makespan_ns = self.makespan_ns.max(t);
         Ok(())
     }
 
-    /// Admits one arrival against the bounded queue, dropping on overflow.
-    fn admit(
-        &mut self,
-        queue: &mut VecDeque<(u64, u64)>,
-        capacity: usize,
-        id: u64,
-        arrival_ns: u64,
-    ) {
-        if queue.len() >= capacity {
+    /// Records whatever the admission queue decided about one arrival.
+    fn record_admission(&mut self, verdict: Admission) {
+        if let Admission::Dropped { id, arrival_ns } = verdict {
             self.dropped += 1;
             self.outcomes[id as usize] = Some(RequestOutcome::Dropped { arrival_ns });
-        } else {
-            queue.push_back((id, arrival_ns));
         }
     }
 }
 
+/// Per-scenario and per-shard scheduling/routing estimates, computed once
+/// per run from the backends' analytic models.
+struct Estimates {
+    /// Fleet-mean service-time estimate per scenario (what queued
+    /// requests carry for SJF).
+    scenario_cost_ns: Vec<u64>,
+    /// Scenario-mean service-time estimate per shard (what routers see).
+    shard_cost_ns: Vec<u64>,
+    /// Scenario-mean energy estimate per shard (what routers see).
+    shard_energy_pj: Vec<u128>,
+}
+
+impl Estimates {
+    fn compute(gen: &RequestGenerator, fleet: &[Arc<dyn Backend>]) -> Result<Self, ServeError> {
+        let n_scen = gen.scenarios().len();
+        let mut per_shard_cost = vec![vec![0u64; n_scen]; fleet.len()];
+        let mut per_shard_energy = vec![vec![0u128; n_scen]; fleet.len()];
+        for s in 0..n_scen {
+            let wl = gen.scenario(s)?;
+            for (k, backend) in fleet.iter().enumerate() {
+                per_shard_cost[k][s] = backend.estimate_cost_ns(wl);
+                per_shard_energy[k][s] = backend.estimate_energy_pj(wl);
+            }
+        }
+        let scenario_cost_ns = (0..n_scen)
+            .map(|s| {
+                let sum: u128 = per_shard_cost.iter().map(|c| c[s] as u128).sum();
+                (sum / fleet.len() as u128) as u64
+            })
+            .collect();
+        let shard_cost_ns = per_shard_cost
+            .iter()
+            .map(|c| (c.iter().map(|&v| v as u128).sum::<u128>() / n_scen as u128) as u64)
+            .collect();
+        let shard_energy_pj =
+            per_shard_energy.iter().map(|e| e.iter().sum::<u128>() / n_scen as u128).collect();
+        Ok(Estimates { scenario_cost_ns, shard_cost_ns, shard_energy_pj })
+    }
+}
+
+/// Display name of a fleet: the single backend name, or the distinct
+/// names joined with `+` in shard order.
+fn fleet_label(fleet: &[Arc<dyn Backend>]) -> String {
+    let mut label = String::new();
+    let mut seen: Vec<&str> = Vec::new();
+    for b in fleet {
+        if !seen.contains(&b.name()) {
+            if !seen.is_empty() {
+                let _ = write!(label, "+");
+            }
+            let _ = write!(label, "{}", b.name());
+            seen.push(b.name());
+        }
+    }
+    label
+}
+
 /// The batched inference runtime: one request generator, one worker pool,
-/// any number of `run` calls across backends and operating points.
+/// any number of `run`/`run_fleet` calls across backends, fleets and
+/// operating points.
 ///
 /// The pool is created once and reused, so a sweep over backends × loads ×
 /// batch sizes pays the thread-spawn cost a single time.
@@ -453,24 +249,54 @@ impl ServeRuntime {
         &self.gen
     }
 
-    /// Serves one trace at one operating point and reports latency.
+    /// Serves one trace on a homogeneous fleet (the same backend on every
+    /// shard) and reports latency, energy and SLO accounting.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::InvalidConfig`] for a bad configuration and
+    /// Returns [`ServeError::DegenerateConfig`] /
+    /// [`ServeError::InvalidConfig`] for a bad configuration and
     /// propagates backend failures.
     pub fn run(
         &self,
         backend: &Arc<dyn Backend>,
         cfg: &ServeConfig,
     ) -> Result<ServeReport, ServeError> {
+        // run_fleet validates; a zero shard count yields an empty fleet,
+        // which it also rejects.
+        let fleet: Vec<Arc<dyn Backend>> = (0..cfg.shards).map(|_| Arc::clone(backend)).collect();
+        self.run_fleet(&fleet, cfg)
+    }
+
+    /// Serves one trace on an explicit fleet — one backend per shard,
+    /// mixing backends freely (the heterogeneous mode latency- and
+    /// energy-aware routers exist for).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::FleetMismatch`] unless `fleet.len() ==
+    /// cfg.shards`, configuration errors as in [`Self::run`], and
+    /// propagates backend failures.
+    pub fn run_fleet(
+        &self,
+        fleet: &[Arc<dyn Backend>],
+        cfg: &ServeConfig,
+    ) -> Result<ServeReport, ServeError> {
         cfg.validate()?;
+        if fleet.len() != cfg.shards {
+            return Err(ServeError::FleetMismatch { fleet: fleet.len(), shards: cfg.shards });
+        }
+        let scheduler = cfg.scheduler.build();
+        let router = cfg.router.build();
         let arrivals =
-            arrival_times(cfg.n_requests, cfg.offered_load, self.gen.seed() ^ ARRIVAL_SALT);
-        // Scenario of every request, precomputed cheaply (a hash) so
-        // outcomes can name it without regenerating payloads.
+            cfg.arrival.sample(cfg.n_requests, cfg.offered_load, self.gen.seed() ^ ARRIVAL_SALT);
+        // Admission-time request metadata, precomputed cheaply (hashes and
+        // analytic estimates) so batching never regenerates payloads.
         let scenarios: Vec<usize> =
             (0..cfg.n_requests as u64).map(|id| self.gen.request_scenario(id)).collect();
+        let slos: Vec<SloClass> =
+            (0..cfg.n_requests as u64).map(|id| self.gen.request_slo(id)).collect();
+        let est = Estimates::compute(&self.gen, fleet)?;
         let deadline_ns = cfg.batch_deadline_us.saturating_mul(1_000);
         let overhead_ns = cfg.batch_overhead_us.saturating_mul(1_000);
 
@@ -481,31 +307,81 @@ impl ServeRuntime {
             total: LatencyHistogram::new(),
             completed: 0,
             dropped: 0,
+            slo_violations: 0,
             shard_free: vec![0; cfg.shards],
             makespan_ns: 0,
-            scenarios,
             energy: EnergyBreakdown::ZERO,
             dense_flops: 0,
         };
-        let mut queue: VecDeque<(u64, u64)> = VecDeque::new();
+        let mut queue = AdmissionQueue::new(cfg.queue_capacity, cfg.drop);
         let mut inflight: Vec<Option<Inflight>> = (0..cfg.shards).map(|_| None).collect();
         let mut arr_i = 0usize;
         let mut batches = 0u64;
         let mut batched_requests = 0u64;
 
+        let queued = |id: usize, arrival_ns: u64| QueuedRequest {
+            id: id as u64,
+            arrival_ns,
+            scenario: scenarios[id],
+            slo: slos[id],
+            est_cost_ns: est.scenario_cost_ns[scenarios[id]],
+            deadline_ns: arrival_ns.saturating_add(slos[id].deadline_ns()),
+        };
+        // Shard views handed to the router: the static ratings are filled
+        // once, only `free_ns` is refreshed per dispatch (no per-batch
+        // allocation on the hot path).
+        let mut views: Vec<ShardView> = (0..cfg.shards)
+            .map(|shard| ShardView {
+                shard,
+                free_ns: 0,
+                est_batch_ns: overhead_ns
+                    .saturating_add(est.shard_cost_ns[shard].saturating_mul(cfg.max_batch as u64)),
+                est_energy_pj: est.shard_energy_pj[shard],
+            })
+            .collect();
+
         loop {
             if queue.is_empty() && arr_i == arrivals.len() {
                 break;
             }
-            // Round-robin shard choice keeps every shard's batch stream
-            // FIFO and the schedule independent of real completion order.
-            let shard = (batches % cfg.shards as u64) as usize;
-            state.settle(shard, &mut inflight[shard], overhead_ns)?;
+            // Routing. Routers that read shard backlogs ask for fleet
+            // state: every in-flight batch is settled first so free times
+            // are exact. Stateless routers (round-robin) route on possibly
+            // stale views and settle only the chosen shard, keeping up to
+            // one batch in flight per shard — the PR 2 pipeline.
+            //
+            // The decision time handed to the router is the earliest
+            // moment this batch could start: no sooner than the earliest
+            // shard frees and no sooner than work exists to serve.
+            let shard = if router.needs_fleet_state() {
+                for (s, slot) in inflight.iter_mut().enumerate() {
+                    state.settle(s, slot, overhead_ns)?;
+                }
+                let min_free = state.shard_free.iter().copied().min().expect("shards >= 1");
+                let pending = queue
+                    .front()
+                    .map(|r| r.arrival_ns)
+                    .or_else(|| arrivals.get(arr_i).copied())
+                    .unwrap_or(min_free);
+                for (v, &free_ns) in views.iter_mut().zip(&state.shard_free) {
+                    v.free_ns = free_ns;
+                }
+                router.route(batches, min_free.max(pending), &views)
+            } else {
+                for (v, &free_ns) in views.iter_mut().zip(&state.shard_free) {
+                    v.free_ns = free_ns;
+                }
+                let s = router.route(batches, 0, &views);
+                state.settle(s, &mut inflight[s], overhead_ns)?;
+                s
+            };
+            debug_assert!(shard < cfg.shards, "router returned shard {shard}");
             let t_free = state.shard_free[shard];
 
-            // Admit everything that arrived while this shard was busy.
+            // Admission: everything that arrived while this shard was
+            // busy faces the bounded queue and its drop policy.
             while arr_i < arrivals.len() && arrivals[arr_i] <= t_free {
-                state.admit(&mut queue, cfg.queue_capacity, arr_i as u64, arrivals[arr_i]);
+                state.record_admission(queue.offer(queued(arr_i, arrivals[arr_i])));
                 arr_i += 1;
             }
             if queue.is_empty() {
@@ -514,40 +390,41 @@ impl ServeRuntime {
                 }
                 // Idle shard: virtually wait for the next arrival (an
                 // empty queue always admits).
-                state.admit(&mut queue, cfg.queue_capacity, arr_i as u64, arrivals[arr_i]);
+                state.record_admission(queue.offer(queued(arr_i, arrivals[arr_i])));
                 arr_i += 1;
             }
             // Batching window: wait for a full batch unless the oldest
-            // request's deadline fires first.
-            let t_deadline = queue.front().expect("queue non-empty").1 + deadline_ns;
+            // waiting request's deadline fires first.
+            let t_deadline = queue.front().expect("queue non-empty").arrival_ns + deadline_ns;
             while queue.len() < cfg.max_batch
                 && arr_i < arrivals.len()
                 && arrivals[arr_i] <= t_deadline
             {
-                state.admit(&mut queue, cfg.queue_capacity, arr_i as u64, arrivals[arr_i]);
+                state.record_admission(queue.offer(queued(arr_i, arrivals[arr_i])));
                 arr_i += 1;
             }
-            let ready_at = if queue.len() >= cfg.max_batch {
-                queue[cfg.max_batch - 1].1 // when the filling request arrived
+            // Scheduling: the policy picks who rides this batch.
+            let members = scheduler.select(&mut queue, cfg.max_batch, t_free);
+            debug_assert!(!members.is_empty(), "scheduler returned an empty batch");
+            let last_arrival = members.iter().map(|m| m.arrival_ns).max().expect("batch non-empty");
+            let ready_at = if members.len() >= cfg.max_batch {
+                last_arrival // when the filling request arrived
             } else if arr_i < arrivals.len() {
                 t_deadline
             } else {
-                queue.back().expect("queue non-empty").1 // trace exhausted: flush
+                last_arrival // trace exhausted: flush
             };
             let start_ns = t_free.max(ready_at);
-
-            let take = queue.len().min(cfg.max_batch);
-            let members: Vec<(u64, u64)> = queue.drain(..take).collect();
-            batched_requests += take as u64;
+            batched_requests += members.len() as u64;
 
             // Real execution: materialize and evaluate the batch on this
-            // shard's pool worker. Results come back over a per-batch
-            // channel; timing comes from the cost model, never the wall
-            // clock.
+            // shard's backend, pinned to the shard's pool worker. Results
+            // come back over a per-batch channel; timing comes from the
+            // cost model, never the wall clock.
             let (tx, rx) = mpsc::channel();
             let gen = Arc::clone(&self.gen);
-            let backend = Arc::clone(backend);
-            let ids: Vec<u64> = members.iter().map(|&(id, _)| id).collect();
+            let backend = Arc::clone(&fleet[shard]);
+            let ids: Vec<u64> = members.iter().map(|m| m.id).collect();
             self.pool.submit(shard, move || {
                 let results = ids
                     .iter()
@@ -596,10 +473,11 @@ impl ServeRuntime {
         });
 
         Ok(ServeReport {
-            backend: backend.name().to_string(),
+            backend: fleet_label(fleet),
             config: cfg.clone(),
             completed: state.completed,
             dropped: state.dropped,
+            slo_violations: state.slo_violations,
             batches,
             batched_requests,
             queue: state.queue,
@@ -617,7 +495,11 @@ impl ServeRuntime {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::admission::DropPolicy;
     use crate::backend::BackendKind;
+    use crate::loadgen::ArrivalProcess;
+    use crate::router::RouterKind;
+    use crate::scheduler::SchedulerKind;
     use defa_model::MsdaConfig;
 
     fn runtime() -> ServeRuntime {
@@ -662,12 +544,49 @@ mod tests {
         assert!(report.dropped > 0, "expected drops under overload");
         assert_eq!(report.completed + report.dropped, 64);
         // Drops are outcomes too.
-        let drops = report
-            .outcomes
-            .iter()
-            .filter(|o| matches!(o, RequestOutcome::Dropped { .. }))
-            .count() as u64;
+        let drops =
+            report.outcomes.iter().filter(|o| matches!(o, RequestOutcome::Dropped { .. })).count()
+                as u64;
         assert_eq!(drops, report.dropped);
+    }
+
+    #[test]
+    fn evict_oldest_sheds_the_stalest_work() {
+        let rt = runtime();
+        let base = ServeConfig {
+            queue_capacity: 2,
+            max_batch: 2,
+            shards: 1,
+            ..ServeConfig::at_load(5e6, 64)
+        };
+        let reject = rt.run(&BackendKind::Dense.build(), &base).unwrap();
+        let evict = rt
+            .run(
+                &BackendKind::Dense.build(),
+                &ServeConfig { drop: DropPolicy::EvictOldest, ..base.clone() },
+            )
+            .unwrap();
+        assert!(evict.dropped > 0);
+        assert_eq!(evict.completed + evict.dropped, 64);
+        // Same load, same shedding volume — only *who* is shed differs:
+        // eviction keeps later arrivals, so the set of completed ids skews
+        // later than under tail drop.
+        let mean_completed_id = |r: &ServeReport| {
+            let ids: Vec<u64> = r
+                .outcomes
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| matches!(o, RequestOutcome::Completed { .. }))
+                .map(|(id, _)| id as u64)
+                .collect();
+            ids.iter().sum::<u64>() as f64 / ids.len() as f64
+        };
+        assert!(
+            mean_completed_id(&evict) > mean_completed_id(&reject),
+            "eviction must favour fresher requests ({} vs {})",
+            mean_completed_id(&evict),
+            mean_completed_id(&reject)
+        );
     }
 
     #[test]
@@ -675,11 +594,8 @@ mod tests {
         let rt = runtime();
         // Offered load far below service rate: batches go out on the
         // deadline with few requests each.
-        let cfg = ServeConfig {
-            max_batch: 8,
-            batch_deadline_us: 100,
-            ..ServeConfig::at_load(50.0, 12)
-        };
+        let cfg =
+            ServeConfig { max_batch: 8, batch_deadline_us: 100, ..ServeConfig::at_load(50.0, 12) };
         let report = rt.run(&BackendKind::Accelerator.build(), &cfg).unwrap();
         assert_eq!(report.dropped, 0);
         assert!(
@@ -762,9 +678,7 @@ mod tests {
         assert!(report.dropped > 0);
         let arrivals = report.completed + report.dropped;
         assert_eq!(arrivals, 64, "full trace: arrivals match the config");
-        assert!(
-            (report.drop_fraction() - report.dropped as f64 / arrivals as f64).abs() < 1e-12
-        );
+        assert!((report.drop_fraction() - report.dropped as f64 / arrivals as f64).abs() < 1e-12);
         assert!(report.drop_fraction() > 0.0 && report.drop_fraction() < 1.0);
         // A drop-free run reports zero.
         let calm = rt.run(&BackendKind::Dense.build(), &ServeConfig::at_load(100.0, 4)).unwrap();
@@ -780,9 +694,75 @@ mod tests {
             ServeConfig { offered_load: 0.0, ..ServeConfig::at_load(1.0, 1) },
             ServeConfig { n_requests: 0, ..ServeConfig::at_load(1.0, 1) },
             ServeConfig { shards: 0, ..ServeConfig::at_load(1.0, 1) },
-            ServeConfig { max_batch: 100, queue_capacity: 10, ..ServeConfig::at_load(1.0, 1) },
+            ServeConfig { batch_deadline_us: 0, ..ServeConfig::at_load(1.0, 1) },
         ] {
-            assert!(matches!(rt.run(&backend, &cfg), Err(ServeError::InvalidConfig(_))));
+            assert!(matches!(rt.run(&backend, &cfg), Err(ServeError::DegenerateConfig { .. })));
+        }
+        let cross =
+            ServeConfig { max_batch: 100, queue_capacity: 10, ..ServeConfig::at_load(1.0, 1) };
+        assert!(matches!(rt.run(&backend, &cross), Err(ServeError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn fleets_must_match_the_shard_count() {
+        let rt = runtime();
+        let fleet = BackendKind::build_fleet(&[BackendKind::Dense]);
+        let cfg = ServeConfig { shards: 2, ..ServeConfig::at_load(500.0, 4) };
+        assert!(matches!(
+            rt.run_fleet(&fleet, &cfg),
+            Err(ServeError::FleetMismatch { fleet: 1, shards: 2 })
+        ));
+    }
+
+    #[test]
+    fn heterogeneous_fleets_attribute_work_per_shard() {
+        let rt = runtime();
+        let fleet = BackendKind::build_fleet(&[BackendKind::Dense, BackendKind::Accelerator]);
+        let cfg = ServeConfig {
+            shards: 2,
+            router: RouterKind::EnergyAware,
+            ..ServeConfig::at_load(2_000.0, 16)
+        };
+        let report = rt.run_fleet(&fleet, &cfg).unwrap();
+        assert_eq!(report.backend, "dense+defa-accel");
+        assert_eq!(report.completed + report.dropped, 16);
+        let per_shard = report.completed_per_shard();
+        assert_eq!(per_shard.iter().sum::<u64>(), report.completed);
+        // Energy-aware routing must drain most work through the
+        // accelerator shard (index 1), whose energy rating is ~2000x
+        // lower.
+        assert!(
+            per_shard[1] > per_shard[0],
+            "energy-aware routing sent {per_shard:?} to [dense, accel]"
+        );
+    }
+
+    #[test]
+    fn policy_layers_compose_without_losing_requests() {
+        let rt = runtime();
+        let backend = BackendKind::Accelerator.build();
+        for arrival in
+            [ArrivalProcess::Poisson, ArrivalProcess::bursty_default(), ArrivalProcess::Uniform]
+        {
+            for scheduler in SchedulerKind::all() {
+                for router in RouterKind::all() {
+                    let cfg = ServeConfig {
+                        arrival,
+                        scheduler,
+                        router,
+                        ..ServeConfig::at_load(4_000.0, 12)
+                    };
+                    let report = rt.run(&backend, &cfg).unwrap();
+                    assert_eq!(
+                        report.completed + report.dropped,
+                        12,
+                        "{}/{}/{} lost requests",
+                        arrival.label(),
+                        scheduler.name(),
+                        router.name()
+                    );
+                }
+            }
         }
     }
 
@@ -792,7 +772,9 @@ mod tests {
         let report =
             rt.run(&BackendKind::Accelerator.build(), &ServeConfig::at_load(500.0, 8)).unwrap();
         let s = report.to_string();
-        for key in ["serve report", "offered", "served", "throughput", "total", "p99"] {
+        for key in
+            ["serve report", "offered", "policy", "served", "throughput", "total", "p99", "fifo"]
+        {
             assert!(s.contains(key), "missing {key} in:\n{s}");
         }
     }

@@ -1,0 +1,268 @@
+//! Batch-formation policy: which queued requests ride the next batch.
+//!
+//! The scheduler is consulted once per dispatch with the admission queue
+//! and a batch budget; it removes up to `max_batch` requests and returns
+//! them in service order. Policies differ in *selection*, never in
+//! timing — the runtime alone decides when a batch launches
+//! (size/deadline triggers) and where it runs ([`crate::router`]), so
+//! policies compose freely with routers and arrival processes.
+//!
+//! # Determinism and fairness contract
+//!
+//! Every implementation must be a pure function of the queue contents and
+//! `now_ns` (no wall clock, no interior mutability), must serve each
+//! selected request exactly once, and must break ties by
+//! `(arrival_ns, id)` so that two requests of the same SLO class and
+//! scenario are always served in arrival order — the starvation bound
+//! `tests/tests/serving.rs` pins for every policy:
+//!
+//! * [`FifoScheduler`] — strict arrival order (the PR 2 behaviour, and
+//!   the reference every byte-compat test is pinned against);
+//! * [`SjfScheduler`] — shortest job first on the fleet-mean cost
+//!   estimate, with an aging guard: requests whose SLO deadline has
+//!   already passed jump to the front in arrival order, bounding how long
+//!   a long job can starve;
+//! * [`EdfScheduler`] — earliest absolute SLO deadline first, the
+//!   classic deadline scheduler over [`defa_model::workload::SloClass`].
+
+use crate::admission::{AdmissionQueue, QueuedRequest};
+
+/// Chooses which queued requests form the next batch.
+pub trait Scheduler: Send + Sync {
+    /// Short display name for tables and reports.
+    fn name(&self) -> &'static str;
+
+    /// Removes up to `max_batch` requests from `queue` and returns them in
+    /// service order. `now_ns` is the virtual time of the dispatching
+    /// shard (its free time), for age-aware policies.
+    fn select(
+        &self,
+        queue: &mut AdmissionQueue,
+        max_batch: usize,
+        now_ns: u64,
+    ) -> Vec<QueuedRequest>;
+}
+
+/// Removes the requests at `picked` positions (any order) from the queue,
+/// returning them in the order given.
+fn take_indices(queue: &mut AdmissionQueue, picked: &[usize]) -> Vec<QueuedRequest> {
+    let items = queue.items_mut();
+    let out: Vec<QueuedRequest> = picked.iter().map(|&i| items[i]).collect();
+    let mut remove: Vec<usize> = picked.to_vec();
+    remove.sort_unstable_by(|a, b| b.cmp(a)); // back-to-front keeps indices valid
+    for i in remove {
+        items.remove(i);
+    }
+    out
+}
+
+/// Strict arrival order (first in, first out).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoScheduler;
+
+impl Scheduler for FifoScheduler {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn select(
+        &self,
+        queue: &mut AdmissionQueue,
+        max_batch: usize,
+        _now_ns: u64,
+    ) -> Vec<QueuedRequest> {
+        let take = queue.len().min(max_batch);
+        queue.items_mut().drain(..take).collect()
+    }
+}
+
+/// Shortest job first on the per-scenario cost estimate, with deadline
+/// aging so expensive requests cannot starve: any request already past
+/// its SLO deadline at `now_ns` is served first, in arrival order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SjfScheduler;
+
+impl Scheduler for SjfScheduler {
+    fn name(&self) -> &'static str {
+        "sjf"
+    }
+
+    fn select(
+        &self,
+        queue: &mut AdmissionQueue,
+        max_batch: usize,
+        now_ns: u64,
+    ) -> Vec<QueuedRequest> {
+        let take = queue.len().min(max_batch);
+        let mut order: Vec<usize> = (0..queue.len()).collect();
+        let items = queue.items();
+        order.sort_by_key(|&i| {
+            let r = &items[i];
+            let fresh = r.deadline_ns > now_ns; // overdue (false) sorts first…
+            let cost = if fresh { r.est_cost_ns } else { 0 }; // …in arrival order
+            (fresh, cost, r.arrival_ns, r.id)
+        });
+        order.truncate(take);
+        take_indices(queue, &order)
+    }
+}
+
+/// Earliest absolute SLO deadline first.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdfScheduler;
+
+impl Scheduler for EdfScheduler {
+    fn name(&self) -> &'static str {
+        "edf"
+    }
+
+    fn select(
+        &self,
+        queue: &mut AdmissionQueue,
+        max_batch: usize,
+        _now_ns: u64,
+    ) -> Vec<QueuedRequest> {
+        let take = queue.len().min(max_batch);
+        let mut order: Vec<usize> = (0..queue.len()).collect();
+        let items = queue.items();
+        order.sort_by_key(|&i| {
+            let r = &items[i];
+            (r.deadline_ns, r.arrival_ns, r.id)
+        });
+        order.truncate(take);
+        take_indices(queue, &order)
+    }
+}
+
+/// The shipped scheduling policies, for config, sweeps and CLI selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// [`FifoScheduler`] (the default — byte-compatible with PR 2/PR 3).
+    #[default]
+    Fifo,
+    /// [`SjfScheduler`].
+    Sjf,
+    /// [`EdfScheduler`].
+    Edf,
+}
+
+impl SchedulerKind {
+    /// All policies in presentation order.
+    pub fn all() -> [SchedulerKind; 3] {
+        [SchedulerKind::Fifo, SchedulerKind::Sjf, SchedulerKind::Edf]
+    }
+
+    /// The policy's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Fifo => "fifo",
+            SchedulerKind::Sjf => "sjf",
+            SchedulerKind::Edf => "edf",
+        }
+    }
+
+    /// Builds the scheduler.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Fifo => Box::new(FifoScheduler),
+            SchedulerKind::Sjf => Box::new(SjfScheduler),
+            SchedulerKind::Edf => Box::new(EdfScheduler),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::DropPolicy;
+    use defa_model::workload::SloClass;
+
+    fn queue_of(reqs: &[(u64, u64, SloClass, u64)]) -> AdmissionQueue {
+        // (id, arrival, slo, est_cost)
+        let mut q = AdmissionQueue::new(64, DropPolicy::RejectNewest);
+        for &(id, arrival_ns, slo, est_cost_ns) in reqs {
+            q.offer(QueuedRequest {
+                id,
+                arrival_ns,
+                scenario: 0,
+                slo,
+                est_cost_ns,
+                deadline_ns: arrival_ns + slo.deadline_ns(),
+            });
+        }
+        q
+    }
+
+    #[test]
+    fn fifo_preserves_arrival_order() {
+        let mut q = queue_of(&[
+            (0, 10, SloClass::Batch, 900),
+            (1, 20, SloClass::Interactive, 100),
+            (2, 30, SloClass::Standard, 500),
+        ]);
+        let batch = FifoScheduler.select(&mut q, 2, 1_000);
+        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), [0, 1]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.front().unwrap().id, 2);
+    }
+
+    #[test]
+    fn sjf_orders_by_estimate_with_arrival_tiebreak() {
+        let mut q = queue_of(&[
+            (0, 10, SloClass::Standard, 900),
+            (1, 20, SloClass::Standard, 100),
+            (2, 30, SloClass::Standard, 100),
+            (3, 40, SloClass::Standard, 500),
+        ]);
+        let batch = SjfScheduler.select(&mut q, 3, 50);
+        // 100 ns jobs first (ids 1 then 2: equal cost, arrival breaks the
+        // tie), then the 500 ns job; the 900 ns job waits.
+        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), [1, 2, 3]);
+        assert_eq!(q.front().unwrap().id, 0);
+    }
+
+    #[test]
+    fn sjf_ages_overdue_requests_to_the_front() {
+        let mut q = queue_of(&[
+            (0, 10, SloClass::Interactive, 900), // deadline 2_000_010
+            (1, 20, SloClass::Batch, 100),
+        ]);
+        // Far past the interactive deadline: the expensive overdue request
+        // must preempt the cheap fresh one.
+        let batch = SjfScheduler.select(&mut q, 1, 5_000_000);
+        assert_eq!(batch[0].id, 0);
+    }
+
+    #[test]
+    fn edf_orders_by_absolute_deadline() {
+        let mut q = queue_of(&[
+            (0, 10, SloClass::Batch, 100),       // deadline 100_000_010
+            (1, 20, SloClass::Interactive, 900), // deadline  2_000_020
+            (2, 30, SloClass::Standard, 500),    // deadline 10_000_030
+        ]);
+        let batch = EdfScheduler.select(&mut q, 2, 50);
+        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(q.front().unwrap().id, 0);
+    }
+
+    #[test]
+    fn every_kind_serves_each_request_exactly_once() {
+        for kind in SchedulerKind::all() {
+            let sched = kind.build();
+            let mut q = queue_of(&[
+                (0, 10, SloClass::Batch, 300),
+                (1, 20, SloClass::Interactive, 100),
+                (2, 30, SloClass::Standard, 200),
+                (3, 40, SloClass::Interactive, 400),
+                (4, 50, SloClass::Batch, 100),
+            ]);
+            let mut served = Vec::new();
+            while !q.is_empty() {
+                served.extend(sched.select(&mut q, 2, 1_000).into_iter().map(|r| r.id));
+            }
+            let mut sorted = served.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, [0, 1, 2, 3, 4], "{}: {served:?}", kind.name());
+        }
+    }
+}

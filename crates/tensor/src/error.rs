@@ -89,11 +89,8 @@ mod tests {
 
     #[test]
     fn shape_mismatch_mentions_operation() {
-        let err = TensorError::ShapeMismatch {
-            op: "matmul",
-            lhs: "[2, 3]".into(),
-            rhs: "[4, 5]".into(),
-        };
+        let err =
+            TensorError::ShapeMismatch { op: "matmul", lhs: "[2, 3]".into(), rhs: "[4, 5]".into() };
         assert!(err.to_string().contains("matmul"));
     }
 }

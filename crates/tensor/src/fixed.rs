@@ -65,11 +65,8 @@ impl Fixed {
     pub fn mul(self, rhs: Fixed) -> Fixed {
         assert_eq!(self.frac, rhs.frac, "fixed-point format mismatch");
         let prod = self.raw as i64 * rhs.raw as i64;
-        let rounded = if self.frac == 0 {
-            prod
-        } else {
-            (prod + (1i64 << (self.frac - 1))) >> self.frac
-        };
+        let rounded =
+            if self.frac == 0 { prod } else { (prod + (1i64 << (self.frac - 1))) >> self.frac };
         Fixed { raw: rounded as i32, frac: self.frac }
     }
 

@@ -62,8 +62,7 @@ fn detect_isa() -> Isa {
         if std::arch::is_x86_feature_detected!("avx512f") {
             return Isa::Avx512;
         }
-        if std::arch::is_x86_feature_detected!("avx2")
-            && std::arch::is_x86_feature_detected!("fma")
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
         {
             return Isa::Avx2Fma;
         }
@@ -82,7 +81,11 @@ fn panel_width(isa: Isa) -> usize {
     }
 }
 
-fn check_dims(a: &Tensor, b: &Tensor, op: &'static str) -> Result<(usize, usize, usize), TensorError> {
+fn check_dims(
+    a: &Tensor,
+    b: &Tensor,
+    op: &'static str,
+) -> Result<(usize, usize, usize), TensorError> {
     if a.shape().rank() != 2 || b.shape().rank() != 2 {
         return Err(TensorError::ShapeMismatch {
             op,
@@ -329,13 +332,9 @@ fn compute_band(
         #[cfg(target_arch = "x86_64")]
         // SAFETY: `isa` is only Avx512/Avx2Fma when `detect_isa` verified
         // the corresponding CPU features at runtime.
-        Isa::Avx512 => unsafe {
-            compute_band_avx512(band_rows, band_out, out_chunk, packed, k, n)
-        },
+        Isa::Avx512 => unsafe { compute_band_avx512(band_rows, band_out, out_chunk, packed, k, n) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx2Fma => unsafe {
-            compute_band_avx2(band_rows, band_out, out_chunk, packed, k, n)
-        },
+        Isa::Avx2Fma => unsafe { compute_band_avx2(band_rows, band_out, out_chunk, packed, k, n) },
         Isa::Portable => {
             compute_band_impl::<8, false>(band_rows, band_out, out_chunk, packed, k, n)
         }
@@ -459,15 +458,9 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 ///
 /// Returns [`TensorError::ShapeMismatch`] if the mask length differs from
 /// the row count of `a`, or on inner-dimension mismatch.
-pub fn matmul_row_masked(
-    a: &Tensor,
-    b: &Tensor,
-    row_mask: &[bool],
-) -> Result<Tensor, TensorError> {
+pub fn matmul_row_masked(a: &Tensor, b: &Tensor, row_mask: &[bool]) -> Result<Tensor, TensorError> {
     let mut out = Tensor::zeros([0]);
-    with_thread_scratch(|scratch| {
-        matmul_row_masked_scratch(a, b, row_mask, &mut out, scratch)
-    })?;
+    with_thread_scratch(|scratch| matmul_row_masked_scratch(a, b, row_mask, &mut out, scratch))?;
     Ok(out)
 }
 
@@ -521,15 +514,9 @@ mod tests {
     #[test]
     fn tiled_matches_naive_on_random_inputs() {
         let mut rng = TensorRng::seed_from(7);
-        for &(m, k, n) in &[
-            (1, 1, 1),
-            (3, 5, 2),
-            (4, 8, 8),
-            (65, 70, 67),
-            (128, 64, 33),
-            (7, 1, 9),
-            (2, 130, 5),
-        ] {
+        for &(m, k, n) in
+            &[(1, 1, 1), (3, 5, 2), (4, 8, 8), (65, 70, 67), (128, 64, 33), (7, 1, 9), (2, 130, 5)]
+        {
             let a = rng.uniform([m, k], -1.0, 1.0);
             let b = rng.uniform([k, n], -1.0, 1.0);
             let fast = matmul(&a, &b).unwrap();

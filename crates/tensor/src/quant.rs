@@ -110,11 +110,8 @@ impl QuantParams {
     /// Quantize–dequantize round trip ("fake quantization"), used by the
     /// functional model to emulate INT-N inference in `f32` arithmetic.
     pub fn fake_quantize(&self, t: &Tensor) -> Tensor {
-        let data = t
-            .as_slice()
-            .iter()
-            .map(|&x| self.dequantize_value(self.quantize_value(x)))
-            .collect();
+        let data =
+            t.as_slice().iter().map(|&x| self.dequantize_value(self.quantize_value(x))).collect();
         Tensor::from_vec(data, t.shape().clone()).expect("same shape")
     }
 }
@@ -189,7 +186,8 @@ mod tests {
     fn int8_is_much_coarser_than_int12() {
         let mut rng = TensorRng::seed_from(1);
         let t = rng.uniform([128, 4], -1.0, 1.0);
-        let e12 = QuantParams::fit(&t, 12).unwrap().fake_quantize(&t).relative_l2_error(&t).unwrap();
+        let e12 =
+            QuantParams::fit(&t, 12).unwrap().fake_quantize(&t).relative_l2_error(&t).unwrap();
         let e8 = QuantParams::fit(&t, 8).unwrap().fake_quantize(&t).relative_l2_error(&t).unwrap();
         assert!(e8 > e12 * 8.0, "e8={e8} e12={e12}");
     }

@@ -55,10 +55,7 @@ impl Shape {
     ///
     /// Returns [`TensorError::InvalidAxis`] if `axis >= rank`.
     pub fn dim(&self, axis: usize) -> Result<usize, TensorError> {
-        self.dims
-            .get(axis)
-            .copied()
-            .ok_or(TensorError::InvalidAxis { axis, rank: self.rank() })
+        self.dims.get(axis).copied().ok_or(TensorError::InvalidAxis { axis, rank: self.rank() })
     }
 
     /// Total number of elements.

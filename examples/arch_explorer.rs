@@ -37,11 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("no pruning", MsgsSettings::paper_default(), PruneSettings::disabled()),
         (
             "baseline (no features)",
-            MsgsSettings {
-                mapping: BankMapping::IntraLevel,
-                fused: false,
-                fmap_reuse: false,
-            },
+            MsgsSettings { mapping: BankMapping::IntraLevel, fused: false, fmap_reuse: false },
             PruneSettings::disabled(),
         ),
     ];
@@ -52,11 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut full_cycles = None;
     for (label, msgs, prune) in variants {
-        let accel = DefaAccelerator {
-            msgs,
-            measure_fidelity: false,
-            ..DefaAccelerator::paper_default()
-        };
+        let accel =
+            DefaAccelerator { msgs, measure_fidelity: false, ..DefaAccelerator::paper_default() };
         let report = accel.run_workload(&wl, &prune)?;
         let cycles = report.counters.total_cycles();
         let base = *full_cycles.get_or_insert(cycles);

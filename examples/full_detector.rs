@@ -35,14 +35,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let dec_report = accel.run_decoder_workload(&dec, &memory, &prune)?;
 
-    println!("Deformable-DETR-style detector on DEFA ({} tokens, 100 object queries)\n", cfg.n_in());
+    println!(
+        "Deformable-DETR-style detector on DEFA ({} tokens, 100 object queries)\n",
+        cfg.n_in()
+    );
     println!("--- encoder ({} blocks) ---", cfg.n_layers);
     println!("{enc_report}");
     println!("--- decoder ({} blocks) ---", dec.layers().len());
     println!("{dec_report}");
 
-    let total_ms =
-        (enc_report.seconds() + dec_report.seconds()) * 1e3;
+    let total_ms = (enc_report.seconds() + dec_report.seconds()) * 1e3;
     let total_mj = enc_report.energy_per_run_mj() + dec_report.energy_per_run_mj();
     println!("--- end to end ---");
     println!("  total MSDeformAttn time   : {total_ms:.3} ms");

@@ -21,10 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("FWP sweep (PAP off, ranges off, FP32):");
     println!("{:>6} {:>14} {:>14} {:>12}", "k", "pixels pruned", "FLOPs pruned", "AP proxy");
     for k in [0.0f32, 0.2, 0.45, 0.7, 1.0, 1.5] {
-        let settings = PruneSettings {
-            fwp: Some(FwpConfig::new(k)?),
-            ..PruneSettings::disabled()
-        };
+        let settings = PruneSettings { fwp: Some(FwpConfig::new(k)?), ..PruneSettings::disabled() };
         let run = run_pruned_encoder(&wl, &settings)?;
         let est = estimate_ap(bench, &exact.final_features, &run.final_features)?;
         println!(
@@ -38,10 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nPAP sweep (FWP off, ranges off, FP32):");
     println!("{:>6} {:>14} {:>14} {:>12}", "thr", "points pruned", "prob mass kept", "AP proxy");
     for thr in [0.0f32, 0.005, 0.02, 0.05, 0.10] {
-        let settings = PruneSettings {
-            pap: Some(PapConfig::new(thr)?),
-            ..PruneSettings::disabled()
-        };
+        let settings =
+            PruneSettings { pap: Some(PapConfig::new(thr)?), ..PruneSettings::disabled() };
         let run = run_pruned_encoder(&wl, &settings)?;
         let est = estimate_ap(bench, &exact.final_features, &run.final_features)?;
         println!(

@@ -1,22 +1,31 @@
-//! Serve a stream of detection requests through all three backends.
+//! Serve a stream of detection requests through the layered runtime.
 //!
 //! ```sh
 //! cargo run --release --example serving
 //! ```
 //!
-//! A seeded multi-scenario request stream (three networks at three input
-//! scales) is admitted into a bounded queue, coalesced into dynamic
-//! batches and dispatched to the dense GPU reference, the pruned pipeline
-//! and the cycle-simulated DEFA accelerator — same trace, same virtual
-//! clock, directly comparable latency *and energy* reports.
+//! Two demonstrations of the admission → scheduler → router → backend
+//! stack:
+//!
+//! 1. the classic homogeneous comparison — one seeded multi-scenario
+//!    request stream served by the dense GPU reference, the pruned
+//!    pipeline and the cycle-simulated DEFA accelerator on the same
+//!    virtual clock, directly comparable latency *and* energy;
+//! 2. a heterogeneous dense+accelerator fleet under bursty traffic with
+//!    deadline scheduling (EDF) and energy-aware routing — the
+//!    mixed-fleet mode the policy layers exist for.
 
 use defa_model::workload::RequestGenerator;
 use defa_model::MsdaConfig;
-use defa_serve::{BackendKind, ServeConfig, ServeRuntime};
+use defa_serve::{
+    ArrivalProcess, BackendKind, RouterKind, SchedulerKind, ServeConfig, ServeRuntime,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gen = RequestGenerator::standard(&MsdaConfig::tiny(), 42)?;
     let runtime = ServeRuntime::new(gen);
+
+    // 1. Homogeneous fleets: same trace, one backend at a time.
     let cfg = ServeConfig::at_load(100_000.0, 32);
     let mut joules_per_req = Vec::new();
     for kind in BackendKind::all() {
@@ -34,5 +43,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
+
+    // 2. A mixed fleet under bursty, deadline-constrained traffic: one
+    // dense GPU shard plus one accelerator shard, EDF batch formation
+    // over the per-request SLO classes, energy-aware batch placement.
+    let fleet = BackendKind::build_fleet(&[BackendKind::Dense, BackendKind::Accelerator]);
+    let mixed_cfg = ServeConfig {
+        shards: fleet.len(),
+        arrival: ArrivalProcess::bursty_default(),
+        scheduler: SchedulerKind::Edf,
+        router: RouterKind::EnergyAware,
+        ..ServeConfig::at_load(60_000.0, 32)
+    };
+    let mixed = runtime.run_fleet(&fleet, &mixed_cfg)?;
+    println!("{mixed}");
+    let split = mixed.completed_per_shard();
+    println!(
+        "mixed fleet: {} requests on the dense shard, {} on the accelerator \
+         ({} SLO misses across {} completions)",
+        split[0], split[1], mixed.slo_violations, mixed.completed
+    );
     Ok(())
 }

@@ -17,7 +17,8 @@ use defa_tensor::rng::TensorRng;
 /// case index and seed base prepended, so the case reproduces directly.
 pub fn run_cases(cases: usize, seed: u64, mut body: impl FnMut(&mut TensorRng)) {
     for case in 0..cases {
-        let mut rng = TensorRng::seed_from(seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            TensorRng::seed_from(seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
         if let Err(payload) = outcome {
             let msg = payload

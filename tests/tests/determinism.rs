@@ -53,12 +53,10 @@ fn exact_encoder_is_thread_count_invariant() {
 fn pruned_pipeline_is_thread_count_invariant() {
     let cfg = MsdaConfig::small();
     let wl = SyntheticWorkload::generate(Benchmark::Dino, &cfg, 77).unwrap();
-    let multi = with_num_threads(4, || {
-        run_pruned_encoder(&wl, &PruneSettings::paper_defaults()).unwrap()
-    });
-    let single = with_num_threads(1, || {
-        run_pruned_encoder(&wl, &PruneSettings::paper_defaults()).unwrap()
-    });
+    let multi =
+        with_num_threads(4, || run_pruned_encoder(&wl, &PruneSettings::paper_defaults()).unwrap());
+    let single =
+        with_num_threads(1, || run_pruned_encoder(&wl, &PruneSettings::paper_defaults()).unwrap());
     assert_eq!(multi.final_features, single.final_features);
     assert_eq!(multi.blocks.len(), single.blocks.len());
     for (m, s) in multi.blocks.iter().zip(&single.blocks) {
@@ -77,12 +75,10 @@ fn run_workload_report_is_byte_identical_across_thread_counts() {
     let cfg = MsdaConfig::small();
     let wl = SyntheticWorkload::generate(Benchmark::DeformableDetr, &cfg, 9).unwrap();
     let accel = DefaAccelerator::paper_default();
-    let multi = with_num_threads(4, || {
-        accel.run_workload(&wl, &PruneSettings::paper_defaults()).unwrap()
-    });
-    let single = with_num_threads(1, || {
-        accel.run_workload(&wl, &PruneSettings::paper_defaults()).unwrap()
-    });
+    let multi =
+        with_num_threads(4, || accel.run_workload(&wl, &PruneSettings::paper_defaults()).unwrap());
+    let single =
+        with_num_threads(1, || accel.run_workload(&wl, &PruneSettings::paper_defaults()).unwrap());
     assert_eq!(format!("{multi:?}"), format!("{single:?}"));
     assert_eq!(multi.to_string(), single.to_string());
 }

@@ -99,9 +99,7 @@ fn fig7b_memory_savings() {
 #[test]
 fn fig8_breakdown_shapes() {
     let accel = DefaAccelerator::paper_default();
-    let area = accel
-        .area
-        .price(&DefaAccelerator::sram_inventory(&MsdaConfig::full()), &accel.pe);
+    let area = accel.area.price(&DefaAccelerator::sram_inventory(&MsdaConfig::full()), &accel.pe);
     let (sram_share, pe_share, _) = area.shares();
     assert!(sram_share > 0.6, "sram area share {sram_share} (paper 0.72)");
     assert!(pe_share < 0.35);

@@ -17,7 +17,10 @@
 use defa_model::workload::RequestGenerator;
 use defa_model::MsdaConfig;
 use defa_parallel::with_num_threads;
-use defa_serve::{BackendKind, EnergyBreakdown, RequestOutcome, ServeConfig, ServeRuntime};
+use defa_serve::{
+    ArrivalProcess, BackendKind, DropPolicy, EnergyBreakdown, RequestOutcome, RouterKind,
+    SchedulerKind, ServeConfig, ServeRuntime,
+};
 
 fn runtime(seed: u64) -> ServeRuntime {
     ServeRuntime::new(RequestGenerator::standard(&MsdaConfig::tiny(), seed).unwrap())
@@ -152,8 +155,7 @@ fn energy_totals_are_batch_and_shard_invariant() {
     let backend = BackendKind::Accelerator.build();
     let mut seen: Vec<(EnergyBreakdown, u128)> = Vec::new();
     for (max_batch, shards) in [(1usize, 1usize), (4, 2), (16, 4)] {
-        let report =
-            rt.run(&backend, &ServeConfig { max_batch, shards, ..base.clone() }).unwrap();
+        let report = rt.run(&backend, &ServeConfig { max_batch, shards, ..base.clone() }).unwrap();
         assert_eq!(report.dropped, 0, "capacity sized to avoid drops");
         seen.push((report.energy, report.dense_flops));
     }
@@ -164,12 +166,8 @@ fn energy_totals_are_batch_and_shard_invariant() {
 
 #[test]
 fn backpressure_drops_are_deterministic() {
-    let cfg = ServeConfig {
-        queue_capacity: 3,
-        max_batch: 3,
-        shards: 1,
-        ..ServeConfig::at_load(1e6, 40)
-    };
+    let cfg =
+        ServeConfig { queue_capacity: 3, max_batch: 3, shards: 1, ..ServeConfig::at_load(1e6, 40) };
     let backend = BackendKind::Dense.build();
     let a = runtime(23).run(&backend, &cfg).unwrap();
     let b = runtime(23).run(&backend, &cfg).unwrap();
@@ -178,6 +176,322 @@ fn backpressure_drops_are_deterministic() {
     // Dropped requests cost no compute: only completed ones have digests.
     let served = digests(&a.outcomes).iter().filter(|d| d.is_some()).count() as u64;
     assert_eq!(served, a.completed);
+}
+
+/// The refactor's ground truth: with the default policies (Poisson
+/// arrivals, tail drop, FIFO scheduling, round-robin routing) the layered
+/// runtime must reproduce the PR 2/PR 3 monolithic runtime **byte for
+/// byte**. The constants below were captured from the pre-refactor
+/// runtime (commit ce10ad6) at two load points per backend; any change to
+/// them is a serving-semantics regression, not a refactor.
+#[test]
+fn fifo_round_robin_poisson_reproduces_pr2_reports_byte_for_byte() {
+    // (backend, load, n, completed, dropped, batches, batched, makespan,
+    //  digest, (compute_pj, sram_pj, dram_pj), dense_flops)
+    #[allow(clippy::type_complexity)]
+    let pins: [(
+        BackendKind,
+        f64,
+        usize,
+        u64,
+        u64,
+        u64,
+        u64,
+        u64,
+        u64,
+        (u128, u128, u128),
+        u128,
+    ); 6] = [
+        (
+            BackendKind::Dense,
+            1_500.0,
+            20,
+            20,
+            0,
+            6,
+            20,
+            11_347_653,
+            0xe082_7f38_7350_66b5,
+            (2_432_925_000, 0, 0),
+            2_828_800,
+        ),
+        (
+            BackendKind::Dense,
+            5e6,
+            64,
+            24,
+            40,
+            6,
+            24,
+            158_003,
+            0xa3e1_da26_99ae_9cfa,
+            (2_962_575_000, 0, 0),
+            3_444_480,
+        ),
+        (
+            BackendKind::Pruned,
+            1_500.0,
+            20,
+            20,
+            0,
+            6,
+            20,
+            11_347_065,
+            0x7082_b6b7_3780_a6ac,
+            (1_538_550_000, 0, 0),
+            2_828_800,
+        ),
+        (
+            BackendKind::Pruned,
+            5e6,
+            64,
+            24,
+            40,
+            6,
+            24,
+            155_490,
+            0x070f_fb1d_0bfd_a452,
+            (1_867_725_000, 0, 0),
+            3_444_480,
+        ),
+        (
+            BackendKind::Accelerator,
+            1_500.0,
+            20,
+            20,
+            0,
+            6,
+            20,
+            11_348_613,
+            0x7082_b6b7_3780_a6ac,
+            (146_032, 442_471, 1_966_254),
+            2_828_800,
+        ),
+        (
+            BackendKind::Accelerator,
+            5e6,
+            64,
+            24,
+            40,
+            6,
+            24,
+            162_496,
+            0x070f_fb1d_0bfd_a452,
+            (177_321, 536_611, 2_385_247),
+            3_444_480,
+        ),
+    ];
+    let rt = runtime(42);
+    for (kind, load, n, completed, dropped, batches, batched, makespan, digest, energy, flops) in
+        pins
+    {
+        let cfg = ServeConfig {
+            queue_capacity: 16,
+            max_batch: 4,
+            shards: 2,
+            ..ServeConfig::at_load(load, n)
+        };
+        let report = rt.run(&kind.build(), &cfg).unwrap();
+        let ctx = format!("{} at load {load}", kind.name());
+        assert_eq!(report.completed, completed, "{ctx}: completed");
+        assert_eq!(report.dropped, dropped, "{ctx}: dropped");
+        assert_eq!(report.batches, batches, "{ctx}: batches");
+        assert_eq!(report.batched_requests, batched, "{ctx}: batched requests");
+        assert_eq!(report.makespan_ns, makespan, "{ctx}: makespan");
+        assert_eq!(report.digest, digest, "{ctx}: response digest");
+        let (compute_pj, sram_pj, dram_pj) = energy;
+        assert_eq!(report.energy.compute_pj, compute_pj, "{ctx}: compute energy");
+        assert_eq!(report.energy.sram_pj, sram_pj, "{ctx}: sram energy");
+        assert_eq!(report.energy.dram_pj, dram_pj, "{ctx}: dram energy");
+        assert_eq!(report.dense_flops, flops, "{ctx}: dense flops");
+    }
+}
+
+/// Service order of one report, as (batch, in-batch position) per
+/// completed request id — `compute_ns` is cumulative within a batch, so
+/// it orders members of the same batch.
+fn service_order(outcomes: &[RequestOutcome]) -> Vec<(u64, u64, u64)> {
+    let mut order: Vec<(u64, u64, u64)> = outcomes
+        .iter()
+        .enumerate()
+        .filter_map(|(id, o)| match o {
+            RequestOutcome::Completed { batch, compute_ns, .. } => {
+                Some((*batch, *compute_ns, id as u64))
+            }
+            RequestOutcome::Dropped { .. } => None,
+        })
+        .collect();
+    order.sort_unstable();
+    order
+}
+
+/// Every scheduler × router combination must (a) serve each admitted
+/// request exactly once — conservation plus exactly one outcome per id —
+/// and (b) never serve two requests of the same SLO class *and* scenario
+/// out of arrival order (the starvation bound: within a class, cost- and
+/// deadline-ordering always tie-break by arrival).
+#[test]
+fn every_policy_serves_exactly_once_and_is_class_fair() {
+    let rt = runtime(42);
+    let backend = BackendKind::Accelerator.build();
+    for scheduler in SchedulerKind::all() {
+        for router in RouterKind::all() {
+            // Load high enough to queue deeply (so policies actually
+            // reorder) but capacity-bounded so drops occur too.
+            let cfg = ServeConfig {
+                queue_capacity: 12,
+                max_batch: 4,
+                shards: 2,
+                arrival: ArrivalProcess::bursty_default(),
+                scheduler,
+                router,
+                ..ServeConfig::at_load(30_000.0, 48)
+            };
+            let report = rt.run(&backend, &cfg).unwrap();
+            let ctx = format!("{}/{}", scheduler.name(), router.name());
+            // (a) exactly once: conservation + one outcome per id.
+            assert_eq!(report.completed + report.dropped, 48, "{ctx}: conservation");
+            assert_eq!(report.outcomes.len(), 48, "{ctx}: outcome per id");
+            assert_eq!(
+                report.total.count(),
+                report.completed,
+                "{ctx}: each completion recorded once"
+            );
+            // (b) class fairness: restrict the global service order to one
+            // (slo, scenario) class; ids must be in arrival order (ids are
+            // arrival-ordered in the trace).
+            let gen = rt.generator();
+            for slo in defa_model::workload::SloClass::all() {
+                for scenario in 0..gen.scenarios().len() {
+                    let class_order: Vec<u64> = service_order(&report.outcomes)
+                        .into_iter()
+                        .filter(|&(_, _, id)| {
+                            gen.request_slo(id) == slo && gen.request_scenario(id) == scenario
+                        })
+                        .map(|(_, _, id)| id)
+                        .collect();
+                    assert!(
+                        class_order.windows(2).all(|w| w[0] < w[1]),
+                        "{ctx}: class ({}, {scenario}) served out of arrival order: \
+                         {class_order:?}",
+                        slo.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Regression: a burst of requests sharing one virtual nanosecond against
+/// a full admission queue must keep conservation exact — every arrival is
+/// either completed or dropped, under both drop policies.
+#[test]
+fn simultaneous_arrivals_against_a_full_queue_conserve_accounting() {
+    let rt = runtime(42);
+    let backend = BackendKind::Dense.build();
+    for drop in [DropPolicy::RejectNewest, DropPolicy::EvictOldest] {
+        // Uniform pacing above 1 GHz collapses every gap to 0 ns: all 40
+        // requests arrive at the same virtual nanosecond, against a
+        // 3-deep queue.
+        let cfg = ServeConfig {
+            queue_capacity: 3,
+            max_batch: 3,
+            shards: 1,
+            arrival: ArrivalProcess::Uniform,
+            drop,
+            ..ServeConfig::at_load(4e9, 40)
+        };
+        let report = rt.run(&backend, &cfg).unwrap();
+        assert!(report.dropped > 0, "{}: overload must shed", drop.name());
+        assert_eq!(
+            report.completed + report.dropped,
+            40,
+            "{}: arrivals = completed + dropped",
+            drop.name()
+        );
+        // The trace really was simultaneous: every drop carries the same
+        // arrival timestamp.
+        let drop_times: Vec<u64> = report
+            .outcomes
+            .iter()
+            .filter_map(|o| match o {
+                RequestOutcome::Dropped { arrival_ns } => Some(*arrival_ns),
+                _ => None,
+            })
+            .collect();
+        assert!(drop_times.len() >= 2, "{}: expected multiple drops", drop.name());
+        assert!(
+            drop_times.windows(2).all(|w| w[0] == w[1]),
+            "{}: drops not simultaneous: {drop_times:?}",
+            drop.name()
+        );
+        // And the report agrees with itself.
+        let outcome_drops =
+            report.outcomes.iter().filter(|o| matches!(o, RequestOutcome::Dropped { .. })).count()
+                as u64;
+        assert_eq!(outcome_drops, report.dropped, "{}: drop outcomes", drop.name());
+    }
+}
+
+/// The determinism contract extends to every new policy layer: an EDF +
+/// least-outstanding + bursty configuration on a heterogeneous fleet must
+/// produce a byte-identical report across worker-thread counts.
+#[test]
+fn policy_reports_are_byte_identical_across_thread_counts() {
+    let cfg = ServeConfig {
+        queue_capacity: 16,
+        max_batch: 4,
+        shards: 2,
+        arrival: ArrivalProcess::bursty_default(),
+        scheduler: SchedulerKind::Edf,
+        router: RouterKind::LeastOutstanding,
+        ..ServeConfig::at_load(8_000.0, 24)
+    };
+    let fleet_kinds = [BackendKind::Dense, BackendKind::Accelerator];
+    let multi = with_num_threads(4, || {
+        let rt = runtime(11);
+        rt.run_fleet(&BackendKind::build_fleet(&fleet_kinds), &cfg).unwrap()
+    });
+    let single = with_num_threads(1, || {
+        let rt = runtime(11);
+        rt.run_fleet(&BackendKind::build_fleet(&fleet_kinds), &cfg).unwrap()
+    });
+    assert_eq!(multi, single, "policy report diverged across thread counts");
+    assert_eq!(format!("{multi:?}"), format!("{single:?}"));
+    assert_eq!(multi.backend, "dense+defa-accel");
+}
+
+/// EDF must beat FIFO on SLO compliance when bursty traffic mixes tight
+/// and loose deadlines — the scenario the scheduling layer exists for.
+#[test]
+fn edf_meets_more_deadlines_than_fifo_under_bursts() {
+    let rt = runtime(42);
+    let backend = BackendKind::Accelerator.build();
+    // A 500 µs dispatch overhead makes burst backlogs span several
+    // milliseconds, so the 2 ms interactive budget is really at stake
+    // while the 100 ms batch budget is not — exactly the spread EDF
+    // exploits and FIFO ignores.
+    let base = ServeConfig {
+        queue_capacity: 64,
+        max_batch: 4,
+        shards: 2,
+        batch_overhead_us: 500,
+        arrival: ArrivalProcess::Bursty { burst: 16.0 },
+        ..ServeConfig::at_load(7_000.0, 96)
+    };
+    let fifo =
+        rt.run(&backend, &ServeConfig { scheduler: SchedulerKind::Fifo, ..base.clone() }).unwrap();
+    let edf =
+        rt.run(&backend, &ServeConfig { scheduler: SchedulerKind::Edf, ..base.clone() }).unwrap();
+    assert_eq!(fifo.completed, edf.completed, "same admitted trace");
+    assert!(fifo.slo_violations > 0, "operating point must put deadlines at stake");
+    assert!(
+        edf.slo_violations < fifo.slo_violations,
+        "EDF must miss fewer deadlines than FIFO ({} vs {})",
+        edf.slo_violations,
+        fifo.slo_violations
+    );
+    assert_eq!(edf.slo_violations, 0, "EDF clears every deadline at this point");
 }
 
 #[test]
