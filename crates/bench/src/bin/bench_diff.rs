@@ -1,0 +1,134 @@
+//! `bench_diff` — the CI perf-regression gate over `BENCH_serve.json`.
+//!
+//! The checked-in `BENCH_serve.json` is a *suite* document holding the
+//! `--json` output of the serving bench bins:
+//!
+//! ```json
+//! {"bench":"serve-suite","snapshots":[<serve doc>, <autoscale doc>]}
+//! ```
+//!
+//! CI regenerates the member documents fresh and runs:
+//!
+//! ```sh
+//! bench_diff --baseline BENCH_serve.json --fresh serve.json --fresh autoscale.json
+//! ```
+//!
+//! which wraps the fresh documents into the same suite shape and compares
+//! the parsed trees with typed tolerances (`defa_bench::diff`): exact
+//! match for deterministic fields (integers, digests, virtual-time
+//! nanoseconds, fixed-point picojoules), relative `1e-9` for floats, and
+//! an explicit `--allow <field>` list for fields a PR intentionally
+//! changes — so an intentional perf change is reviewed field-by-field
+//! instead of via a blind snapshot overwrite. Every mismatch prints with
+//! its JSON path and both values; any mismatch exits non-zero.
+//!
+//! Flags:
+//!
+//! * `--baseline <path>` — the checked-in suite snapshot (required);
+//! * `--fresh <path>` — a freshly generated member document, repeatable,
+//!   in snapshot order (required unless `--write`);
+//! * `--allow <field>` — exempt an object-member name (repeatable);
+//! * `--write` — regenerate the baseline from the fresh documents
+//!   instead of comparing (the intentional-update path; commit the
+//!   result).
+
+use defa_bench::diff::diff;
+use defa_bench::json::{parse, to_document, Json};
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("bench_diff: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path: Option<String> = None;
+    let mut fresh_paths: Vec<String> = Vec::new();
+    let mut allow: Vec<String> = Vec::new();
+    let mut write = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" | "--fresh" | "--allow" => {
+                let Some(v) = args.get(i + 1) else {
+                    return fail(&format!("{} needs a value", args[i]));
+                };
+                match args[i].as_str() {
+                    "--baseline" => baseline_path = Some(v.clone()),
+                    "--fresh" => fresh_paths.push(v.clone()),
+                    _ => allow.push(v.clone()),
+                }
+                i += 2;
+            }
+            "--write" => {
+                write = true;
+                i += 1;
+            }
+            other => return fail(&format!("unknown argument '{other}'")),
+        }
+    }
+    let Some(baseline_path) = baseline_path else {
+        return fail("--baseline <path> is required");
+    };
+    if fresh_paths.is_empty() {
+        return fail("at least one --fresh <path> is required");
+    }
+
+    // Wrap the fresh member documents into the suite shape.
+    let mut snapshots = Vec::new();
+    for path in &fresh_paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("cannot read fresh document {path}: {e}")),
+        };
+        match parse(&text) {
+            Ok(doc) => snapshots.push(doc),
+            Err(e) => return fail(&format!("fresh document {path} is not valid JSON: {e}")),
+        }
+    }
+    let fresh_suite =
+        Json::obj([("bench", Json::str("serve-suite")), ("snapshots", Json::Arr(snapshots))]);
+
+    if write {
+        if let Err(e) = std::fs::write(&baseline_path, to_document(&fresh_suite)) {
+            return fail(&format!("cannot write {baseline_path}: {e}"));
+        }
+        println!("bench_diff: wrote {baseline_path} from {} fresh document(s)", fresh_paths.len());
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read baseline {baseline_path}: {e}")),
+    };
+    let baseline = match parse(&baseline_text) {
+        Ok(doc) => doc,
+        Err(e) => return fail(&format!("baseline {baseline_path} is not valid JSON: {e}")),
+    };
+
+    let mismatches = diff(&baseline, &fresh_suite, &allow);
+    if mismatches.is_empty() {
+        println!(
+            "bench_diff: {} fresh document(s) match {baseline_path} \
+             (typed tolerances{})",
+            fresh_paths.len(),
+            if allow.is_empty() {
+                String::new()
+            } else {
+                format!(", allowing {}", allow.join(", "))
+            }
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "bench_diff: {} mismatch(es) against {baseline_path} — a deliberate perf change \
+         must update the snapshot (cargo run -p defa-bench --bin bench_diff -- --write ...) \
+         in the same PR:",
+        mismatches.len()
+    );
+    for m in &mismatches {
+        eprintln!("  {m}");
+    }
+    ExitCode::FAILURE
+}

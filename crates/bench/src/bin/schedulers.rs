@@ -124,13 +124,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let fleet = BackendKind::build_fleet(&[BackendKind::Accelerator; 2]);
         let offered = calibrated_load(&rt, &fleet, 1.5);
         for scheduler in SchedulerKind::all() {
-            for arrival in arrivals {
+            for arrival in &arrivals {
                 let cfg = ServeConfig {
                     queue_capacity: 64,
                     max_batch: 4,
                     shards: 2,
                     batch_overhead_us: 500,
-                    arrival,
+                    arrival: arrival.clone(),
                     scheduler,
                     ..ServeConfig::at_load(offered, n_requests)
                 };

@@ -1,0 +1,203 @@
+//! Typed comparison of bench JSON documents — the perf-regression gate.
+//!
+//! A raw `diff` against `BENCH_serve.json` treats every byte as sacred:
+//! any intentional perf change forces a blind snapshot overwrite, and the
+//! failure output says nothing about *what* moved. This module compares
+//! the parsed trees with **typed tolerances** instead:
+//!
+//! * integers, strings, booleans (counts, digests, virtual-time
+//!   nanoseconds, fixed-point picojoules) must match **exactly** — these
+//!   are the deterministic fields; any drift is a behaviour change;
+//! * floats (rates, ratios) must agree to a relative `1e-9` — they are
+//!   byte-stable too, the slack only absorbs formatter-level noise;
+//! * fields named on the **allowlist** are skipped entirely — the
+//!   explicit escape hatch for a PR that intentionally moves a metric
+//!   and updates the snapshot in the same change (run `bench_diff`
+//!   with `--allow <field>` locally to see everything *else* still
+//!   matches before committing the new snapshot).
+//!
+//! Every mismatch is reported with its JSON path (`rows[3].digest`),
+//! old and new value, so a gate failure names the regression.
+
+use crate::json::Json;
+
+/// Relative tolerance for float leaves. Virtual-time floats are
+/// byte-stable; this only forgives last-ulp formatting noise.
+const FLOAT_RTOL: f64 = 1e-9;
+
+/// One difference between baseline and fresh documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mismatch {
+    /// JSON path of the differing node (`rows[3].digest`).
+    pub path: String,
+    /// What differed, with both values rendered.
+    pub what: String,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.what)
+    }
+}
+
+/// Compares `fresh` against `baseline` with the typed rules above.
+/// `allow` lists object-member *names* whose subtrees are exempt.
+/// Returns every mismatch (empty = gate passes).
+pub fn diff(baseline: &Json, fresh: &Json, allow: &[String]) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    walk(baseline, fresh, "$", allow, &mut out);
+    out
+}
+
+fn push(out: &mut Vec<Mismatch>, path: &str, what: String) {
+    out.push(Mismatch { path: path.to_string(), what });
+}
+
+fn float_leaf(a: f64, b: f64, path: &str, out: &mut Vec<Mismatch>) {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    if (a - b).abs() > FLOAT_RTOL * scale {
+        push(out, path, format!("float field changed: {a} -> {b}"));
+    }
+}
+
+fn walk(base: &Json, fresh: &Json, path: &str, allow: &[String], out: &mut Vec<Mismatch>) {
+    match (base, fresh) {
+        (Json::Null, Json::Null) => {}
+        (Json::Bool(a), Json::Bool(b)) => {
+            if a != b {
+                push(out, path, format!("bool changed: {a} -> {b}"));
+            }
+        }
+        (Json::Int(a), Json::Int(b)) => {
+            if a != b {
+                push(out, path, format!("exact field changed: {a} -> {b}"));
+            }
+        }
+        (Json::Str(a), Json::Str(b)) => {
+            if a != b {
+                push(out, path, format!("exact field changed: {a:?} -> {b:?}"));
+            }
+        }
+        (Json::Num(a), Json::Num(b)) => float_leaf(*a, *b, path, out),
+        // The writer trims integral-valued floats to bare integers
+        // (`2.0` renders as `2`), so a float metric that crosses an
+        // integer value parses as `Int` on one side only. Treat the
+        // mixed pairs as floats under the tolerance; true counters are
+        // integral on *both* sides and stay on the exact path above.
+        (Json::Int(a), Json::Num(b)) => float_leaf(*a as f64, *b, path, out),
+        (Json::Num(a), Json::Int(b)) => float_leaf(*a, *b as f64, path, out),
+        (Json::Arr(a), Json::Arr(b)) => {
+            if a.len() != b.len() {
+                push(out, path, format!("array length changed: {} -> {}", a.len(), b.len()));
+                return;
+            }
+            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                walk(x, y, &format!("{path}[{i}]"), allow, out);
+            }
+        }
+        (Json::Obj(a), Json::Obj(b)) => {
+            let keys = |o: &[(String, Json)]| o.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>();
+            if keys(a) != keys(b) {
+                push(out, path, format!("object keys changed: {:?} -> {:?}", keys(a), keys(b)));
+                return;
+            }
+            for ((k, x), (_, y)) in a.iter().zip(b) {
+                if allow.iter().any(|al| al == k) {
+                    continue; // intentionally-changed field
+                }
+                walk(x, y, &format!("{path}.{k}"), allow, out);
+            }
+        }
+        _ => push(out, path, format!("type changed: {} -> {}", type_name(base), type_name(fresh))),
+    }
+}
+
+fn type_name(v: &Json) -> &'static str {
+    match v {
+        Json::Null => "null",
+        Json::Bool(_) => "bool",
+        Json::Int(_) => "int",
+        Json::Num(_) => "float",
+        Json::Str(_) => "string",
+        Json::Arr(_) => "array",
+        Json::Obj(_) => "object",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn d(a: &str, b: &str, allow: &[&str]) -> Vec<Mismatch> {
+        let allow: Vec<String> = allow.iter().map(|s| s.to_string()).collect();
+        diff(&parse(a).unwrap(), &parse(b).unwrap(), &allow)
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let doc = r#"{"bench":"serve","rows":[{"completed":16,"rate":1.5}]}"#;
+        assert!(d(doc, doc, &[]).is_empty());
+    }
+
+    #[test]
+    fn integer_fields_are_exact() {
+        let m = d(r#"{"completed":16}"#, r#"{"completed":17}"#, &[]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].path, "$.completed");
+        assert!(m[0].what.contains("16 -> 17"), "{}", m[0].what);
+    }
+
+    #[test]
+    fn digests_are_exact_strings() {
+        let m = d(r#"{"digest":"0xabc"}"#, r#"{"digest":"0xdef"}"#, &[]);
+        assert_eq!(m.len(), 1);
+        assert!(m[0].what.contains("exact field"));
+    }
+
+    #[test]
+    fn floats_tolerate_formatting_noise_only() {
+        assert!(d(r#"{"rate":1.5}"#, r#"{"rate":1.5000000000001}"#, &[]).is_empty());
+        let m = d(r#"{"rate":1.5}"#, r#"{"rate":1.6}"#, &[]);
+        assert_eq!(m.len(), 1);
+        assert!(m[0].what.contains("float field"));
+    }
+
+    /// The writer trims `6980802.0` to `6980802`, which parses back as an
+    /// integer — a float metric crossing an integer value must still get
+    /// the float tolerance, not a type-mismatch failure.
+    #[test]
+    fn integral_valued_floats_compare_under_the_float_tolerance() {
+        assert!(d(r#"{"rate":6980802}"#, r#"{"rate":6980802.000001}"#, &[]).is_empty());
+        assert!(d(r#"{"rate":6980802.000001}"#, r#"{"rate":6980802}"#, &[]).is_empty());
+        let m = d(r#"{"rate":2}"#, r#"{"rate":3.5}"#, &[]);
+        assert_eq!(m.len(), 1);
+        assert!(m[0].what.contains("float field"), "{}", m[0].what);
+    }
+
+    #[test]
+    fn allowlisted_fields_are_skipped_with_their_subtrees() {
+        let a = r#"{"rows":[{"digest":"0x1","p99_total_ns":100}],"seed":42}"#;
+        let b = r#"{"rows":[{"digest":"0x2","p99_total_ns":999}],"seed":42}"#;
+        assert_eq!(d(a, b, &[]).len(), 2);
+        assert_eq!(d(a, b, &["digest"]).len(), 1);
+        assert!(d(a, b, &["digest", "p99_total_ns"]).is_empty());
+        assert!(d(a, b, &["rows"]).is_empty(), "allowing a parent skips the subtree");
+    }
+
+    #[test]
+    fn structural_changes_always_fail() {
+        let m = d(r#"{"rows":[1,2]}"#, r#"{"rows":[1,2,3]}"#, &[]);
+        assert!(m[0].what.contains("array length"));
+        let m = d(r#"{"a":1}"#, r#"{"b":1}"#, &[]);
+        assert!(m[0].what.contains("object keys"));
+        let m = d(r#"{"a":1}"#, r#"{"a":"1"}"#, &[]);
+        assert!(m[0].what.contains("type changed"));
+    }
+
+    #[test]
+    fn paths_name_the_failing_leaf() {
+        let m = d(r#"{"rows":[{"x":1},{"x":2}]}"#, r#"{"rows":[{"x":1},{"x":3}]}"#, &[]);
+        assert_eq!(m[0].path, "$.rows[1].x");
+    }
+}

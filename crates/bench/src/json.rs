@@ -1,11 +1,13 @@
-//! Minimal JSON emission for machine-readable bench output.
+//! Minimal JSON emission *and parsing* for machine-readable bench output.
 //!
 //! The container has no registry access, so instead of `serde` this is a
 //! tiny value tree with a deterministic writer: keys keep insertion
 //! order, floats print with up to six fractional digits via Rust's
 //! locale-independent formatter, and integers stay integers. Output is
 //! therefore byte-stable across platforms for the virtual-time metrics
-//! the bins report — `BENCH_serve.json` is diffed in CI on that basis.
+//! the bins report — the `bench_diff` gate compares fresh output against
+//! the checked-in `BENCH_serve.json` on that basis, via [`parse`] and
+//! [`crate::diff`].
 
 use std::fmt;
 
@@ -120,6 +122,239 @@ pub fn to_document(v: &Json) -> String {
     format!("{v}\n")
 }
 
+/// A parse failure: what went wrong and the byte offset it went wrong at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document (the inverse of the writer above).
+///
+/// A recursive-descent parser over the full JSON grammar, with one
+/// bench-specific refinement: numbers without a fraction or exponent
+/// parse as [`Json::Int`] (exact), everything else as [`Json::Num`] —
+/// mirroring how the writer emits them, so a write→parse round trip
+/// preserves the typed-tolerance distinction `bench_diff` keys on.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] with the byte offset of the first violation;
+/// trailing non-whitespace is a violation too.
+pub fn parse(s: &str) -> Result<Json, JsonError> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError { message: message.into(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            // Surrogate pairs don't appear in bench output;
+                            // map them to the replacement character.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().expect("non-empty checked above");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ascii digits are valid utf-8");
+        if text.is_empty() || text == "-" {
+            return Err(self.err("malformed number"));
+        }
+        if integral {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonError { message: format!("malformed number '{text}'"), offset: start })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,5 +391,54 @@ mod tests {
     #[test]
     fn documents_end_with_a_newline() {
         assert!(to_document(&Json::Null).ends_with('\n'));
+    }
+
+    #[test]
+    fn parse_round_trips_the_writer() {
+        let v = Json::obj([
+            ("name", Json::str("serve")),
+            ("n", Json::int(3u32)),
+            ("rate", Json::num(0.333333)),
+            ("neg", Json::int(-7i64)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("rows", Json::Arr(vec![Json::int(1u32), Json::num(2.5), Json::str("a\"b\nc")])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+        ]);
+        let text = to_document(&v);
+        assert_eq!(parse(&text).unwrap(), v, "write → parse must be the identity");
+    }
+
+    #[test]
+    fn parse_keeps_integers_exact_and_floats_floating() {
+        let v = parse(r#"{"i":12345678901234567890123,"f":1.5,"e":2e3}"#).unwrap();
+        let Json::Obj(pairs) = v else { panic!("object expected") };
+        assert!(matches!(pairs[0].1, Json::Int(12345678901234567890123)));
+        assert!(matches!(pairs[1].1, Json::Num(f) if f == 1.5));
+        assert!(matches!(pairs[2].1, Json::Num(f) if f == 2000.0));
+    }
+
+    #[test]
+    fn parse_reports_offsets_for_malformed_input() {
+        for (text, offset_at_least) in
+            [("", 0), ("{", 1), ("[1,]", 3), ("{\"a\" 1}", 5), ("nul", 0), ("1 2", 2)]
+        {
+            let err = parse(text).unwrap_err();
+            assert!(
+                err.offset >= offset_at_least,
+                "{text:?}: offset {} < {offset_at_least}",
+                err.offset
+            );
+        }
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_whitespace() {
+        let v = parse(" { \"k\" : \"a\\u0041\\n\" , \"l\" : [ ] } ").unwrap();
+        assert_eq!(
+            v,
+            Json::Obj(vec![("k".into(), Json::str("aA\n")), ("l".into(), Json::Arr(vec![])),])
+        );
     }
 }

@@ -5,6 +5,7 @@
 //! whole suite runs in seconds. Tables print "ours" next to the paper's
 //! reported value wherever the paper gives one.
 
+pub mod diff;
 pub mod json;
 pub mod scaling;
 pub mod table;

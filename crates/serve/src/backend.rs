@@ -16,6 +16,7 @@
 //! what lets the runtime's accounting stay bit-deterministic across thread
 //! counts (see [`crate::runtime`]).
 
+use crate::control::DvfsPoint;
 use crate::energy::EnergyBreakdown;
 use crate::ServeError;
 use defa_arch::CLOCK_HZ;
@@ -88,6 +89,33 @@ const ACCEL_EFFECTIVE_UTILIZATION: f64 = 0.5;
 /// point; accounting always uses the event-priced model).
 const ACCEL_NOMINAL_W: f64 = 0.12;
 
+/// Accelerator idle (static/leakage) power at the nominal DVFS point, in
+/// milliwatts — roughly a quarter of the ~0.12 W loaded average, scaled
+/// with `f · V²` as the clock steps down the ladder. Static power is
+/// accounted per control epoch (`ServeReport::static_energy_pj`), never
+/// per request, so per-request energy pins are untouched.
+const ACCEL_IDLE_MW_NOMINAL: u64 = 30;
+
+/// GPU-class board idle power in milliwatts (display-off idle of a
+/// high-end card). The GPU model has no DVFS ladder here, so this is
+/// clock-independent.
+const GPU_IDLE_MW: u64 = 30_000;
+
+/// Idle power of an `f·V²`-scaled device: `base_mw` at the nominal point,
+/// scaled by `(f/f_nom) · (V/V_nom)²` in exact integer arithmetic.
+fn scaled_idle_mw(base_mw: u64, clock: DvfsPoint) -> u64 {
+    let num = base_mw as u128 * clock.freq_mhz as u128 * (clock.mv as u128) * (clock.mv as u128);
+    let den = DvfsPoint::NOMINAL.freq_mhz as u128
+        * (DvfsPoint::NOMINAL.mv as u128)
+        * (DvfsPoint::NOMINAL.mv as u128);
+    (num / den) as u64
+}
+
+/// Integer rounding division (`num / den` to nearest, ties up).
+fn div_round(num: u128, den: u128) -> u128 {
+    (num + den / 2) / den
+}
+
 /// A pluggable inference engine the serving runtime dispatches batches to.
 ///
 /// Implementations must be deterministic: the same `(scenario, request)`
@@ -124,6 +152,29 @@ pub trait Backend: Send + Sync {
     /// Cheap deterministic estimate of one request's energy on this
     /// backend, in picojoules — analytic only, never runs the model.
     fn estimate_energy_pj(&self, scenario: &SyntheticWorkload) -> u128;
+
+    /// Re-prices an output for the DVFS operating point the batch was
+    /// dispatched at: latency stretches with `f_nom / f`, dynamic energy
+    /// shrinks with `(V / V_nom)²`.
+    ///
+    /// The default is the identity — GPU-modeled backends are not on the
+    /// accelerator's clock domain. Implementations must be exact at
+    /// [`DvfsPoint::NOMINAL`] (the runtime relies on it to keep
+    /// `NoOp`-controlled runs byte-identical to uncontrolled ones) and
+    /// pure in `(out, clock)`.
+    fn reprice(&self, out: BackendOutput, clock: DvfsPoint) -> BackendOutput {
+        let _ = clock;
+        out
+    }
+
+    /// Modeled idle (static) power of one shard of this backend at the
+    /// given clock, in milliwatts. Accounted per control epoch into
+    /// [`crate::ServeReport::static_energy_pj`] — never into the
+    /// per-request energy attribution.
+    fn idle_power_mw(&self, clock: DvfsPoint) -> u64 {
+        let _ = clock;
+        0
+    }
 }
 
 /// Converts modeled seconds to clamped virtual nanoseconds.
@@ -184,6 +235,10 @@ impl Backend for DenseBackend {
 
     fn estimate_energy_pj(&self, scenario: &SyntheticWorkload) -> u128 {
         self.gpu.energy_picojoules(self.estimate_cost_ns(scenario))
+    }
+
+    fn idle_power_mw(&self, _clock: DvfsPoint) -> u64 {
+        GPU_IDLE_MW
     }
 }
 
@@ -246,6 +301,10 @@ impl Backend for PrunedBackend {
 
     fn estimate_energy_pj(&self, scenario: &SyntheticWorkload) -> u128 {
         self.gpu.energy_picojoules(self.estimate_cost_ns(scenario))
+    }
+
+    fn idle_power_mw(&self, _clock: DvfsPoint) -> u64 {
+        GPU_IDLE_MW
     }
 }
 
@@ -314,6 +373,37 @@ impl Backend for AcceleratorBackend {
     fn estimate_energy_pj(&self, scenario: &SyntheticWorkload) -> u128 {
         // Nominal board power over the estimated time (1 W·ns = 1000 pJ).
         (ACCEL_NOMINAL_W * 1e3 * self.estimate_cost_ns(scenario) as f64).round() as u128
+    }
+
+    fn reprice(&self, out: BackendOutput, clock: DvfsPoint) -> BackendOutput {
+        if clock == DvfsPoint::NOMINAL {
+            return out; // exact identity — the NoOp byte-compat anchor
+        }
+        // Same cycle count at a slower clock: time scales by f_nom / f.
+        let cost_ns = div_round(
+            out.cost_ns as u128 * DvfsPoint::NOMINAL.freq_mhz as u128,
+            clock.freq_mhz as u128,
+        )
+        .max(1) as u64;
+        // Dynamic energy per event scales with V² (CV²): each component
+        // is rescaled in exact integer arithmetic.
+        let v2 = clock.mv as u128 * clock.mv as u128;
+        let v2_nom = DvfsPoint::NOMINAL.mv as u128 * DvfsPoint::NOMINAL.mv as u128;
+        let scale = |pj: u128| div_round(pj * v2, v2_nom);
+        BackendOutput {
+            digest: out.digest,
+            cost_ns,
+            energy: EnergyBreakdown {
+                compute_pj: scale(out.energy.compute_pj),
+                sram_pj: scale(out.energy.sram_pj),
+                dram_pj: scale(out.energy.dram_pj),
+            },
+            dense_flops: out.dense_flops,
+        }
+    }
+
+    fn idle_power_mw(&self, clock: DvfsPoint) -> u64 {
+        scaled_idle_mw(ACCEL_IDLE_MW_NOMINAL, clock)
     }
 }
 
@@ -496,6 +586,49 @@ mod tests {
         assert_eq!(fleet.len(), 2);
         assert_eq!(fleet[0].name(), "dense");
         assert_eq!(fleet[1].name(), "defa-accel");
+    }
+
+    #[test]
+    fn repricing_is_identity_at_nominal_and_scaled_down_the_ladder() {
+        let gen = tiny_gen();
+        let req = gen.request(0);
+        let wl = gen.scenario(req.scenario).unwrap();
+        let accel = AcceleratorBackend::new();
+        let out = accel.run(wl, &req).unwrap();
+        assert_eq!(accel.reprice(out, DvfsPoint::NOMINAL), out, "nominal must be exact identity");
+        let slow = accel.reprice(out, crate::control::DVFS_LADDER[3]); // 100 MHz @ 0.7 V
+        assert_eq!(slow.digest, out.digest, "DVFS never changes the response bits");
+        assert_eq!(slow.dense_flops, out.dense_flops);
+        assert_eq!(slow.cost_ns, out.cost_ns * 4, "quarter clock, 4x latency");
+        // 0.49x dynamic energy (0.7² V scaling), within integer rounding.
+        let want = out.energy.total_pj() * 49 / 100;
+        let got = slow.energy.total_pj();
+        assert!(got.abs_diff(want) <= 3, "V² scaling: got {got}, want ~{want}");
+        // GPU backends are not on the accelerator clock domain.
+        let dense = DenseBackend::new();
+        let d = dense.run(wl, &req).unwrap();
+        assert_eq!(dense.reprice(d, crate::control::DVFS_LADDER[3]), d);
+    }
+
+    #[test]
+    fn idle_power_scales_with_frequency_and_voltage() {
+        let accel = AcceleratorBackend::new();
+        let nominal = accel.idle_power_mw(DvfsPoint::NOMINAL);
+        assert_eq!(nominal, 30);
+        let floor = accel.idle_power_mw(crate::control::DVFS_LADDER[3]);
+        assert!(
+            floor * 4 < nominal,
+            "bottom of the ladder must cut idle power multiples: {floor} vs {nominal} mW"
+        );
+        // GPU idle power is clock-independent and far above the
+        // accelerator's — the fleet-level energy-proportionality gap.
+        let dense = DenseBackend::new();
+        assert_eq!(
+            dense.idle_power_mw(DvfsPoint::NOMINAL),
+            dense.idle_power_mw(crate::control::DVFS_LADDER[3]),
+            "the GPU model is not on the accelerator's clock domain"
+        );
+        assert!(dense.idle_power_mw(DvfsPoint::NOMINAL) > 100 * nominal);
     }
 
     #[test]

@@ -1,18 +1,58 @@
-//! Serving operating points: load, batching, and the three policy knobs.
+//! Serving operating points: load, batching, the three policy knobs,
+//! and the epoch-stepped control loop.
 
 use crate::admission::DropPolicy;
+use crate::control::ControllerKind;
 use crate::loadgen::ArrivalProcess;
 use crate::router::RouterKind;
 use crate::scheduler::SchedulerKind;
 use crate::ServeError;
 
+/// The epoch-stepped fleet-control configuration.
+///
+/// The runtime always divides virtual time into `epoch_us` epochs — the
+/// per-epoch timeline in [`crate::ServeReport`] exists for every run —
+/// but only a non-[`ControllerKind::NoOp`] controller actually *acts* on
+/// the boundaries. `max_shards` is the fleet ceiling an autoscaler may
+/// grow into; the fleet passed to `run_fleet` (or cloned by `run`) must
+/// cover it, and shards beyond [`ServeConfig::shards`] start inactive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlConfig {
+    /// Control-epoch length in virtual microseconds.
+    pub epoch_us: u64,
+    /// Fleet-size ceiling; 0 means "exactly [`ServeConfig::shards`]" (no
+    /// growth headroom).
+    pub max_shards: usize,
+    /// The controller observed/actuated at epoch boundaries.
+    pub controller: ControllerKind,
+}
+
+impl Default for ControlConfig {
+    fn default() -> Self {
+        ControlConfig { epoch_us: 1_000, max_shards: 0, controller: ControllerKind::NoOp }
+    }
+}
+
+impl ControlConfig {
+    /// The number of shards that must exist (active or not) for a run
+    /// with `shards` initially active.
+    pub fn fleet_size(&self, shards: usize) -> usize {
+        if self.max_shards == 0 {
+            shards
+        } else {
+            self.max_shards.max(shards)
+        }
+    }
+}
+
 /// One serving operating point.
 ///
 /// The first seven fields shape the load and the batching window; the
-/// last four pick the policy at each layer (arrival process → admission
-/// drop policy → scheduler → router). The defaults — Poisson, tail drop,
-/// FIFO, round-robin — reproduce the PR 2/PR 3 runtime byte-for-byte,
-/// pinned by `tests/tests/serving.rs`.
+/// next four pick the policy at each layer (arrival process → admission
+/// drop policy → scheduler → router); `control` closes the loop at epoch
+/// granularity. The defaults — Poisson, tail drop, FIFO, round-robin, a
+/// static fleet — reproduce the PR 2/PR 3 runtime byte-for-byte, pinned
+/// by `tests/tests/serving.rs` and `tests/tests/control.rs`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Offered load of the open-loop generator, requests per virtual
@@ -39,6 +79,9 @@ pub struct ServeConfig {
     pub scheduler: SchedulerKind,
     /// Which shard a formed batch runs on.
     pub router: RouterKind,
+    /// The epoch-stepped fleet-control loop (epoch length, shard
+    /// ceiling, controller).
+    pub control: ControlConfig,
 }
 
 impl ServeConfig {
@@ -58,6 +101,7 @@ impl ServeConfig {
             drop: DropPolicy::RejectNewest,
             scheduler: SchedulerKind::Fifo,
             router: RouterKind::RoundRobin,
+            control: ControlConfig::default(),
         }
     }
 
@@ -98,13 +142,69 @@ impl ServeConfig {
         if self.shards == 0 {
             return degenerate("shards", "0 (must be at least 1)".into());
         }
-        if let ArrivalProcess::Bursty { burst } = self.arrival {
-            if !(burst.is_finite() && burst > 1.0) {
-                return degenerate(
-                    "arrival.burst",
-                    format!("{burst} (must be finite and exceed 1)"),
-                );
+        match &self.arrival {
+            ArrivalProcess::Bursty { burst } => {
+                if !(burst.is_finite() && *burst > 1.0) {
+                    return degenerate(
+                        "arrival.burst",
+                        format!("{burst} (must be finite and exceed 1)"),
+                    );
+                }
             }
+            ArrivalProcess::Trace(schedule) => {
+                if schedule.segments.is_empty() {
+                    return degenerate("arrival.trace", "no segments".into());
+                }
+                for (i, seg) in schedule.segments.iter().enumerate() {
+                    if !(seg.rate_mult.is_finite() && seg.rate_mult >= 0.0) {
+                        return degenerate(
+                            "arrival.trace",
+                            format!(
+                                "segment {i} rate_mult {} (must be finite and >= 0)",
+                                seg.rate_mult
+                            ),
+                        );
+                    }
+                    if let crate::loadgen::SegmentProcess::Bursty { burst } = seg.process {
+                        if !(burst.is_finite() && burst > 1.0) {
+                            return degenerate(
+                                "arrival.trace",
+                                format!("segment {i} burst {burst} (must exceed 1)"),
+                            );
+                        }
+                    }
+                }
+                if !schedule.can_arrive() {
+                    return degenerate(
+                        "arrival.trace",
+                        "no segment with positive duration and positive rate — the schedule \
+                         could never produce an arrival"
+                            .into(),
+                    );
+                }
+                // offered_load is already known positive (checked first).
+                if !schedule.productive_at(self.offered_load) {
+                    return degenerate(
+                        "arrival.trace",
+                        format!(
+                            "no segment can fire at offered_load {} — every productive window \
+                             is uniform-paced with a gap longer than the window itself",
+                            self.offered_load
+                        ),
+                    );
+                }
+            }
+            ArrivalProcess::Poisson | ArrivalProcess::Uniform => {}
+        }
+        if self.control.epoch_us == 0 {
+            return degenerate("control.epoch_us", "0 (must be at least 1)".into());
+        }
+        if self.control.max_shards != 0 && self.control.max_shards < self.shards {
+            return Err(ServeError::InvalidConfig(format!(
+                "control.max_shards {} below shards {} — the initial fleet would not fit its \
+                 own ceiling",
+                self.control.max_shards, self.shards
+            )));
         }
         if self.max_batch > self.queue_capacity {
             return Err(ServeError::InvalidConfig(format!(
@@ -151,6 +251,50 @@ mod tests {
                 ServeConfig { arrival: ArrivalProcess::Bursty { burst: f64::NAN }, ..base.clone() },
                 "arrival.burst",
             ),
+            (
+                ServeConfig {
+                    arrival: ArrivalProcess::Trace(crate::loadgen::TraceSchedule::new(
+                        "dead",
+                        vec![crate::loadgen::RateSegment::poisson(1_000, 0.0)],
+                    )),
+                    ..base.clone()
+                },
+                "arrival.trace",
+            ),
+            (
+                ServeConfig {
+                    arrival: ArrivalProcess::Trace(crate::loadgen::TraceSchedule::new(
+                        "nan",
+                        vec![crate::loadgen::RateSegment::poisson(1_000, f64::NAN)],
+                    )),
+                    ..base.clone()
+                },
+                "arrival.trace",
+            ),
+            (
+                // Uniform window shorter than its own gap at this load:
+                // deterministically silent, must be rejected up front.
+                ServeConfig {
+                    offered_load: 100.0,
+                    arrival: ArrivalProcess::Trace(crate::loadgen::TraceSchedule::new(
+                        "stuck",
+                        vec![crate::loadgen::RateSegment {
+                            duration_us: 1_000,
+                            rate_mult: 1.0,
+                            process: crate::loadgen::SegmentProcess::Uniform,
+                        }],
+                    )),
+                    ..base.clone()
+                },
+                "arrival.trace",
+            ),
+            (
+                ServeConfig {
+                    control: ControlConfig { epoch_us: 0, ..ControlConfig::default() },
+                    ..base.clone()
+                },
+                "control.epoch_us",
+            ),
         ] {
             match cfg.validate() {
                 Err(ServeError::DegenerateConfig { field: f, .. }) => {
@@ -166,6 +310,20 @@ mod tests {
         let cfg =
             ServeConfig { max_batch: 100, queue_capacity: 10, ..ServeConfig::at_load(1.0, 1) };
         assert!(matches!(cfg.validate(), Err(ServeError::InvalidConfig(_))));
+        let ceiling = ServeConfig {
+            shards: 4,
+            control: ControlConfig { max_shards: 2, ..ControlConfig::default() },
+            ..ServeConfig::at_load(1.0, 1)
+        };
+        assert!(matches!(ceiling.validate(), Err(ServeError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn fleet_size_defaults_to_shards_and_respects_the_ceiling() {
+        assert_eq!(ControlConfig::default().fleet_size(3), 3);
+        let ctl = ControlConfig { max_shards: 8, ..ControlConfig::default() };
+        assert_eq!(ctl.fleet_size(2), 8);
+        assert_eq!(ctl.fleet_size(8), 8);
     }
 
     #[test]

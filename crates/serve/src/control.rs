@@ -1,0 +1,438 @@
+//! Closed-loop fleet control: epoch-stepped observation and actuation.
+//!
+//! The policy layers of [`crate::runtime`] decide *per batch*; this module
+//! decides *per epoch*. The runtime divides virtual time into fixed
+//! control epochs ([`crate::config::ControlConfig::epoch_us`]); at every
+//! boundary it hands the [`Controller`] a [`FleetView`] snapshot — queue
+//! depth, arrivals, drops, SLO misses since the previous boundary, the
+//! active shard count and the current accelerator clock — and applies
+//! whatever [`ControlAction`]s the controller returns before the next
+//! batch is formed.
+//!
+//! # Determinism contract
+//!
+//! Controllers run on the accounting thread of the virtual-time loop and
+//! must be **pure state machines over the snapshot sequence**: the same
+//! seed and [`crate::ServeConfig`] produce the same snapshots, so the same
+//! decisions, so a byte-identical [`crate::ServeReport`] for any
+//! `RAYON_NUM_THREADS`. No wall clock, no randomness, no interior
+//! mutability beyond the state the trait's `&mut self` makes explicit.
+//! [`NoOpController`] returns no actions, which pins the uncontrolled
+//! runtime byte-for-byte (`tests/tests/control.rs` holds it against the
+//! PR 4 digests).
+//!
+//! # The shipped controllers
+//!
+//! * [`NoOpController`] — a static fleet at the nominal clock;
+//! * [`ShardAutoscaler`] — hysteresis on epoch queue depth and drops:
+//!   adds a shard under pressure, drains the highest-index shard after a
+//!   run of calm epochs. Draining is *drain-before-stop*: the shard takes
+//!   no new batches but its in-flight batch settles normally, so
+//!   conservation (arrivals = completed + dropped) survives every resize;
+//! * [`DvfsGovernor`] — steps the accelerator clock down a
+//!   frequency/voltage ladder ([`DVFS_LADDER`]) across idle epochs and
+//!   snaps back to nominal under pressure. The runtime re-prices latency
+//!   (cycles at the epoch's clock) *and* energy (dynamic energy ∝ V²)
+//!   through [`crate::Backend::reprice`] — energy-proportional serving.
+
+/// One accelerator operating point: core clock and supply voltage.
+///
+/// Latency scales inversely with `freq_mhz`; dynamic energy scales with
+/// `mv²` (the classic CV²f argument with the f cancelled per-event).
+/// Integer fields keep the re-pricing arithmetic exact, so reports stay
+/// byte-identical across hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DvfsPoint {
+    /// Core clock in MHz.
+    pub freq_mhz: u32,
+    /// Supply voltage in millivolts.
+    pub mv: u32,
+}
+
+impl DvfsPoint {
+    /// The paper design point: 400 MHz at nominal voltage.
+    ///
+    /// Re-pricing at this point is exactly the identity, which is what
+    /// lets [`NoOpController`] runs reproduce the uncontrolled runtime
+    /// byte-for-byte.
+    pub const NOMINAL: DvfsPoint = DvfsPoint { freq_mhz: 400, mv: 1000 };
+
+    /// Short display form (`400MHz@1.00V`).
+    pub fn label(&self) -> String {
+        format!("{}MHz@{:.2}V", self.freq_mhz, self.mv as f64 / 1000.0)
+    }
+}
+
+/// The default frequency/voltage ladder, fastest first. Voltage tracks
+/// frequency as on real silicon, so each step down cuts dynamic energy
+/// quadratically while stretching latency linearly.
+pub const DVFS_LADDER: [DvfsPoint; 4] = [
+    DvfsPoint::NOMINAL,
+    DvfsPoint { freq_mhz: 300, mv: 900 },
+    DvfsPoint { freq_mhz: 200, mv: 800 },
+    DvfsPoint { freq_mhz: 100, mv: 700 },
+];
+
+/// What the controller sees at one epoch boundary.
+///
+/// Counters cover the epoch that just ended — more precisely, the events
+/// the virtual-time loop *processed* since the previous boundary, which is
+/// the deterministic analogue of a production controller's metric window.
+/// The report-side timeline ([`crate::report::EpochStat`]) instead
+/// attributes events by exact virtual timestamp; controllers only need a
+/// consistent signal, reports need exact accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetView {
+    /// Index of the epoch that just ended (0-based).
+    pub epoch: u64,
+    /// Virtual start of that epoch.
+    pub start_ns: u64,
+    /// Virtual end of that epoch (the boundary being crossed).
+    pub end_ns: u64,
+    /// Shards currently accepting new batches.
+    pub active_shards: usize,
+    /// Fleet-size ceiling (shards that exist, active or not).
+    pub max_shards: usize,
+    /// Admission-queue depth at the boundary.
+    pub queue_depth: usize,
+    /// Arrivals observed during the epoch (admitted + dropped).
+    pub arrivals: u64,
+    /// Arrivals dropped during the epoch.
+    pub dropped: u64,
+    /// Requests settled during the epoch.
+    pub completed: u64,
+    /// Settled requests that blew their SLO budget during the epoch.
+    pub slo_violations: u64,
+    /// Clock the fleet ran at during the epoch.
+    pub clock: DvfsPoint,
+}
+
+/// One actuation a controller may request at an epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlAction {
+    /// Activate the lowest-index inactive shard (no-op at the ceiling).
+    AddShard,
+    /// Drain the highest-index active shard: it takes no new batches, its
+    /// in-flight batch settles normally (no-op at one active shard).
+    DrainShard,
+    /// Switch the fleet clock for subsequently dispatched batches.
+    SetClock(DvfsPoint),
+}
+
+/// An epoch-boundary fleet controller.
+///
+/// `decide` must be a pure function of the snapshot sequence and the
+/// state reachable from it — see the module-level determinism contract.
+pub trait Controller: Send {
+    /// Short display name for tables and reports.
+    fn name(&self) -> &'static str;
+
+    /// Observes the epoch that just ended and returns the actions to
+    /// apply before the next batch is formed.
+    fn decide(&mut self, view: &FleetView) -> Vec<ControlAction>;
+}
+
+/// A static fleet at the nominal clock: never acts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoOpController;
+
+impl Controller for NoOpController {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn decide(&mut self, _view: &FleetView) -> Vec<ControlAction> {
+        Vec::new()
+    }
+}
+
+/// Operating thresholds of the [`ShardAutoscaler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AutoscalerConfig {
+    /// Queue depth at an epoch boundary that triggers a scale-up (any
+    /// drop in the epoch triggers one regardless).
+    pub scale_up_queue: usize,
+    /// Queue depth at or below which an epoch counts as calm.
+    pub scale_down_queue: usize,
+    /// Consecutive calm epochs required before draining one shard — the
+    /// hysteresis that keeps the fleet from flapping on bursty traffic.
+    pub calm_epochs: u32,
+    /// Never drain below this many active shards.
+    pub min_shards: usize,
+}
+
+impl Default for AutoscalerConfig {
+    fn default() -> Self {
+        AutoscalerConfig { scale_up_queue: 8, scale_down_queue: 1, calm_epochs: 3, min_shards: 1 }
+    }
+}
+
+/// Elastic fleet sizing with hysteresis.
+///
+/// Scale-up is eager (any epoch with drops or a deep queue adds a shard
+/// immediately); scale-down is lazy (a run of
+/// [`AutoscalerConfig::calm_epochs`] calm epochs drains one shard). The
+/// asymmetry is deliberate: under-provisioning sheds requests
+/// irrecoverably, over-provisioning only costs idle energy.
+#[derive(Debug, Clone)]
+pub struct ShardAutoscaler {
+    cfg: AutoscalerConfig,
+    calm_streak: u32,
+}
+
+impl ShardAutoscaler {
+    /// An autoscaler with the given thresholds.
+    pub fn new(cfg: AutoscalerConfig) -> Self {
+        ShardAutoscaler { cfg, calm_streak: 0 }
+    }
+}
+
+impl Controller for ShardAutoscaler {
+    fn name(&self) -> &'static str {
+        "autoscaler"
+    }
+
+    fn decide(&mut self, view: &FleetView) -> Vec<ControlAction> {
+        let pressured = view.dropped > 0 || view.queue_depth >= self.cfg.scale_up_queue;
+        if pressured {
+            self.calm_streak = 0;
+            // Drops are an emergency (requests are being lost right now):
+            // add two shards at once; a deep-but-holding queue adds one.
+            let want = if view.dropped > 0 { 2 } else { 1 };
+            let headroom = view.max_shards.saturating_sub(view.active_shards);
+            return vec![ControlAction::AddShard; want.min(headroom)];
+        }
+        let calm = view.queue_depth <= self.cfg.scale_down_queue && view.slo_violations == 0;
+        if calm && view.active_shards > self.cfg.min_shards.max(1) {
+            self.calm_streak += 1;
+            if self.calm_streak >= self.cfg.calm_epochs {
+                self.calm_streak = 0;
+                return vec![ControlAction::DrainShard];
+            }
+        } else {
+            self.calm_streak = 0;
+        }
+        Vec::new()
+    }
+}
+
+/// Operating thresholds of the [`DvfsGovernor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvfsConfig {
+    /// The frequency/voltage ladder, fastest first.
+    pub ladder: Vec<DvfsPoint>,
+    /// Queue depth at a boundary that snaps the clock back to the top of
+    /// the ladder (any drop or SLO miss in the epoch snaps regardless).
+    pub busy_queue: usize,
+    /// Consecutive quiet epochs (empty queue, no drops, no misses)
+    /// required before stepping one rung down.
+    pub quiet_epochs: u32,
+}
+
+impl Default for DvfsConfig {
+    fn default() -> Self {
+        DvfsConfig { ladder: DVFS_LADDER.to_vec(), busy_queue: 4, quiet_epochs: 2 }
+    }
+}
+
+/// Steps the accelerator clock down the ladder across quiet epochs and
+/// snaps it back to nominal under pressure.
+///
+/// Like the autoscaler, reaction is asymmetric: pressure restores the
+/// full clock in one epoch (latency is at stake), while stepping down
+/// needs a sustained quiet run (only energy is at stake).
+#[derive(Debug, Clone)]
+pub struct DvfsGovernor {
+    cfg: DvfsConfig,
+    level: usize,
+    quiet_streak: u32,
+}
+
+impl DvfsGovernor {
+    /// A governor starting at the top of its ladder.
+    pub fn new(cfg: DvfsConfig) -> Self {
+        DvfsGovernor { cfg, level: 0, quiet_streak: 0 }
+    }
+}
+
+impl Controller for DvfsGovernor {
+    fn name(&self) -> &'static str {
+        "dvfs"
+    }
+
+    fn decide(&mut self, view: &FleetView) -> Vec<ControlAction> {
+        if self.cfg.ladder.is_empty() {
+            return Vec::new();
+        }
+        let pressured =
+            view.dropped > 0 || view.slo_violations > 0 || view.queue_depth >= self.cfg.busy_queue;
+        if pressured {
+            self.quiet_streak = 0;
+            if self.level != 0 {
+                self.level = 0;
+                return vec![ControlAction::SetClock(self.cfg.ladder[0])];
+            }
+            return Vec::new();
+        }
+        if view.queue_depth == 0 {
+            self.quiet_streak += 1;
+            if self.quiet_streak >= self.cfg.quiet_epochs && self.level + 1 < self.cfg.ladder.len()
+            {
+                self.quiet_streak = 0;
+                self.level += 1;
+                return vec![ControlAction::SetClock(self.cfg.ladder[self.level])];
+            }
+        } else {
+            self.quiet_streak = 0;
+        }
+        Vec::new()
+    }
+}
+
+/// The shipped fleet controllers, for config, sweeps and CLI selection.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum ControllerKind {
+    /// [`NoOpController`] (the default — byte-compatible with PR 4).
+    #[default]
+    NoOp,
+    /// [`ShardAutoscaler`] with the given thresholds.
+    Autoscaler(AutoscalerConfig),
+    /// [`DvfsGovernor`] with the given ladder and thresholds.
+    Dvfs(DvfsConfig),
+}
+
+impl ControllerKind {
+    /// The controller's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ControllerKind::NoOp => "static",
+            ControllerKind::Autoscaler(_) => "autoscaler",
+            ControllerKind::Dvfs(_) => "dvfs",
+        }
+    }
+
+    /// Builds the controller in its initial state.
+    pub fn build(&self) -> Box<dyn Controller> {
+        match self {
+            ControllerKind::NoOp => Box::new(NoOpController),
+            ControllerKind::Autoscaler(cfg) => Box::new(ShardAutoscaler::new(*cfg)),
+            ControllerKind::Dvfs(cfg) => Box::new(DvfsGovernor::new(cfg.clone())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(epoch: u64, active: usize, queue: usize, dropped: u64) -> FleetView {
+        FleetView {
+            epoch,
+            start_ns: epoch * 1_000_000,
+            end_ns: (epoch + 1) * 1_000_000,
+            active_shards: active,
+            max_shards: 4,
+            queue_depth: queue,
+            arrivals: 10,
+            dropped,
+            completed: 10 - dropped,
+            slo_violations: 0,
+            clock: DvfsPoint::NOMINAL,
+        }
+    }
+
+    #[test]
+    fn noop_never_acts() {
+        let mut c = NoOpController;
+        for e in 0..10 {
+            assert!(c.decide(&view(e, 2, 64, 5)).is_empty());
+        }
+    }
+
+    #[test]
+    fn autoscaler_scales_up_on_drops_and_deep_queues() {
+        let mut c = ShardAutoscaler::new(AutoscalerConfig::default());
+        assert_eq!(
+            c.decide(&view(0, 2, 0, 3)),
+            [ControlAction::AddShard; 2],
+            "drops are an emergency: two shards at once"
+        );
+        assert_eq!(c.decide(&view(1, 3, 8, 0)), [ControlAction::AddShard], "deep queue adds one");
+        // One slot of headroom left: the emergency add is clamped to it.
+        assert_eq!(c.decide(&view(2, 3, 0, 5)), [ControlAction::AddShard]);
+        // At the ceiling, pressure is acknowledged but nothing is added.
+        assert!(c.decide(&view(3, 4, 64, 9)).is_empty());
+    }
+
+    #[test]
+    fn autoscaler_drains_only_after_a_calm_streak() {
+        let mut c = ShardAutoscaler::new(AutoscalerConfig { calm_epochs: 3, ..Default::default() });
+        assert!(c.decide(&view(0, 3, 0, 0)).is_empty());
+        assert!(c.decide(&view(1, 3, 1, 0)).is_empty());
+        // A pressured epoch resets the streak.
+        assert_eq!(c.decide(&view(2, 3, 0, 1)), [ControlAction::AddShard]);
+        assert!(c.decide(&view(3, 4, 0, 0)).is_empty());
+        assert!(c.decide(&view(4, 4, 0, 0)).is_empty());
+        assert_eq!(c.decide(&view(5, 4, 0, 0)), [ControlAction::DrainShard]);
+        // The streak restarts after a drain.
+        assert!(c.decide(&view(6, 3, 0, 0)).is_empty());
+        assert!(c.decide(&view(7, 3, 0, 0)).is_empty());
+        assert_eq!(c.decide(&view(8, 3, 0, 0)), [ControlAction::DrainShard]);
+    }
+
+    #[test]
+    fn autoscaler_respects_the_floor() {
+        let mut c = ShardAutoscaler::new(AutoscalerConfig {
+            calm_epochs: 1,
+            min_shards: 2,
+            ..Default::default()
+        });
+        assert!(c.decide(&view(0, 2, 0, 0)).is_empty(), "at the floor, calm never drains");
+        assert_eq!(c.decide(&view(1, 3, 0, 0)), [ControlAction::DrainShard]);
+    }
+
+    #[test]
+    fn governor_steps_down_across_quiet_epochs_and_snaps_back() {
+        let mut c = DvfsGovernor::new(DvfsConfig::default());
+        let quiet = |e| view(e, 2, 0, 0);
+        assert!(c.decide(&quiet(0)).is_empty());
+        assert_eq!(c.decide(&quiet(1)), [ControlAction::SetClock(DVFS_LADDER[1])]);
+        assert!(c.decide(&quiet(2)).is_empty());
+        assert_eq!(c.decide(&quiet(3)), [ControlAction::SetClock(DVFS_LADDER[2])]);
+        // Pressure snaps straight to the top, not one rung.
+        assert_eq!(c.decide(&view(4, 2, 9, 0)), [ControlAction::SetClock(DVFS_LADDER[0])]);
+        // Already at the top: pressure produces no action.
+        assert!(c.decide(&view(5, 2, 9, 2)).is_empty());
+    }
+
+    #[test]
+    fn governor_never_walks_off_the_ladder() {
+        let mut c = DvfsGovernor::new(DvfsConfig { quiet_epochs: 1, ..Default::default() });
+        let mut clocks = Vec::new();
+        for e in 0..10 {
+            for a in c.decide(&view(e, 2, 0, 0)) {
+                if let ControlAction::SetClock(p) = a {
+                    clocks.push(p);
+                }
+            }
+        }
+        assert_eq!(clocks, &DVFS_LADDER[1..], "one pass down the ladder, then stable");
+    }
+
+    #[test]
+    fn kinds_build_what_they_name() {
+        for kind in [
+            ControllerKind::NoOp,
+            ControllerKind::Autoscaler(AutoscalerConfig::default()),
+            ControllerKind::Dvfs(DvfsConfig::default()),
+        ] {
+            assert_eq!(kind.build().name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn dvfs_points_label_their_operating_point() {
+        assert_eq!(DvfsPoint::NOMINAL.label(), "400MHz@1.00V");
+        assert_eq!(DVFS_LADDER[3].label(), "100MHz@0.70V");
+    }
+}

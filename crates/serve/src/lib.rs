@@ -35,11 +35,21 @@
 //!   reference encoder, the DEFA pruned pipeline, and the cycle-simulated
 //!   accelerator — plus the analytic cost/energy estimates the cost-aware
 //!   policies steer by.
+//! * [`control`] — the closed loop above the per-batch layers: virtual
+//!   time is split into epochs, and a [`control::Controller`] observes a
+//!   [`control::FleetView`] at every boundary and actuates the fleet —
+//!   [`control::ShardAutoscaler`] grows/drains shards (drain-before-stop)
+//!   and [`control::DvfsGovernor`] steps the accelerator clock down a
+//!   frequency/voltage ladder, re-pricing latency and energy through
+//!   [`Backend::reprice`]. [`loadgen::TraceSchedule`] supplies the
+//!   time-varying traces (diurnal / surge / sawtooth / random-walk) the
+//!   controllers are exercised against.
 //! * [`histogram`] accounts queue/compute/total latency per request in
 //!   fixed log2 buckets with deterministic p50/p95/p99; [`energy`]
 //!   attributes deterministic per-request energy in integer picojoules;
-//!   [`report`] folds both into the [`ServeReport`] together with drop and
-//!   SLO-violation accounting.
+//!   [`report`] folds both into the [`ServeReport`] together with drop,
+//!   SLO-violation and per-epoch timeline accounting
+//!   ([`report::EpochStat`], including idle/static energy).
 //!
 //! **Determinism contract.** With a fixed generator seed and
 //! [`ServeConfig`] — *including* the policy selection — per-request
@@ -72,6 +82,7 @@
 pub mod admission;
 pub mod backend;
 pub mod config;
+pub mod control;
 pub mod energy;
 pub mod error;
 pub mod histogram;
@@ -83,12 +94,16 @@ pub mod scheduler;
 
 pub use admission::{Admission, AdmissionQueue, DropPolicy, QueuedRequest};
 pub use backend::{Backend, BackendKind, BackendOutput};
-pub use config::ServeConfig;
+pub use config::{ControlConfig, ServeConfig};
+pub use control::{
+    AutoscalerConfig, ControlAction, Controller, ControllerKind, DvfsConfig, DvfsGovernor,
+    DvfsPoint, FleetView, NoOpController, ShardAutoscaler, DVFS_LADDER,
+};
 pub use energy::EnergyBreakdown;
 pub use error::ServeError;
 pub use histogram::LatencyHistogram;
-pub use loadgen::ArrivalProcess;
-pub use report::{RequestOutcome, ServeReport};
+pub use loadgen::{ArrivalProcess, RateSegment, SegmentProcess, TraceSchedule};
+pub use report::{EpochStat, RequestOutcome, ServeReport};
 pub use router::{Router, RouterKind, ShardView};
 pub use runtime::ServeRuntime;
 pub use scheduler::{Scheduler, SchedulerKind};

@@ -15,6 +15,14 @@
 //! jitter-free [`ArrivalProcess::Uniform`] pacer (what isolates batching
 //! behaviour from arrival noise — and the only process that can produce
 //! *simultaneous* arrivals at extreme rates).
+//!
+//! A single rate also hides that production traffic is *time-varying*:
+//! [`ArrivalProcess::Trace`] drives a piecewise-rate [`TraceSchedule`] —
+//! each [`RateSegment`] scales the base rate for a virtual-time window
+//! and spaces its arrivals with any of the point processes above. The
+//! shipped shapes (diurnal ramp, step surge, sawtooth, seeded random
+//! walk) are what the closed-loop controllers in [`crate::control`] are
+//! exercised against.
 
 use defa_tensor::rng::TensorRng;
 
@@ -56,13 +64,225 @@ fn exp_gap_ns(rng: &mut TensorRng, rate_per_s: f64) -> u64 {
 /// this many expected arrivals, so burst structure scales with the rate.
 const BURSTY_CYCLE_GAPS: f64 = 64.0;
 
+/// How one [`RateSegment`] spaces its arrivals within its window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SegmentProcess {
+    /// Memoryless arrivals (exponential gaps).
+    Poisson,
+    /// On/off bursts at `burst ×` the segment rate (see
+    /// [`ArrivalProcess::Bursty`]).
+    Bursty {
+        /// Peak-to-mean rate ratio of the ON phase (> 1).
+        burst: f64,
+    },
+    /// Deterministic pacing.
+    Uniform,
+}
+
+impl SegmentProcess {
+    /// Appends this process's arrivals inside the window `[t0, t1)` at
+    /// `rate_per_s` to `out`, stopping early at `n` total arrivals.
+    ///
+    /// Each window restarts the process (phase state does not carry
+    /// across segments); the rng *stream* carries across windows, so the
+    /// whole trace stays a pure function of one seed.
+    fn sample_window(
+        &self,
+        rng: &mut TensorRng,
+        rate_per_s: f64,
+        t0: u64,
+        t1: u64,
+        n: usize,
+        out: &mut Vec<u64>,
+    ) {
+        debug_assert!(rate_per_s > 0.0 && t0 < t1);
+        match *self {
+            SegmentProcess::Poisson => {
+                let mut t = t0;
+                while out.len() < n {
+                    t = t.saturating_add(exp_gap_ns(rng, rate_per_s));
+                    if t >= t1 {
+                        break;
+                    }
+                    out.push(t);
+                }
+            }
+            SegmentProcess::Uniform => {
+                // A rounded gap of 0 ns means genuinely simultaneous
+                // arrivals, exactly like ArrivalProcess::Uniform; the `n`
+                // bound keeps the window loop finite in that case.
+                let gap = (1e9 / rate_per_s).round() as u64;
+                let mut k = 1u64;
+                while out.len() < n {
+                    let t = t0.saturating_add(k.saturating_mul(gap));
+                    if t >= t1 {
+                        break;
+                    }
+                    out.push(t);
+                    k += 1;
+                }
+            }
+            SegmentProcess::Bursty { burst } => {
+                assert!(burst > 1.0, "burst factor must exceed 1, got {burst}");
+                let cycle_s = BURSTY_CYCLE_GAPS / rate_per_s;
+                let tau_on = cycle_s / burst;
+                let tau_off = cycle_s - tau_on;
+                let rate_on = rate_per_s * burst;
+                let mut t = t0;
+                let mut phase_end = t.saturating_add(exp_gap_ns(rng, 1.0 / tau_on));
+                while out.len() < n && t < t1 {
+                    let gap = exp_gap_ns(rng, rate_on);
+                    if t.saturating_add(gap) <= phase_end {
+                        t = t.saturating_add(gap);
+                        if t >= t1 {
+                            break;
+                        }
+                        out.push(t);
+                    } else {
+                        let off = exp_gap_ns(rng, 1.0 / tau_off);
+                        t = phase_end.saturating_add(off);
+                        phase_end = t.saturating_add(exp_gap_ns(rng, 1.0 / tau_on));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One window of a [`TraceSchedule`]: a duration, a multiplier on the
+/// base offered rate, and the point process spacing arrivals inside it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateSegment {
+    /// Virtual duration of the window in microseconds. Zero-duration
+    /// segments are legal and simply skipped (the degenerate case the
+    /// epoch math must survive — `tests/tests/control.rs` pins it).
+    pub duration_us: u64,
+    /// Multiplier applied to the base offered load for this window. Zero
+    /// means a silent window (no arrivals).
+    pub rate_mult: f64,
+    /// How arrivals are spaced inside the window.
+    pub process: SegmentProcess,
+}
+
+impl RateSegment {
+    /// A Poisson-spaced segment — the default building block.
+    pub fn poisson(duration_us: u64, rate_mult: f64) -> Self {
+        RateSegment { duration_us, rate_mult, process: SegmentProcess::Poisson }
+    }
+}
+
+/// A named piecewise-rate schedule, cycled until the trace is exhausted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSchedule {
+    /// Display name (`diurnal`, `surge(8x)`, …).
+    pub name: String,
+    /// The windows, cycled in order.
+    pub segments: Vec<RateSegment>,
+}
+
+impl TraceSchedule {
+    /// A schedule from explicit segments.
+    pub fn new(name: impl Into<String>, segments: Vec<RateSegment>) -> Self {
+        TraceSchedule { name: name.into(), segments }
+    }
+
+    /// A smooth day/night cycle: eight Poisson windows ramping
+    /// 0.25× → 1.75× → 0.25× of the base rate over `period_us`.
+    pub fn diurnal(period_us: u64) -> Self {
+        let mults = [0.25, 0.5, 1.0, 1.5, 1.75, 1.5, 1.0, 0.5];
+        let seg = period_us / mults.len() as u64;
+        TraceSchedule::new("diurnal", mults.iter().map(|&m| RateSegment::poisson(seg, m)).collect())
+    }
+
+    /// A flash crowd: calm at the base rate, then a `surge_mult ×` spike
+    /// for `surge_us`, then calm again.
+    pub fn step_surge(calm_us: u64, surge_us: u64, surge_mult: f64) -> Self {
+        TraceSchedule::new(
+            format!("surge({surge_mult:.0}x)"),
+            vec![
+                RateSegment::poisson(calm_us, 1.0),
+                RateSegment::poisson(surge_us, surge_mult),
+                RateSegment::poisson(calm_us, 1.0),
+            ],
+        )
+    }
+
+    /// A sawtooth: `steps` Poisson windows ramping linearly from 0.25×
+    /// up to `peak ×` over `period_us`, then snapping back down.
+    pub fn sawtooth(period_us: u64, steps: usize, peak: f64) -> Self {
+        let steps = steps.max(2);
+        let seg = period_us / steps as u64;
+        let segments = (0..steps)
+            .map(|i| {
+                let frac = i as f64 / (steps - 1) as f64;
+                RateSegment::poisson(seg, 0.25 + (peak - 0.25) * frac)
+            })
+            .collect();
+        TraceSchedule::new("sawtooth", segments)
+    }
+
+    /// A seeded multiplicative random walk: `n_segments` Poisson windows
+    /// of `segment_us` whose multipliers take ±25 % steps from 1.0,
+    /// clamped to `[0.25, 4.0]`. Pure in `walk_seed`.
+    pub fn random_walk(n_segments: usize, segment_us: u64, walk_seed: u64) -> Self {
+        let mut rng = TensorRng::seed_from(walk_seed ^ 0x7A1C_0FFE_E000_0001);
+        let mut mult = 1.0f64;
+        let segments = (0..n_segments.max(1))
+            .map(|_| {
+                let u = f64::from(rng.uniform_value(0.0, 1.0));
+                mult = (mult * if u < 0.5 { 0.75 } else { 1.25 }).clamp(0.25, 4.0);
+                RateSegment::poisson(segment_us, mult)
+            })
+            .collect();
+        TraceSchedule::new("random-walk", segments)
+    }
+
+    /// Total virtual duration of one cycle in nanoseconds.
+    pub fn cycle_ns(&self) -> u64 {
+        self.segments.iter().map(|s| s.duration_us.saturating_mul(1_000)).sum()
+    }
+
+    /// Whether the schedule can ever produce an arrival: at least one
+    /// segment with positive duration *and* positive rate (what
+    /// `ServeConfig::validate` rejects otherwise — a schedule that can't
+    /// arrive would spin the sampler forever).
+    pub fn can_arrive(&self) -> bool {
+        self.segments.iter().any(|s| s.duration_us > 0 && s.rate_mult > 0.0)
+    }
+
+    /// Whether the schedule can produce an arrival *at this base rate*.
+    ///
+    /// Stricter than [`Self::can_arrive`]: a [`SegmentProcess::Uniform`]
+    /// segment whose fixed gap (`1e9 / rate`) is at least as long as its
+    /// window deterministically never fires — only the stochastic
+    /// processes can eventually land an arrival in any positive window.
+    /// `ServeConfig::validate` checks this against the offered load, and
+    /// the sampler asserts it, because a schedule that is unproductive at
+    /// its rate would cycle forever.
+    pub fn productive_at(&self, rate_per_s: f64) -> bool {
+        self.segments.iter().any(|s| {
+            if s.duration_us == 0 || s.rate_mult <= 0.0 {
+                return false;
+            }
+            match s.process {
+                SegmentProcess::Uniform => {
+                    let gap = (1e9 / (rate_per_s * s.rate_mult)).round() as u64;
+                    gap < s.duration_us.saturating_mul(1_000)
+                }
+                SegmentProcess::Poisson | SegmentProcess::Bursty { .. } => true,
+            }
+        })
+    }
+}
+
 /// A pluggable open-loop arrival process.
 ///
 /// Every variant is a pure function of `(n, rate, seed)` producing a
-/// sorted virtual-nanosecond trace with the same long-run mean rate — the
-/// variants differ only in how the arrivals are *spaced*, which is exactly
-/// the dimension scheduling and admission policies differ on.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// sorted virtual-nanosecond trace — the variants differ only in how the
+/// arrivals are *spaced* (and, for [`ArrivalProcess::Trace`], how the
+/// instantaneous rate moves around the mean), which is exactly the
+/// dimension scheduling, admission and fleet-control policies differ on.
+#[derive(Debug, Clone, PartialEq)]
 pub enum ArrivalProcess {
     /// Memoryless arrivals: exponential gaps (the PR 2 default).
     Poisson,
@@ -77,6 +297,9 @@ pub enum ArrivalProcess {
     /// 1 GHz the rounded gap is 0 ns, i.e. genuinely simultaneous
     /// arrivals — the admission queue's hardest case.
     Uniform,
+    /// Time-varying load: the [`TraceSchedule`]'s segments scale the
+    /// offered rate window by window, cycling until `n` arrivals exist.
+    Trace(TraceSchedule),
 }
 
 impl ArrivalProcess {
@@ -85,16 +308,19 @@ impl ArrivalProcess {
         ArrivalProcess::Bursty { burst: 8.0 }
     }
 
-    /// Short display name for tables (`poisson`, `bursty(8x)`, `uniform`).
+    /// Short display name for tables (`poisson`, `bursty(8x)`, `uniform`,
+    /// `trace(diurnal)`).
     pub fn label(&self) -> String {
         match self {
             ArrivalProcess::Poisson => "poisson".into(),
             ArrivalProcess::Bursty { burst } => format!("bursty({burst:.0}x)"),
             ArrivalProcess::Uniform => "uniform".into(),
+            ArrivalProcess::Trace(t) => format!("trace({})", t.name),
         }
     }
 
-    /// Samples `n` sorted arrival times at mean rate `rate_per_s`.
+    /// Samples `n` sorted arrival times at mean rate `rate_per_s` (for
+    /// [`ArrivalProcess::Trace`], the *base* rate the segments multiply).
     ///
     /// Pure in `(n, rate_per_s, seed)`; the Poisson variant reproduces
     /// [`arrival_times`] bit-for-bit, which is what keeps pre-policy
@@ -102,8 +328,9 @@ impl ArrivalProcess {
     ///
     /// # Panics
     ///
-    /// Panics on a non-positive rate or a `Bursty` factor ≤ 1 (the serving
-    /// layer validates both in `ServeConfig::validate` first).
+    /// Panics on a non-positive rate, a `Bursty` factor ≤ 1, or a trace
+    /// schedule that can never arrive (the serving layer validates all of
+    /// these in `ServeConfig::validate` first).
     pub fn sample(&self, n: usize, rate_per_s: f64, seed: u64) -> Vec<u64> {
         assert!(rate_per_s > 0.0, "offered load must be positive");
         match *self {
@@ -111,6 +338,40 @@ impl ArrivalProcess {
             ArrivalProcess::Uniform => {
                 let gap = (1e9 / rate_per_s).round() as u64;
                 (1..=n as u64).map(|i| i.saturating_mul(gap).max(1)).collect()
+            }
+            ArrivalProcess::Trace(ref schedule) => {
+                assert!(schedule.can_arrive(), "trace schedule can never produce an arrival");
+                assert!(
+                    schedule.productive_at(rate_per_s),
+                    "trace schedule can never produce an arrival at base rate {rate_per_s} \
+                     (every productive window is uniform-paced with a gap longer than itself)"
+                );
+                let mut rng = TensorRng::seed_from(seed);
+                let mut out = Vec::with_capacity(n);
+                let mut t0 = 0u64;
+                while out.len() < n {
+                    for seg in &schedule.segments {
+                        let dur_ns = seg.duration_us.saturating_mul(1_000);
+                        let t1 = t0.saturating_add(dur_ns);
+                        // Zero-duration or silent windows contribute
+                        // nothing — they only advance (or hold) the clock.
+                        if dur_ns > 0 && seg.rate_mult > 0.0 {
+                            seg.process.sample_window(
+                                &mut rng,
+                                rate_per_s * seg.rate_mult,
+                                t0,
+                                t1,
+                                n,
+                                &mut out,
+                            );
+                        }
+                        t0 = t1;
+                        if out.len() >= n {
+                            break;
+                        }
+                    }
+                }
+                out
             }
             ArrivalProcess::Bursty { burst } => {
                 assert!(burst > 1.0, "burst factor must exceed 1, got {burst}");
@@ -243,5 +504,156 @@ mod tests {
     #[should_panic(expected = "burst factor must exceed 1")]
     fn degenerate_burst_factor_is_rejected() {
         ArrivalProcess::Bursty { burst: 1.0 }.sample(4, 100.0, 1);
+    }
+
+    #[test]
+    fn traces_are_sorted_reproducible_and_cycle() {
+        for schedule in [
+            TraceSchedule::diurnal(40_000),
+            TraceSchedule::step_surge(10_000, 5_000, 8.0),
+            TraceSchedule::sawtooth(40_000, 4, 2.0),
+            TraceSchedule::random_walk(6, 8_000, 9),
+        ] {
+            let proc = ArrivalProcess::Trace(schedule.clone());
+            let a = proc.sample(500, 20_000.0, 3);
+            let b = proc.sample(500, 20_000.0, 3);
+            assert_eq!(a, b, "{} not reproducible", proc.label());
+            assert_eq!(a.len(), 500);
+            assert!(a.windows(2).all(|w| w[0] <= w[1]), "{} unsorted", proc.label());
+            // 500 arrivals at ~20k/s is ~25 ms of trace — several cycles
+            // of a ≤40 ms... (40_000 µs = 40 ms) at least reaches past one
+            // segment; the last arrival must sit beyond the first window.
+            assert!(
+                *a.last().unwrap() > schedule.segments[0].duration_us * 1_000,
+                "{}: trace never left its first window",
+                proc.label()
+            );
+        }
+    }
+
+    #[test]
+    fn surge_concentrates_arrivals_in_the_spike_window() {
+        // calm 20 ms at 1x, surge 10 ms at 8x: the spike window covers
+        // 1/5 of each 50 ms cycle but ~8/10 of its arrivals.
+        let schedule = TraceSchedule::step_surge(20_000, 10_000, 8.0);
+        let t = ArrivalProcess::Trace(schedule).sample(2_000, 10_000.0, 5);
+        let cycle = 50_000_000u64;
+        let in_surge = t
+            .iter()
+            .filter(|&&x| {
+                let phase = x % cycle;
+                (20_000_000..30_000_000).contains(&phase)
+            })
+            .count();
+        let frac = in_surge as f64 / t.len() as f64;
+        assert!(frac > 0.6, "surge window holds only {frac:.2} of arrivals");
+    }
+
+    #[test]
+    fn zero_duration_segments_are_skipped() {
+        let schedule = TraceSchedule::new(
+            "degenerate",
+            vec![
+                RateSegment::poisson(0, 4.0),     // zero-length: skipped
+                RateSegment::poisson(5_000, 0.0), // silent: clock advances
+                RateSegment::poisson(5_000, 1.0),
+            ],
+        );
+        assert!(schedule.can_arrive());
+        let t = ArrivalProcess::Trace(schedule).sample(64, 50_000.0, 7);
+        assert_eq!(t.len(), 64);
+        assert!(t.windows(2).all(|w| w[0] <= w[1]));
+        // The silent first window of each 10 ms cycle holds nothing.
+        assert!(t.iter().all(|&x| (x % 10_000_000) >= 5_000_000), "arrival in silent window");
+    }
+
+    #[test]
+    fn schedules_that_cannot_arrive_are_detected() {
+        assert!(!TraceSchedule::new("dead", vec![RateSegment::poisson(0, 1.0)]).can_arrive());
+        assert!(!TraceSchedule::new("dead", vec![RateSegment::poisson(1_000, 0.0)]).can_arrive());
+        assert!(TraceSchedule::new("ok", vec![RateSegment::poisson(1_000, 0.5)]).can_arrive());
+    }
+
+    #[test]
+    #[should_panic(expected = "can never produce an arrival")]
+    fn dead_schedules_panic_at_sample_time() {
+        let dead = TraceSchedule::new("dead", vec![RateSegment::poisson(1_000, 0.0)]);
+        ArrivalProcess::Trace(dead).sample(1, 100.0, 1);
+    }
+
+    /// A uniform-paced window whose fixed gap outlasts the window can
+    /// never fire; sampling such a schedule must fail loudly instead of
+    /// cycling forever.
+    #[test]
+    #[should_panic(expected = "at base rate")]
+    fn uniform_gap_longer_than_its_window_panics_instead_of_hanging() {
+        // 1 ms window, 100 req/s -> 10 ms gap: deterministically silent.
+        let stuck = TraceSchedule::new(
+            "stuck",
+            vec![RateSegment {
+                duration_us: 1_000,
+                rate_mult: 1.0,
+                process: SegmentProcess::Uniform,
+            }],
+        );
+        assert!(stuck.can_arrive(), "rate-independent check cannot see it");
+        assert!(!stuck.productive_at(100.0));
+        ArrivalProcess::Trace(stuck).sample(1, 100.0, 1);
+    }
+
+    #[test]
+    fn productivity_depends_on_the_base_rate() {
+        let schedule = TraceSchedule::new(
+            "uniform",
+            vec![RateSegment {
+                duration_us: 1_000,
+                rate_mult: 1.0,
+                process: SegmentProcess::Uniform,
+            }],
+        );
+        assert!(!schedule.productive_at(100.0), "10 ms gap vs 1 ms window");
+        assert!(schedule.productive_at(10_000.0), "0.1 ms gap vs 1 ms window");
+        // A stochastic segment rescues the schedule at any positive rate.
+        let mixed = TraceSchedule::new(
+            "mixed",
+            vec![
+                RateSegment {
+                    duration_us: 1_000,
+                    rate_mult: 1.0,
+                    process: SegmentProcess::Uniform,
+                },
+                RateSegment::poisson(1_000, 1.0),
+            ],
+        );
+        assert!(mixed.productive_at(100.0));
+        let t = ArrivalProcess::Trace(mixed).sample(16, 100.0, 3);
+        assert_eq!(t.len(), 16);
+    }
+
+    #[test]
+    fn segment_processes_cover_the_point_process_family() {
+        // Each point process works inside a window and respects bounds.
+        for process in [
+            SegmentProcess::Poisson,
+            SegmentProcess::Bursty { burst: 8.0 },
+            SegmentProcess::Uniform,
+        ] {
+            let schedule = TraceSchedule::new(
+                "mixed",
+                vec![RateSegment { duration_us: 10_000, rate_mult: 1.0, process }],
+            );
+            let t = ArrivalProcess::Trace(schedule).sample(200, 30_000.0, 11);
+            assert_eq!(t.len(), 200);
+            assert!(t.windows(2).all(|w| w[0] <= w[1]), "{process:?} unsorted");
+        }
+    }
+
+    #[test]
+    fn trace_labels_carry_the_schedule_name() {
+        assert_eq!(ArrivalProcess::Trace(TraceSchedule::diurnal(1_000)).label(), "trace(diurnal)");
+        assert_eq!(
+            ArrivalProcess::Trace(TraceSchedule::step_surge(1_000, 500, 8.0)).label(),
+            "trace(surge(8x))"
+        );
     }
 }

@@ -9,6 +9,7 @@
 //! computed from those integers on demand, never accumulated in floats.
 
 use crate::config::ServeConfig;
+use crate::control::DvfsPoint;
 use crate::energy::{fmt_joules, EnergyBreakdown};
 use crate::histogram::{fmt_ns, LatencyHistogram};
 use defa_model::workload::SloClass;
@@ -23,6 +24,9 @@ pub enum RequestOutcome {
         scenario: usize,
         /// SLO class the request was held to.
         slo: SloClass,
+        /// Virtual arrival time (what the timeline attributes offered
+        /// load by).
+        arrival_ns: u64,
         /// Digest of the response features.
         digest: u64,
         /// Shard that served it.
@@ -55,6 +59,92 @@ impl RequestOutcome {
                 queue_ns + compute_ns > slo.deadline_ns()
             }
             RequestOutcome::Dropped { .. } => false,
+        }
+    }
+}
+
+/// One control epoch of a run: fleet state plus exact by-timestamp
+/// accounting of the load that fell into its window.
+///
+/// Epochs are half-open windows `[start_ns, end_ns)` of the virtual
+/// clock; the final epoch is truncated at the makespan and may therefore
+/// be **zero-length** (makespan on a boundary). Every rate/mean method
+/// guards that case and returns 0 instead of dividing by zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochStat {
+    /// Epoch index (0-based).
+    pub epoch: u64,
+    /// Window start (inclusive), virtual ns.
+    pub start_ns: u64,
+    /// Window end (exclusive), virtual ns; truncated to the makespan.
+    pub end_ns: u64,
+    /// Shards accepting new batches during the epoch.
+    pub active_shards: usize,
+    /// Clock the fleet dispatched at during the epoch.
+    pub clock: DvfsPoint,
+    /// Arrivals whose (virtual) arrival time fell in the window.
+    pub arrivals: u64,
+    /// Requests whose completion time fell in the window.
+    pub completed: u64,
+    /// Dropped arrivals whose arrival time fell in the window.
+    pub dropped: u64,
+    /// Completions in the window that blew their SLO budget.
+    pub slo_violations: u64,
+    /// Per-request energy of the window's completions (repriced for the
+    /// clock their batch dispatched at).
+    pub energy: EnergyBreakdown,
+    /// Idle (static) energy of the window: Σ active shards' idle power ×
+    /// window duration, in integer picojoules.
+    pub static_pj: u128,
+}
+
+impl EpochStat {
+    /// Window length in nanoseconds (0 for a boundary-aligned final
+    /// epoch).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Offered rate over the window in requests per virtual second (0
+    /// for a zero-length window).
+    pub fn offered_rps(&self) -> f64 {
+        let d = self.duration_ns();
+        if d == 0 {
+            0.0
+        } else {
+            self.arrivals as f64 / (d as f64 * 1e-9)
+        }
+    }
+
+    /// Served rate over the window in requests per virtual second (0 for
+    /// a zero-length window).
+    pub fn served_rps(&self) -> f64 {
+        let d = self.duration_ns();
+        if d == 0 {
+            0.0
+        } else {
+            self.completed as f64 / (d as f64 * 1e-9)
+        }
+    }
+
+    /// Mean per-request energy of the window's completions in joules (0
+    /// when nothing completed).
+    pub fn joules_per_request(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.energy.total_joules() / self.completed as f64
+        }
+    }
+
+    /// Average power over the window in watts — request energy plus
+    /// static energy over the duration (0 for a zero-length window).
+    pub fn average_power_w(&self) -> f64 {
+        let d = self.duration_ns();
+        if d == 0 {
+            0.0
+        } else {
+            (self.energy.total_pj() + self.static_pj) as f64 * 1e-12 / (d as f64 * 1e-9)
         }
     }
 }
@@ -97,6 +187,14 @@ pub struct ServeReport {
     pub digest: u64,
     /// Per-request outcomes, indexed by request id.
     pub outcomes: Vec<RequestOutcome>,
+    /// The control-epoch timeline covering `[0, makespan_ns)` — fleet
+    /// state plus exact by-timestamp load/energy accounting per epoch.
+    pub timeline: Vec<EpochStat>,
+    /// Total idle (static) energy over the run in integer picojoules —
+    /// the Σ of the timeline's `static_pj`. Kept separate from `energy`
+    /// so per-request attribution (and its byte-compat pins) is
+    /// untouched.
+    pub static_energy_pj: u128,
 }
 
 impl ServeReport {
@@ -193,10 +291,58 @@ impl ServeReport {
         }
     }
 
+    /// Average power including idle (static) energy, in watts: (request
+    /// energy + static energy) / makespan. This is the number the DVFS
+    /// governor is judged on — [`Self::average_power_w`] stays
+    /// request-energy-only for backward comparability.
+    pub fn average_power_with_static_w(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            0.0
+        } else {
+            (self.energy.total_pj() + self.static_energy_pj) as f64 * 1e-12
+                / (self.makespan_ns as f64 * 1e-9)
+        }
+    }
+
+    /// Smallest and largest active-shard counts over the timeline (the
+    /// configured count twice for an empty timeline).
+    pub fn shard_range(&self) -> (usize, usize) {
+        let (mut lo, mut hi) = (usize::MAX, 0);
+        for e in &self.timeline {
+            lo = lo.min(e.active_shards);
+            hi = hi.max(e.active_shards);
+        }
+        if self.timeline.is_empty() {
+            (self.config.shards, self.config.shards)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// Slowest and fastest clocks over the timeline (nominal twice for an
+    /// empty timeline).
+    pub fn clock_range(&self) -> (DvfsPoint, DvfsPoint) {
+        let mut lo = DvfsPoint::NOMINAL;
+        let mut hi = DvfsPoint::NOMINAL;
+        for (i, e) in self.timeline.iter().enumerate() {
+            if i == 0 {
+                lo = e.clock;
+                hi = e.clock;
+            }
+            if e.clock.freq_mhz < lo.freq_mhz {
+                lo = e.clock;
+            }
+            if e.clock.freq_mhz > hi.freq_mhz {
+                hi = e.clock;
+            }
+        }
+        (lo, hi)
+    }
+
     /// Requests each shard completed, indexed by shard — the fleet-mix
     /// view routing policies are judged on.
     pub fn completed_per_shard(&self) -> Vec<u64> {
-        let mut per = vec![0u64; self.config.shards];
+        let mut per = vec![0u64; self.config.control.fleet_size(self.config.shards)];
         for o in &self.outcomes {
             if let RequestOutcome::Completed { shard, .. } = o {
                 per[*shard] += 1;
@@ -262,6 +408,65 @@ impl fmt::Display for ServeReport {
             self.average_power_w(),
             self.gops_per_watt(),
         )?;
+        let (lo_shards, hi_shards) = self.shard_range();
+        let (lo_clock, hi_clock) = self.clock_range();
+        writeln!(
+            f,
+            "  control         : {} over {} epochs of {} (shards {lo_shards}..{hi_shards}, \
+             clock {}MHz..{}MHz, {} static, {:.1} W avg incl. static)",
+            self.config.control.controller.name(),
+            self.timeline.len(),
+            fmt_ns(self.config.control.epoch_us.saturating_mul(1_000)),
+            lo_clock.freq_mhz,
+            hi_clock.freq_mhz,
+            fmt_joules(self.static_energy_pj as f64 * 1e-12),
+            self.average_power_with_static_w(),
+        )?;
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(start_ns: u64, end_ns: u64) -> EpochStat {
+        EpochStat {
+            epoch: 0,
+            start_ns,
+            end_ns,
+            active_shards: 2,
+            clock: DvfsPoint::NOMINAL,
+            arrivals: 10,
+            completed: 8,
+            dropped: 2,
+            slo_violations: 1,
+            energy: EnergyBreakdown { compute_pj: 1_000, sram_pj: 0, dram_pj: 0 },
+            static_pj: 500,
+        }
+    }
+
+    #[test]
+    fn epoch_rates_divide_by_the_window() {
+        let e = stat(0, 1_000_000); // 1 ms
+        assert!((e.offered_rps() - 10_000.0).abs() < 1e-6);
+        assert!((e.served_rps() - 8_000.0).abs() < 1e-6);
+        assert!(e.average_power_w() > 0.0);
+        assert!(e.joules_per_request() > 0.0);
+    }
+
+    #[test]
+    fn zero_length_epochs_report_zero_not_nan() {
+        // A makespan landing exactly on a boundary truncates the final
+        // epoch to zero length; every rate must come back 0, not ±inf.
+        let e = stat(5_000, 5_000);
+        assert_eq!(e.duration_ns(), 0);
+        assert_eq!(e.offered_rps(), 0.0);
+        assert_eq!(e.served_rps(), 0.0);
+        assert_eq!(e.average_power_w(), 0.0);
+        // J/req is a per-completion mean, defined even for a zero window.
+        assert!(e.joules_per_request() > 0.0);
+        let empty = EpochStat { completed: 0, ..stat(5_000, 5_000) };
+        assert_eq!(empty.joules_per_request(), 0.0);
     }
 }

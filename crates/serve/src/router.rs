@@ -57,10 +57,14 @@ pub trait Router: Send + Sync {
     }
 
     /// Picks a shard for global batch number `batch` given one view per
-    /// shard (always non-empty, indexed by shard). `now_ns` is the
-    /// virtual decision time — the earliest moment the batch could
-    /// start — so backlog-bounded policies can measure a shard's lead
-    /// against *now* rather than against an idle shard's frozen clock.
+    /// *routable* shard (always non-empty, ordered by shard index —
+    /// shards drained by the control loop are filtered out, so
+    /// [`ShardView::shard`] may skip indices). Returns the **position in
+    /// `shards`** of the chosen view; the runtime maps it back to the
+    /// physical shard. `now_ns` is the virtual decision time — the
+    /// earliest moment the batch could start — so backlog-bounded
+    /// policies can measure a shard's lead against *now* rather than
+    /// against an idle shard's frozen clock.
     fn route(&self, batch: u64, now_ns: u64, shards: &[ShardView]) -> usize;
 }
 
@@ -93,7 +97,12 @@ impl Router for LeastOutstandingRouter {
     }
 
     fn route(&self, _batch: u64, _now_ns: u64, shards: &[ShardView]) -> usize {
-        shards.iter().min_by_key(|s| (s.free_ns, s.shard)).expect("fleet non-empty").shard
+        shards
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| (s.free_ns, s.shard))
+            .expect("fleet non-empty")
+            .0
     }
 }
 
@@ -114,9 +123,10 @@ impl Router for LatencyAwareRouter {
     fn route(&self, _batch: u64, now_ns: u64, shards: &[ShardView]) -> usize {
         shards
             .iter()
-            .min_by_key(|s| (s.free_ns.max(now_ns).saturating_add(s.est_batch_ns), s.shard))
+            .enumerate()
+            .min_by_key(|(_, s)| (s.free_ns.max(now_ns).saturating_add(s.est_batch_ns), s.shard))
             .expect("fleet non-empty")
-            .shard
+            .0
     }
 }
 
@@ -145,14 +155,15 @@ impl Router for EnergyAwareRouter {
         let max_batch_ns = shards.iter().map(|s| s.est_batch_ns).max().expect("fleet non-empty");
         shards
             .iter()
-            .filter(|s| {
+            .enumerate()
+            .filter(|(_, s)| {
                 s.free_ns.saturating_sub(now_ns)
                     <= ENERGY_BACKLOG_SLACK.saturating_mul(max_batch_ns)
             })
-            .min_by_key(|s| (s.est_energy_pj, s.free_ns, s.shard))
-            .or_else(|| shards.iter().min_by_key(|s| (s.free_ns, s.shard)))
+            .min_by_key(|(_, s)| (s.est_energy_pj, s.free_ns, s.shard))
+            .or_else(|| shards.iter().enumerate().min_by_key(|(_, s)| (s.free_ns, s.shard)))
             .expect("fleet non-empty")
-            .shard
+            .0
     }
 }
 
@@ -266,6 +277,21 @@ mod tests {
         // A later decision time forgives the same absolute backlog: the
         // efficient shard's *lead over now* is what is bounded.
         assert_eq!(EnergyAwareRouter.route(0, 4_000, &saturated), 1);
+    }
+
+    #[test]
+    fn routers_return_positions_when_shard_indices_have_gaps() {
+        // A control-drained fleet: shards 0 and 3 were drained, so the
+        // router sees views for physical shards 1 and 2 only. Routers
+        // must return the *position* (0 or 1), not the physical index.
+        let v = vec![
+            ShardView { shard: 1, free_ns: 900, est_batch_ns: 400, est_energy_pj: 10 },
+            ShardView { shard: 2, free_ns: 100, est_batch_ns: 400, est_energy_pj: 10_000 },
+        ];
+        assert_eq!(LeastOutstandingRouter.route(0, 0, &v), 1, "shard 2 is at position 1");
+        assert_eq!(LatencyAwareRouter.route(0, 0, &v), 1);
+        assert_eq!(EnergyAwareRouter.route(0, 0, &v), 0, "cheapest shard 1 is at position 0");
+        assert_eq!(RoundRobinRouter.route(3, 0, &v), 1, "modulo over the routable count");
     }
 
     #[test]

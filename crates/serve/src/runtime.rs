@@ -42,13 +42,32 @@
 //! sequentially after a fixed dispatch overhead. With the default
 //! policies (Poisson, tail drop, FIFO, round-robin) the loop replays the
 //! PR 2 runtime decision-for-decision — the byte-compat test pins it.
+//!
+//! # The control loop
+//!
+//! On top of the per-batch policies sits the per-epoch control loop
+//! ([`crate::control`]): virtual time is divided into
+//! [`crate::config::ControlConfig::epoch_us`] epochs, and before each
+//! routing decision the loop settles every boundary the decision time has
+//! crossed — handing the [`Controller`] a [`FleetView`] of the epoch that
+//! ended and applying its actions (activate a shard, drain a shard, step
+//! the DVFS clock) before any further batch forms. Draining is
+//! *drain-before-stop*: a drained shard takes no new batches but its
+//! in-flight batch settles through the normal path, so conservation and
+//! byte-determinism survive every resize. Batches carry the clock they
+//! were dispatched at; settling re-prices their latency and energy
+//! through [`Backend::reprice`], which is exactly the identity at the
+//! nominal point — a [`crate::control::NoOpController`] run is
+//! byte-identical to PR 4 (`tests/tests/control.rs` pins it against the
+//! same digests as `tests/tests/serving.rs`).
 
 use crate::admission::{Admission, AdmissionQueue, QueuedRequest};
 use crate::backend::{Backend, BackendOutput};
 use crate::config::ServeConfig;
+use crate::control::{ControlAction, Controller, DvfsPoint, FleetView};
 use crate::energy::EnergyBreakdown;
 use crate::histogram::LatencyHistogram;
-use crate::report::{RequestOutcome, ServeReport};
+use crate::report::{EpochStat, RequestOutcome, ServeReport};
 use crate::router::ShardView;
 use crate::ServeError;
 use defa_model::workload::{RequestGenerator, SloClass};
@@ -63,11 +82,12 @@ const ARRIVAL_SALT: u64 = 0x5E54_1A7E_57A6_0001;
 /// Digest marker mixed in for dropped requests.
 const DROP_MARK: u64 = 0xD20D_D20D_D20D_D20D;
 
-/// A batch handed to a shard: its virtual start plus the channel its real
-/// results arrive on.
+/// A batch handed to a shard: its virtual start, the clock it dispatched
+/// at, plus the channel its real results arrive on.
 struct Inflight {
     start_ns: u64,
     batch: u64,
+    clock: DvfsPoint,
     members: Vec<QueuedRequest>,
     rx: mpsc::Receiver<Vec<Result<BackendOutput, ServeError>>>,
 }
@@ -85,16 +105,24 @@ struct SimState {
     makespan_ns: u64,
     energy: EnergyBreakdown,
     dense_flops: u128,
+    /// Events processed since the last epoch boundary — the controller's
+    /// metric window (see [`FleetView`]).
+    ep_arrivals: u64,
+    ep_dropped: u64,
+    ep_completed: u64,
+    ep_slo: u64,
 }
 
 impl SimState {
-    /// Settles a shard's in-flight batch: blocks for its real results and
-    /// advances the shard's virtual clock through them in batch order.
+    /// Settles a shard's in-flight batch: blocks for its real results,
+    /// re-prices them for the clock the batch dispatched at, and advances
+    /// the shard's virtual clock through them in batch order.
     fn settle(
         &mut self,
         shard: usize,
         slot: &mut Option<Inflight>,
         overhead_ns: u64,
+        backend: &dyn Backend,
     ) -> Result<(), ServeError> {
         let Some(inf) = slot.take() else { return Ok(()) };
         let results = inf.rx.recv().map_err(|_| {
@@ -103,7 +131,11 @@ impl SimState {
         debug_assert_eq!(results.len(), inf.members.len());
         let mut t = inf.start_ns + overhead_ns;
         for (m, res) in inf.members.iter().zip(results) {
-            let out = res?;
+            // Re-pricing happens once, here, on the accounting thread:
+            // the worker computed the response at whatever wall-clock
+            // speed; the virtual cost and energy belong to the DVFS point
+            // the batch dispatched at (identity at nominal).
+            let out = backend.reprice(res?, inf.clock);
             t += out.cost_ns;
             let queue_ns = inf.start_ns - m.arrival_ns;
             let compute_ns = t - inf.start_ns;
@@ -111,6 +143,7 @@ impl SimState {
             self.compute.record(compute_ns);
             self.total.record(queue_ns + compute_ns);
             self.completed += 1;
+            self.ep_completed += 1;
             // Fixed reduction order: settle() runs on the accounting
             // thread in batch order, and the energies are integers, so the
             // totals are byte-identical however the batches were executed.
@@ -119,6 +152,7 @@ impl SimState {
             let outcome = RequestOutcome::Completed {
                 scenario: m.scenario,
                 slo: m.slo,
+                arrival_ns: m.arrival_ns,
                 digest: out.digest,
                 shard,
                 batch: inf.batch,
@@ -128,6 +162,7 @@ impl SimState {
             };
             if outcome.violated_slo() {
                 self.slo_violations += 1;
+                self.ep_slo += 1;
             }
             self.outcomes[m.id as usize] = Some(outcome);
         }
@@ -138,11 +173,39 @@ impl SimState {
 
     /// Records whatever the admission queue decided about one arrival.
     fn record_admission(&mut self, verdict: Admission) {
+        self.ep_arrivals += 1;
         if let Admission::Dropped { id, arrival_ns } = verdict {
             self.dropped += 1;
+            self.ep_dropped += 1;
             self.outcomes[id as usize] = Some(RequestOutcome::Dropped { arrival_ns });
         }
     }
+
+    /// Drains the epoch-window counters, returning
+    /// `(arrivals, dropped, completed, slo_violations)`.
+    fn take_epoch_counters(&mut self) -> (u64, u64, u64, u64) {
+        let c = (self.ep_arrivals, self.ep_dropped, self.ep_completed, self.ep_slo);
+        self.ep_arrivals = 0;
+        self.ep_dropped = 0;
+        self.ep_completed = 0;
+        self.ep_slo = 0;
+        c
+    }
+}
+
+/// Fleet state in effect during one epoch, recorded at each boundary for
+/// the report timeline and the static-energy accounting.
+#[derive(Debug, Clone, Copy)]
+struct EpochFleetState {
+    active_shards: usize,
+    clock: DvfsPoint,
+    /// Σ over active shards of the backend's idle power at `clock`.
+    idle_mw: u64,
+}
+
+/// Total idle power of the active shards at the given clock.
+fn fleet_idle_mw(fleet: &[Arc<dyn Backend>], active: &[bool], clock: DvfsPoint) -> u64 {
+    fleet.iter().zip(active).filter(|(_, a)| **a).map(|(b, _)| b.idle_power_mw(clock)).sum()
 }
 
 /// Per-scenario and per-shard scheduling/routing estimates, computed once
@@ -249,8 +312,42 @@ impl ServeRuntime {
         &self.gen
     }
 
+    /// Batch-effective modeled capacity of `shards` shards of `backend`
+    /// in requests per virtual second: full `max_batch`-deep batches of
+    /// mean-cost requests plus the `overhead_us` dispatch overhead.
+    ///
+    /// The mean cost is probed deterministically by *running* the first
+    /// eight requests of the trace (analytic estimates undershoot the
+    /// simulated cycle counts at small scales), so the result is a pure
+    /// function of the generator seed — what the trace-driven bench bins
+    /// calibrate their offered loads against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures from the probe runs.
+    pub fn modeled_capacity_rps(
+        &self,
+        backend: &Arc<dyn Backend>,
+        shards: usize,
+        max_batch: usize,
+        overhead_us: u64,
+    ) -> Result<f64, ServeError> {
+        let probes = 8u64;
+        let mut total_cost_ns = 0f64;
+        for id in 0..probes {
+            let req = self.gen.request(id);
+            let wl = self.gen.scenario(req.scenario)?;
+            total_cost_ns += backend.run(wl, &req)?.cost_ns as f64;
+        }
+        let mean_cost_ns = total_cost_ns / probes as f64;
+        let batch_ns = overhead_us as f64 * 1e3 + max_batch.max(1) as f64 * mean_cost_ns;
+        Ok(max_batch.max(1) as f64 / batch_ns * 1e9 * shards.max(1) as f64)
+    }
+
     /// Serves one trace on a homogeneous fleet (the same backend on every
-    /// shard) and reports latency, energy and SLO accounting.
+    /// shard — including any autoscaling headroom shards up to
+    /// `cfg.control.max_shards`) and reports latency, energy and SLO
+    /// accounting.
     ///
     /// # Errors
     ///
@@ -264,30 +361,37 @@ impl ServeRuntime {
     ) -> Result<ServeReport, ServeError> {
         // run_fleet validates; a zero shard count yields an empty fleet,
         // which it also rejects.
-        let fleet: Vec<Arc<dyn Backend>> = (0..cfg.shards).map(|_| Arc::clone(backend)).collect();
+        let fleet: Vec<Arc<dyn Backend>> =
+            (0..cfg.control.fleet_size(cfg.shards)).map(|_| Arc::clone(backend)).collect();
         self.run_fleet(&fleet, cfg)
     }
 
     /// Serves one trace on an explicit fleet — one backend per shard,
     /// mixing backends freely (the heterogeneous mode latency- and
-    /// energy-aware routers exist for).
+    /// energy-aware routers exist for). The fleet must cover the control
+    /// ceiling: `fleet.len() == cfg.control.fleet_size(cfg.shards)`;
+    /// shards beyond `cfg.shards` start inactive and only serve once a
+    /// controller activates them.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::FleetMismatch`] unless `fleet.len() ==
-    /// cfg.shards`, configuration errors as in [`Self::run`], and
-    /// propagates backend failures.
+    /// Returns [`ServeError::FleetMismatch`] on a fleet/ceiling size
+    /// mismatch, configuration errors as in [`Self::run`], and propagates
+    /// backend failures.
     pub fn run_fleet(
         &self,
         fleet: &[Arc<dyn Backend>],
         cfg: &ServeConfig,
     ) -> Result<ServeReport, ServeError> {
         cfg.validate()?;
-        if fleet.len() != cfg.shards {
-            return Err(ServeError::FleetMismatch { fleet: fleet.len(), shards: cfg.shards });
+        let fleet_size = cfg.control.fleet_size(cfg.shards);
+        if fleet.len() != fleet_size {
+            return Err(ServeError::FleetMismatch { fleet: fleet.len(), shards: fleet_size });
         }
         let scheduler = cfg.scheduler.build();
         let router = cfg.router.build();
+        let mut controller: Box<dyn Controller> = cfg.control.controller.build();
+        let epoch_ns = cfg.control.epoch_us.saturating_mul(1_000).max(1);
         let arrivals =
             cfg.arrival.sample(cfg.n_requests, cfg.offered_load, self.gen.seed() ^ ARRIVAL_SALT);
         // Admission-time request metadata, precomputed cheaply (hashes and
@@ -308,16 +412,34 @@ impl ServeRuntime {
             completed: 0,
             dropped: 0,
             slo_violations: 0,
-            shard_free: vec![0; cfg.shards],
+            shard_free: vec![0; fleet_size],
             makespan_ns: 0,
             energy: EnergyBreakdown::ZERO,
             dense_flops: 0,
+            ep_arrivals: 0,
+            ep_dropped: 0,
+            ep_completed: 0,
+            ep_slo: 0,
         };
         let mut queue = AdmissionQueue::new(cfg.queue_capacity, cfg.drop);
-        let mut inflight: Vec<Option<Inflight>> = (0..cfg.shards).map(|_| None).collect();
+        let mut inflight: Vec<Option<Inflight>> = (0..fleet_size).map(|_| None).collect();
         let mut arr_i = 0usize;
         let mut batches = 0u64;
         let mut batched_requests = 0u64;
+
+        // Control-loop state: which shards take new batches, the clock
+        // batches dispatch at, and the per-epoch fleet states for the
+        // timeline. Shards beyond cfg.shards start inactive (autoscaling
+        // headroom).
+        let mut active: Vec<bool> = (0..fleet_size).map(|s| s < cfg.shards).collect();
+        let mut clock = DvfsPoint::NOMINAL;
+        let mut next_boundary = epoch_ns;
+        let mut epoch_idx = 0u64;
+        let mut epoch_states: Vec<EpochFleetState> = vec![EpochFleetState {
+            active_shards: cfg.shards,
+            clock,
+            idle_mw: fleet_idle_mw(fleet, &active, clock),
+        }];
 
         let queued = |id: usize, arrival_ns: u64| QueuedRequest {
             id: id as u64,
@@ -327,55 +449,121 @@ impl ServeRuntime {
             est_cost_ns: est.scenario_cost_ns[scenarios[id]],
             deadline_ns: arrival_ns.saturating_add(slos[id].deadline_ns()),
         };
-        // Shard views handed to the router: the static ratings are filled
-        // once, only `free_ns` is refreshed per dispatch (no per-batch
-        // allocation on the hot path).
-        let mut views: Vec<ShardView> = (0..cfg.shards)
-            .map(|shard| ShardView {
-                shard,
-                free_ns: 0,
-                est_batch_ns: overhead_ns
-                    .saturating_add(est.shard_cost_ns[shard].saturating_mul(cfg.max_batch as u64)),
-                est_energy_pj: est.shard_energy_pj[shard],
+        // Per-shard static router ratings, computed once; the routable
+        // view buffer is rebuilt per dispatch (the active set can change
+        // at any boundary) into reused storage.
+        let est_batch_ns: Vec<u64> = (0..fleet_size)
+            .map(|shard| {
+                overhead_ns
+                    .saturating_add(est.shard_cost_ns[shard].saturating_mul(cfg.max_batch as u64))
             })
             .collect();
+        let mut views: Vec<ShardView> = Vec::with_capacity(fleet_size);
 
         loop {
             if queue.is_empty() && arr_i == arrivals.len() {
                 break;
             }
-            // Routing. Routers that read shard backlogs ask for fleet
-            // state: every in-flight batch is settled first so free times
-            // are exact. Stateless routers (round-robin) route on possibly
-            // stale views and settle only the chosen shard, keeping up to
-            // one batch in flight per shard — the PR 2 pipeline.
-            //
-            // The decision time handed to the router is the earliest
-            // moment this batch could start: no sooner than the earliest
-            // shard frees and no sooner than work exists to serve.
+            // The earliest moment the next batch could start: no sooner
+            // than the earliest *active* shard frees and no sooner than
+            // work exists to serve. (Under the pipelined round-robin path
+            // free times may be stale-low; the bound is still
+            // deterministic, which is all the control loop needs.)
+            let pending = queue
+                .front()
+                .map(|r| r.arrival_ns)
+                .or_else(|| arrivals.get(arr_i).copied())
+                .expect("loop not done: work exists");
+            let min_free = state
+                .shard_free
+                .iter()
+                .zip(&active)
+                .filter(|(_, a)| **a)
+                .map(|(&f, _)| f)
+                .min()
+                .expect("at least one active shard");
+            let t_now = min_free.max(pending);
+
+            // Settle every epoch boundary the decision time has crossed:
+            // snapshot the ended epoch, let the controller act, apply its
+            // actions before any further batch forms.
+            while next_boundary <= t_now {
+                let (arrivals_w, dropped_w, completed_w, slo_w) = state.take_epoch_counters();
+                let view = FleetView {
+                    epoch: epoch_idx,
+                    start_ns: next_boundary - epoch_ns,
+                    end_ns: next_boundary,
+                    active_shards: active.iter().filter(|a| **a).count(),
+                    max_shards: fleet_size,
+                    queue_depth: queue.len(),
+                    arrivals: arrivals_w,
+                    dropped: dropped_w,
+                    completed: completed_w,
+                    slo_violations: slo_w,
+                    clock,
+                };
+                for action in controller.decide(&view) {
+                    match action {
+                        ControlAction::AddShard => {
+                            if let Some(s) = active.iter().position(|a| !a) {
+                                active[s] = true;
+                            }
+                        }
+                        ControlAction::DrainShard => {
+                            let n_active = active.iter().filter(|a| **a).count();
+                            if n_active > 1 {
+                                if let Some(s) = active.iter().rposition(|a| *a) {
+                                    // Drain-before-stop: the shard takes
+                                    // no new batches; its in-flight batch
+                                    // settles through the normal path.
+                                    active[s] = false;
+                                }
+                            }
+                        }
+                        ControlAction::SetClock(p) => {
+                            debug_assert!(p.freq_mhz > 0 && p.mv > 0, "degenerate clock {p:?}");
+                            clock = p;
+                        }
+                    }
+                }
+                epoch_states.push(EpochFleetState {
+                    active_shards: active.iter().filter(|a| **a).count(),
+                    clock,
+                    idle_mw: fleet_idle_mw(fleet, &active, clock),
+                });
+                epoch_idx += 1;
+                next_boundary = next_boundary.saturating_add(epoch_ns);
+            }
+
+            // Routing over the *active* shards only. Routers that read
+            // shard backlogs ask for fleet state: every in-flight batch is
+            // settled first so free times are exact. Stateless routers
+            // (round-robin) route on possibly stale views and settle only
+            // the chosen shard, keeping up to one batch in flight per
+            // shard — the PR 2 pipeline.
             let shard = if router.needs_fleet_state() {
                 for (s, slot) in inflight.iter_mut().enumerate() {
-                    state.settle(s, slot, overhead_ns)?;
+                    state.settle(s, slot, overhead_ns, fleet[s].as_ref())?;
                 }
-                let min_free = state.shard_free.iter().copied().min().expect("shards >= 1");
-                let pending = queue
-                    .front()
-                    .map(|r| r.arrival_ns)
-                    .or_else(|| arrivals.get(arr_i).copied())
-                    .unwrap_or(min_free);
-                for (v, &free_ns) in views.iter_mut().zip(&state.shard_free) {
-                    v.free_ns = free_ns;
-                }
-                router.route(batches, min_free.max(pending), &views)
+                let min_free = state
+                    .shard_free
+                    .iter()
+                    .zip(&active)
+                    .filter(|(_, a)| **a)
+                    .map(|(&f, _)| f)
+                    .min()
+                    .expect("at least one active shard");
+                fill_views(&mut views, &active, &state.shard_free, &est_batch_ns, &est);
+                let pos = router.route(batches, min_free.max(pending), &views);
+                views[pos].shard
             } else {
-                for (v, &free_ns) in views.iter_mut().zip(&state.shard_free) {
-                    v.free_ns = free_ns;
-                }
-                let s = router.route(batches, 0, &views);
-                state.settle(s, &mut inflight[s], overhead_ns)?;
+                fill_views(&mut views, &active, &state.shard_free, &est_batch_ns, &est);
+                let pos = router.route(batches, 0, &views);
+                let s = views[pos].shard;
+                state.settle(s, &mut inflight[s], overhead_ns, fleet[s].as_ref())?;
                 s
             };
-            debug_assert!(shard < cfg.shards, "router returned shard {shard}");
+            debug_assert!(shard < fleet_size, "router returned shard {shard}");
             let t_free = state.shard_free[shard];
 
             // Admission: everything that arrived while this shard was
@@ -439,11 +627,11 @@ impl ServeRuntime {
                 // nothing to report to in that case.
                 let _ = tx.send(results);
             });
-            inflight[shard] = Some(Inflight { start_ns, batch: batches, members, rx });
+            inflight[shard] = Some(Inflight { start_ns, batch: batches, clock, members, rx });
             batches += 1;
         }
         for (shard, slot) in inflight.iter_mut().enumerate() {
-            state.settle(shard, slot, overhead_ns)?;
+            state.settle(shard, slot, overhead_ns, fleet[shard].as_ref())?;
         }
         // Conservation: every observed arrival was either served or shed.
         // `drop_fraction` divides by this sum, so the invariant is what
@@ -471,6 +659,8 @@ impl ServeRuntime {
                 },
             )
         });
+        let timeline = build_timeline(&outcomes, state.makespan_ns, epoch_ns, &epoch_states);
+        let static_energy_pj = timeline.iter().map(|e| e.static_pj).sum();
 
         Ok(ServeReport {
             backend: fleet_label(fleet),
@@ -488,8 +678,92 @@ impl ServeRuntime {
             dense_flops: state.dense_flops,
             digest,
             outcomes,
+            timeline,
+            static_energy_pj,
         })
     }
+}
+
+/// Rebuilds the routable shard views — one per *active* shard, in shard
+/// order — into the reused `views` buffer.
+fn fill_views(
+    views: &mut Vec<ShardView>,
+    active: &[bool],
+    shard_free: &[u64],
+    est_batch_ns: &[u64],
+    est: &Estimates,
+) {
+    views.clear();
+    for (shard, _) in active.iter().enumerate().filter(|(_, a)| **a) {
+        views.push(ShardView {
+            shard,
+            free_ns: shard_free[shard],
+            est_batch_ns: est_batch_ns[shard],
+            est_energy_pj: est.shard_energy_pj[shard],
+        });
+    }
+}
+
+/// Builds the per-epoch timeline from the settled outcomes.
+///
+/// Unlike the controller's processed-event windows, the timeline
+/// attributes every request by its exact virtual timestamps: offered load
+/// (and drops) by arrival time, completions (and their energy and SLO
+/// misses) by completion time. The final epoch is truncated at the
+/// makespan — possibly to zero length, which every [`EpochStat`] rate
+/// method guards — and epochs the control loop never crossed inherit the
+/// last recorded fleet state.
+fn build_timeline(
+    outcomes: &[RequestOutcome],
+    makespan_ns: u64,
+    epoch_ns: u64,
+    epoch_states: &[EpochFleetState],
+) -> Vec<EpochStat> {
+    let n_epochs = if makespan_ns == 0 { 1 } else { makespan_ns.div_ceil(epoch_ns) } as usize;
+    let last_state = epoch_states.last().expect("initial epoch state always recorded");
+    let mut timeline: Vec<EpochStat> = (0..n_epochs)
+        .map(|e| {
+            let st = epoch_states.get(e).unwrap_or(last_state);
+            let start_ns = e as u64 * epoch_ns;
+            let end_ns = (start_ns.saturating_add(epoch_ns)).min(makespan_ns);
+            EpochStat {
+                epoch: e as u64,
+                start_ns,
+                end_ns,
+                active_shards: st.active_shards,
+                clock: st.clock,
+                arrivals: 0,
+                completed: 0,
+                dropped: 0,
+                slo_violations: 0,
+                energy: EnergyBreakdown::ZERO,
+                static_pj: st.idle_mw as u128 * end_ns.saturating_sub(start_ns) as u128,
+            }
+        })
+        .collect();
+    // Timestamps at the very edge of the trace (a drop offered past the
+    // final completion, or a completion exactly at the makespan) clamp
+    // into the last epoch.
+    let ep_of = |t: u64| ((t / epoch_ns) as usize).min(n_epochs - 1);
+    for o in outcomes {
+        match o {
+            RequestOutcome::Completed { arrival_ns, queue_ns, compute_ns, energy, .. } => {
+                timeline[ep_of(*arrival_ns)].arrivals += 1;
+                let done = ep_of(arrival_ns + queue_ns + compute_ns);
+                timeline[done].completed += 1;
+                timeline[done].energy += *energy;
+                if o.violated_slo() {
+                    timeline[done].slo_violations += 1;
+                }
+            }
+            RequestOutcome::Dropped { arrival_ns } => {
+                let e = ep_of(*arrival_ns);
+                timeline[e].arrivals += 1;
+                timeline[e].dropped += 1;
+            }
+        }
+    }
+    timeline
 }
 
 #[cfg(test)]
@@ -747,7 +1021,7 @@ mod tests {
             for scheduler in SchedulerKind::all() {
                 for router in RouterKind::all() {
                     let cfg = ServeConfig {
-                        arrival,
+                        arrival: arrival.clone(),
                         scheduler,
                         router,
                         ..ServeConfig::at_load(4_000.0, 12)
