@@ -14,13 +14,25 @@
 //! ```
 //!
 //! which wraps the fresh documents into the same suite shape and compares
-//! the parsed trees with typed tolerances (`defa_bench::diff`): exact
-//! match for deterministic fields (integers, digests, virtual-time
-//! nanoseconds, fixed-point picojoules), relative `1e-9` for floats, and
-//! an explicit `--allow <field>` list for fields a PR intentionally
-//! changes — so an intentional perf change is reviewed field-by-field
-//! instead of via a blind snapshot overwrite. Every mismatch prints with
-//! its JSON path and both values; any mismatch exits non-zero.
+//! the parsed trees with typed tolerances (`defa_bench::diff`). Fields
+//! fall into four classes, decided by name:
+//!
+//! * **deterministic** (the default) — integers, digests, virtual-time
+//!   nanoseconds, fixed-point picojoules match exactly; floats to a
+//!   relative `1e-9` (formatting noise only);
+//! * **`*_per_wall_s`** — wall-clock throughputs (e.g. the simulator
+//!   speed `sim_req_per_wall_s`) gate as a *ratcheted floor*: fresh must
+//!   stay at or above 40% of baseline, so host noise passes but a real
+//!   speed regression fails; improvements always pass — re-run with
+//!   `--write` to ratchet the baseline up;
+//! * **`*_wall_s` / `*_wall_ns`** — raw wall-clock timings are
+//!   informational only and never gate;
+//! * **allowlisted** — an explicit `--allow <field>` list for fields a
+//!   PR intentionally changes, so an intentional perf change is reviewed
+//!   field-by-field instead of via a blind snapshot overwrite.
+//!
+//! Every mismatch prints with its JSON path and both values; any
+//! mismatch exits non-zero.
 //!
 //! Flags:
 //!

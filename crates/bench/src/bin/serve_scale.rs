@@ -1,0 +1,192 @@
+//! `serve_scale` — trace-scale throughput of the simulator itself.
+//!
+//! Every other serving bench measures the *modeled system* (virtual-time
+//! latency, energy, drops). This bin measures the *simulator*: how many
+//! trace requests the discrete-event engine retires per second of wall
+//! clock, at scales where engine overheads dominate — 10M requests by
+//! default, 1M under `--quick` (the CI smoke mode).
+//!
+//! The workload is a diurnal trace served by a payload-free
+//! [`ReplayBackend`] (calibrated against the accelerator backend's cost
+//! and energy models) on the default FIFO + round-robin + static-fleet
+//! policies, so the run exercises the event loop, admission, batching
+//! and streamed accounting without materializing a single tensor.
+//!
+//! Every invocation also asserts the engine's scale contracts directly:
+//!
+//! * the same trace under a 1-thread and a 4-thread worker pool yields
+//!   **equal reports** (full `PartialEq`, digest included);
+//! * peak live state is bounded by **in-flight work** (queue capacity
+//!   plus one batch per shard) and the event list by the fleet size plus
+//!   its two cursors — never by the trace length;
+//! * conservation: every request completes or drops.
+//!
+//! Flags (on top of the shared `--seed`):
+//!
+//! * `--quick` — 1M requests (CI smoke);
+//! * `--requests <n>` — explicit trace length;
+//! * `--json` — machine-readable output for the `bench_diff` gate. The
+//!   virtual-time fields gate exactly; `sim_req_per_wall_s` gates as a
+//!   ratcheted floor and `trace_wall_s` is informational (see
+//!   `bench_diff --help` text for the tolerance classes).
+
+use defa_bench::json::{to_document, Json};
+use defa_bench::RunOptions;
+use defa_model::workload::RequestGenerator;
+use defa_model::MsdaConfig;
+use defa_parallel::with_num_threads;
+use defa_serve::loadgen::TraceSchedule;
+use defa_serve::{
+    ArrivalProcess, Backend, BackendKind, ControlConfig, ControllerKind, ReplayBackend,
+    ServeConfig, ServeReport, ServeRuntime,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+const SHARDS: usize = 2;
+const MAX_BATCH: usize = 32;
+const QUEUE_CAPACITY: usize = 1024;
+/// Long control epochs keep the report timeline at trace scale to a few
+/// hundred entries — the one report section that grows with virtual
+/// time rather than live state.
+const EPOCH_US: u64 = 100_000;
+/// One simulated diurnal "day" per second of virtual time.
+const DIURNAL_PERIOD_US: u64 = 1_000_000;
+
+fn run_once(
+    seed: u64,
+    n_requests: usize,
+    threads: usize,
+) -> Result<(ServeReport, f64), Box<dyn std::error::Error>> {
+    with_num_threads(threads, || {
+        let gen = RequestGenerator::standard(&MsdaConfig::tiny(), seed)?;
+        let runtime = ServeRuntime::with_pool_threads(gen, threads);
+        let replay: Arc<dyn Backend> = Arc::new(ReplayBackend::calibrated(
+            runtime.generator(),
+            BackendKind::Accelerator.build(),
+        )?);
+        let base = ServeConfig::at_load(1.0, n_requests);
+        // Offer 80% of the fleet's modeled capacity: busy enough that
+        // batches run deep, with headroom so the diurnal peaks — not the
+        // baseline — are what pushes the queue.
+        let capacity =
+            runtime.modeled_capacity_rps(&replay, SHARDS, MAX_BATCH, base.batch_overhead_us)?;
+        let offered = capacity * 0.8;
+        let cfg = ServeConfig {
+            arrival: ArrivalProcess::Trace(TraceSchedule::diurnal(DIURNAL_PERIOD_US)),
+            queue_capacity: QUEUE_CAPACITY,
+            max_batch: MAX_BATCH,
+            shards: SHARDS,
+            control: ControlConfig {
+                epoch_us: EPOCH_US,
+                max_shards: 0,
+                controller: ControllerKind::NoOp,
+            },
+            // The aggregates are exact for the whole trace; keep only a
+            // token debug capture.
+            outcome_capture: 64,
+            ..ServeConfig::at_load(offered, n_requests)
+        };
+        let wall = Instant::now();
+        let report = runtime.run(&replay, &cfg)?;
+        Ok((report, wall.elapsed().as_secs_f64()))
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = RunOptions::parse(args.iter().cloned());
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let mut n_requests = if quick { 1_000_000 } else { 10_000_000 };
+    for w in args.windows(2) {
+        if w[0].as_str() == "--requests" {
+            n_requests = w[1].parse().unwrap_or(n_requests);
+        }
+    }
+
+    // Thread-count invariance, asserted in-process on every invocation.
+    let (r1, wall1) = run_once(opts.seed, n_requests, 1)?;
+    let (r4, wall4) = run_once(opts.seed, n_requests, 4)?;
+    assert_eq!(r1, r4, "ServeReport differs across worker-pool sizes");
+
+    // Live state is bounded by in-flight work, never trace length.
+    let fleet = r1.config.control.fleet_size(r1.config.shards);
+    let inflight_bound = (r1.config.queue_capacity + fleet * r1.config.max_batch) as u64;
+    assert!(
+        r1.live.peak_inflight <= inflight_bound,
+        "peak in-flight {} exceeds the queue + one-batch-per-shard bound {inflight_bound}",
+        r1.live.peak_inflight
+    );
+    assert!(
+        r1.live.peak_events as usize <= fleet + 2,
+        "peak event-list depth {} exceeds fleet ({fleet}) + boundary/arrival cursors",
+        r1.live.peak_events
+    );
+    assert_eq!(r1.completed + r1.dropped, n_requests as u64, "conservation");
+
+    // The wall-clock metric takes the better of the two runs: both
+    // simulate the identical trace, so the delta is host noise.
+    let trace_wall_s = wall1.min(wall4);
+    let sim_req_per_wall_s = n_requests as f64 / trace_wall_s;
+
+    if json {
+        let doc = Json::obj([
+            ("bench", Json::str("serve_scale")),
+            ("seed", Json::uint(opts.seed as u128)),
+            ("requests", Json::uint(n_requests as u128)),
+            ("trace", Json::str("diurnal")),
+            ("backend", Json::str(r1.backend.clone())),
+            ("shards", Json::uint(SHARDS as u128)),
+            ("max_batch", Json::uint(MAX_BATCH as u128)),
+            ("queue_capacity", Json::uint(QUEUE_CAPACITY as u128)),
+            ("epoch_us", Json::uint(EPOCH_US as u128)),
+            ("completed", Json::uint(r1.completed as u128)),
+            ("dropped", Json::uint(r1.dropped as u128)),
+            ("slo_violations", Json::uint(r1.slo_violations as u128)),
+            ("batches", Json::uint(r1.batches as u128)),
+            ("makespan_ns", Json::uint(r1.makespan_ns as u128)),
+            ("energy_total_pj", Json::uint(r1.energy.total_pj())),
+            ("digest", Json::str(format!("{:#018x}", r1.digest))),
+            ("peak_inflight", Json::uint(r1.live.peak_inflight as u128)),
+            ("peak_events", Json::uint(r1.live.peak_events as u128)),
+            ("peak_reorder", Json::uint(r1.live.peak_reorder as u128)),
+            ("epochs_stepped", Json::uint(r1.live.epochs_stepped as u128)),
+            ("epochs_skipped", Json::uint(r1.live.epochs_skipped as u128)),
+            ("sim_req_per_wall_s", Json::num(sim_req_per_wall_s)),
+            ("trace_wall_s", Json::num(trace_wall_s)),
+        ]);
+        print!("{}", to_document(&doc));
+        return Ok(());
+    }
+
+    println!(
+        "serve_scale: {} requests over a diurnal trace ({} replaying defa-accel \
+         cost/energy models)",
+        n_requests, r1.backend,
+    );
+    println!(
+        "  virtual     : {:.2} s makespan, {} completed / {} dropped, {} batches",
+        r1.makespan_ns as f64 / 1e9,
+        r1.completed,
+        r1.dropped,
+        r1.batches,
+    );
+    println!(
+        "  live state  : peak {} in-flight (bound {}), {} events, {} reorder",
+        r1.live.peak_inflight, inflight_bound, r1.live.peak_events, r1.live.peak_reorder,
+    );
+    println!(
+        "  epochs      : {} stepped, {} skipped",
+        r1.live.epochs_stepped, r1.live.epochs_skipped,
+    );
+    println!(
+        "  simulator   : {:.2} s wall ({:.2} s @ 1 thread, {:.2} s @ 4) = {:.2} Mreq/s; \
+         reports byte-identical across pool sizes",
+        trace_wall_s,
+        wall1,
+        wall4,
+        sim_req_per_wall_s / 1e6,
+    );
+    Ok(())
+}

@@ -10,6 +10,15 @@
 //!   are the deterministic fields; any drift is a behaviour change;
 //! * floats (rates, ratios) must agree to a relative `1e-9` — they are
 //!   byte-stable too, the slack only absorbs formatter-level noise;
+//! * fields named `*_per_wall_s` are **wall-clock throughputs** — the
+//!   one metric class that legitimately varies with the host. They gate
+//!   as a **ratcheted floor**: the fresh value must stay at or above
+//!   [`RATCHET_FLOOR`] × baseline (machine noise passes, a real
+//!   simulator-speed regression fails), and improvements always pass —
+//!   re-run with `--write` to ratchet the baseline up;
+//! * fields named `*_wall_s` / `*_wall_ns` are **informational
+//!   wall-clock timings** and are skipped entirely — they exist for
+//!   humans reading the artifact, not for the gate;
 //! * fields named on the **allowlist** are skipped entirely — the
 //!   explicit escape hatch for a PR that intentionally moves a metric
 //!   and updates the snapshot in the same change (run `bench_diff`
@@ -24,6 +33,33 @@ use crate::json::Json;
 /// Relative tolerance for float leaves. Virtual-time floats are
 /// byte-stable; this only forgives last-ulp formatting noise.
 const FLOAT_RTOL: f64 = 1e-9;
+
+/// Floor for ratcheted wall-clock throughput fields (`*_per_wall_s`):
+/// the fresh value must be at least this fraction of the baseline.
+/// Generous enough that a loaded CI host passes, tight enough that an
+/// accidental O(n) → O(n²) regression cannot hide.
+pub const RATCHET_FLOOR: f64 = 0.4;
+
+/// How one object member is gated, decided from its name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FieldClass {
+    /// Deterministic field: exact / `FLOAT_RTOL` rules.
+    Exact,
+    /// Wall-clock throughput (`*_per_wall_s`): ratcheted floor.
+    Ratchet,
+    /// Wall-clock timing (`*_wall_s`, `*_wall_ns`): informational only.
+    Informational,
+}
+
+fn classify(key: &str) -> FieldClass {
+    if key.ends_with("_per_wall_s") {
+        FieldClass::Ratchet
+    } else if key.ends_with("_wall_s") || key.ends_with("_wall_ns") {
+        FieldClass::Informational
+    } else {
+        FieldClass::Exact
+    }
+}
 
 /// One difference between baseline and fresh documents.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +93,35 @@ fn float_leaf(a: f64, b: f64, path: &str, out: &mut Vec<Mismatch>) {
     let scale = a.abs().max(b.abs()).max(1.0);
     if (a - b).abs() > FLOAT_RTOL * scale {
         push(out, path, format!("float field changed: {a} -> {b}"));
+    }
+}
+
+fn as_number(v: &Json) -> Option<f64> {
+    match v {
+        Json::Int(i) => Some(*i as f64),
+        Json::Num(n) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Gate for `*_per_wall_s` members: fresh must hold the ratchet floor;
+/// any improvement passes.
+fn ratchet_leaf(base: &Json, fresh: &Json, path: &str, out: &mut Vec<Mismatch>) {
+    match (as_number(base), as_number(fresh)) {
+        (Some(a), Some(b)) => {
+            if b < a * RATCHET_FLOOR {
+                push(
+                    out,
+                    path,
+                    format!(
+                        "wall-clock throughput fell below the ratchet floor: {a} -> {b} \
+                         (must stay >= {:.0}% of baseline; improvements always pass)",
+                        RATCHET_FLOOR * 100.0
+                    ),
+                );
+            }
+        }
+        _ => push(out, path, format!("type changed: {} -> {}", type_name(base), type_name(fresh))),
     }
 }
 
@@ -105,7 +170,11 @@ fn walk(base: &Json, fresh: &Json, path: &str, allow: &[String], out: &mut Vec<M
                 if allow.iter().any(|al| al == k) {
                     continue; // intentionally-changed field
                 }
-                walk(x, y, &format!("{path}.{k}"), allow, out);
+                match classify(k) {
+                    FieldClass::Informational => {}
+                    FieldClass::Ratchet => ratchet_leaf(x, y, &format!("{path}.{k}"), out),
+                    FieldClass::Exact => walk(x, y, &format!("{path}.{k}"), allow, out),
+                }
             }
         }
         _ => push(out, path, format!("type changed: {} -> {}", type_name(base), type_name(fresh))),
@@ -193,6 +262,46 @@ mod tests {
         assert!(m[0].what.contains("object keys"));
         let m = d(r#"{"a":1}"#, r#"{"a":"1"}"#, &[]);
         assert!(m[0].what.contains("type changed"));
+    }
+
+    #[test]
+    fn wall_clock_throughputs_gate_as_a_ratcheted_floor() {
+        // A real simulator-speed regression (far below the floor) fails…
+        let m = d(r#"{"sim_req_per_wall_s":1000000.0}"#, r#"{"sim_req_per_wall_s":100000.0}"#, &[]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].path, "$.sim_req_per_wall_s");
+        assert!(m[0].what.contains("ratchet floor"), "{}", m[0].what);
+        // …machine noise above the floor passes…
+        assert!(d(
+            r#"{"sim_req_per_wall_s":1000000.0}"#,
+            r#"{"sim_req_per_wall_s":500000.0}"#,
+            &[]
+        )
+        .is_empty());
+        // …and improvements always pass (re-ratchet with --write).
+        assert!(d(
+            r#"{"sim_req_per_wall_s":1000000.0}"#,
+            r#"{"sim_req_per_wall_s":9000000.0}"#,
+            &[]
+        )
+        .is_empty());
+        // Integral-trimmed throughputs still get the ratchet rule.
+        assert!(d(r#"{"sim_req_per_wall_s":1000000}"#, r#"{"sim_req_per_wall_s":700000}"#, &[])
+            .is_empty());
+        // A type flip is still an error, never silently forgiven.
+        let m = d(r#"{"sim_req_per_wall_s":1000000.0}"#, r#"{"sim_req_per_wall_s":"fast"}"#, &[]);
+        assert!(m[0].what.contains("type changed"), "{}", m[0].what);
+    }
+
+    #[test]
+    fn wall_clock_timings_are_informational_only() {
+        // Raw wall times exist for humans reading the artifact; the gate
+        // ignores them no matter how far they move.
+        assert!(d(r#"{"trace_wall_s":2.0}"#, r#"{"trace_wall_s":90.0}"#, &[]).is_empty());
+        assert!(d(r#"{"settle_wall_ns":5}"#, r#"{"settle_wall_ns":500000}"#, &[]).is_empty());
+        // The suffix match is exact: a `_per_wall_s` field is a ratchet,
+        // not an informational skip, despite also ending in `_wall_s`.
+        assert_eq!(d(r#"{"req_per_wall_s":100.0}"#, r#"{"req_per_wall_s":1.0}"#, &[]).len(), 1);
     }
 
     #[test]

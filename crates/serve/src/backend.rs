@@ -175,6 +175,39 @@ pub trait Backend: Send + Sync {
         let _ = clock;
         0
     }
+
+    /// Whether this backend serves requests without materialized feature
+    /// payloads ([`Self::run_modeled`]). When every shard of a fleet is
+    /// payload-free, the runtime skips pyramid generation *and* the
+    /// worker-pool round-trip entirely — the fast path that makes
+    /// 10M-request traces feasible. Model-executing backends keep the
+    /// default `false`.
+    fn payload_free(&self) -> bool {
+        false
+    }
+
+    /// Serves request `id` of scenario `scenario_idx` without its
+    /// payload. Only meaningful when [`Self::payload_free`] is `true`;
+    /// the default refuses (a model-executing backend cannot produce a
+    /// response from thin air). Must obey the same determinism contract
+    /// as [`Self::run`].
+    ///
+    /// # Errors
+    ///
+    /// The default returns [`ServeError::InvalidConfig`]; implementations
+    /// propagate their own failures.
+    fn run_modeled(
+        &self,
+        scenario_idx: usize,
+        scenario: &SyntheticWorkload,
+        id: u64,
+    ) -> Result<BackendOutput, ServeError> {
+        let _ = (scenario_idx, scenario, id);
+        Err(ServeError::InvalidConfig(format!(
+            "backend '{}' requires materialized request payloads (payload_free() is false)",
+            self.name()
+        )))
+    }
 }
 
 /// Converts modeled seconds to clamped virtual nanoseconds.
@@ -407,6 +440,131 @@ impl Backend for AcceleratorBackend {
     }
 }
 
+/// SplitMix64 — the digest/jitter mixer of [`ReplayBackend`]. Chosen for
+/// full 64-bit avalanche at three multiplies; any stateless mixer would
+/// do, determinism is the only requirement.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A payload-free *replay* backend: serves from per-scenario calibration
+/// tables instead of executing the model, so one request costs a table
+/// lookup and a hash — the backend that lets the discrete-event engine
+/// push 10M-request traces through in seconds.
+///
+/// Calibration snapshots the wrapped backend's analytic per-scenario
+/// estimates once at construction ([`ReplayBackend::calibrated`]);
+/// serving then replays them with a deterministic ±12.5 % per-request
+/// cost jitter (so batches don't degenerate into identical-latency
+/// lockstep) and a per-request SplitMix64 response digest. Estimates,
+/// DVFS re-pricing and idle power delegate to the wrapped backend, so
+/// replay fleets stay consistent with the policy layers and the energy
+/// model of what they stand in for.
+pub struct ReplayBackend {
+    inner: std::sync::Arc<dyn Backend>,
+    /// Per-scenario calibrated service time, indexed by scenario.
+    cost_ns: Vec<u64>,
+    /// Per-scenario calibrated energy (whole estimate as compute; the
+    /// wrapped backend's estimate has no component split).
+    energy_pj: Vec<u128>,
+    /// Per-scenario dense-equivalent FLOPs.
+    dense_flops: Vec<u64>,
+    /// Digest/jitter salt, derived from the generator seed.
+    salt: u64,
+}
+
+impl ReplayBackend {
+    /// Calibrates a replay table against `inner`'s analytic estimates
+    /// over every scenario of `gen`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario-lookup failures from the generator.
+    pub fn calibrated(
+        gen: &defa_model::workload::RequestGenerator,
+        inner: std::sync::Arc<dyn Backend>,
+    ) -> Result<Self, ServeError> {
+        let n = gen.scenarios().len();
+        let mut cost_ns = Vec::with_capacity(n);
+        let mut energy_pj = Vec::with_capacity(n);
+        let mut dense_flops = Vec::with_capacity(n);
+        for i in 0..n {
+            let wl = gen.scenario(i)?;
+            cost_ns.push(inner.estimate_cost_ns(wl).max(1));
+            energy_pj.push(inner.estimate_energy_pj(wl));
+            dense_flops.push(scenario_dense_flops(wl));
+        }
+        let salt = splitmix64(gen.seed() ^ 0x5EED_0A11_0E57_A717);
+        Ok(ReplayBackend { inner, cost_ns, energy_pj, dense_flops, salt })
+    }
+}
+
+/// Salt folded into the generator seed for replay digests, so replayed
+/// responses never collide with real tensor digests by construction.
+const REPLAY_DIGEST_SALT: u64 = 0x9E1A_7000_D16E_57A1;
+
+impl Backend for ReplayBackend {
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+
+    fn run(
+        &self,
+        scenario: &SyntheticWorkload,
+        req: &InferenceRequest,
+    ) -> Result<BackendOutput, ServeError> {
+        // A replay backend never needs the payload, but `run` keeps the
+        // generic contract so mixed fleets can still dispatch to it.
+        self.run_modeled(req.scenario, scenario, req.id)
+    }
+
+    fn estimate_cost_ns(&self, scenario: &SyntheticWorkload) -> u64 {
+        self.inner.estimate_cost_ns(scenario)
+    }
+
+    fn estimate_energy_pj(&self, scenario: &SyntheticWorkload) -> u128 {
+        self.inner.estimate_energy_pj(scenario)
+    }
+
+    fn reprice(&self, out: BackendOutput, clock: DvfsPoint) -> BackendOutput {
+        self.inner.reprice(out, clock)
+    }
+
+    fn idle_power_mw(&self, clock: DvfsPoint) -> u64 {
+        self.inner.idle_power_mw(clock)
+    }
+
+    fn payload_free(&self) -> bool {
+        true
+    }
+
+    fn run_modeled(
+        &self,
+        scenario_idx: usize,
+        _scenario: &SyntheticWorkload,
+        id: u64,
+    ) -> Result<BackendOutput, ServeError> {
+        let base = self.cost_ns[scenario_idx];
+        // ±12.5 % deterministic jitter: offset in [0, base/4], centred.
+        let spread = base / 4;
+        let jitter = splitmix64(self.salt ^ id.wrapping_mul(0xA24B_AED4_963E_E407));
+        let cost_ns = (base - spread / 2 + jitter % (spread + 1)).max(1);
+        Ok(BackendOutput {
+            digest: splitmix64(self.salt ^ REPLAY_DIGEST_SALT ^ id),
+            cost_ns,
+            energy: EnergyBreakdown {
+                compute_pj: self.energy_pj[scenario_idx],
+                sram_pj: 0,
+                dram_pj: 0,
+            },
+            dense_flops: self.dense_flops[scenario_idx],
+        })
+    }
+}
+
 /// The three shipped backends, for sweeps and CLI selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BackendKind {
@@ -629,6 +787,52 @@ mod tests {
             "the GPU model is not on the accelerator's clock domain"
         );
         assert!(dense.idle_power_mw(DvfsPoint::NOMINAL) > 100 * nominal);
+    }
+
+    #[test]
+    fn replay_backend_is_deterministic_cheap_and_clock_aware() {
+        let gen = tiny_gen();
+        let accel: std::sync::Arc<dyn Backend> = std::sync::Arc::new(AcceleratorBackend::new());
+        let replay = ReplayBackend::calibrated(&gen, accel.clone()).unwrap();
+        assert!(replay.payload_free());
+        let wl = gen.scenario(0).unwrap();
+        let a = replay.run_modeled(0, wl, 3).unwrap();
+        let b = replay.run_modeled(0, wl, 3).unwrap();
+        assert_eq!(a, b, "replay must be deterministic per (scenario, id)");
+        // `run` with a materialized request takes the same path.
+        let req = gen.request(3);
+        let via_run = replay.run(gen.scenario(req.scenario).unwrap(), &req).unwrap();
+        assert_eq!(via_run, replay.run_modeled(req.scenario, wl, 3).unwrap());
+        // Jitter spreads costs across ids but stays near the calibrated
+        // estimate.
+        let est = accel.estimate_cost_ns(wl);
+        let costs: Vec<u64> =
+            (0..16).map(|id| replay.run_modeled(0, wl, id).unwrap().cost_ns).collect();
+        assert!(costs.iter().any(|&c| c != costs[0]), "jitter must vary by id");
+        for &c in &costs {
+            assert!(
+                c >= est - est / 4 && c <= est + est / 4,
+                "cost {c} strayed from estimate {est}"
+            );
+        }
+        // Distinct ids get distinct digests; energy and estimates track
+        // the wrapped backend.
+        let d0 = replay.run_modeled(0, wl, 0).unwrap().digest;
+        let d1 = replay.run_modeled(0, wl, 1).unwrap().digest;
+        assert_ne!(d0, d1);
+        assert_eq!(replay.estimate_cost_ns(wl), est);
+        assert_eq!(
+            replay.idle_power_mw(DvfsPoint::NOMINAL),
+            accel.idle_power_mw(DvfsPoint::NOMINAL)
+        );
+        // Re-pricing rides the wrapped backend's clock domain.
+        let slow = replay.reprice(a, crate::control::DVFS_LADDER[3]);
+        assert_eq!(slow.cost_ns, a.cost_ns * 4);
+        // The default hook on a model-executing backend refuses.
+        assert!(matches!(
+            DenseBackend::new().run_modeled(0, wl, 0),
+            Err(ServeError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -82,7 +82,23 @@ pub struct ServeConfig {
     /// The epoch-stepped fleet-control loop (epoch length, shard
     /// ceiling, controller).
     pub control: ControlConfig,
+    /// Per-request outcome capture cap: the runtime keeps full
+    /// [`crate::RequestOutcome`] records only for request ids below this
+    /// bound ([`ServeReport::outcomes`](crate::ServeReport::outcomes) is
+    /// a *prefix capture*, not the whole trace). Every aggregate —
+    /// digests, histograms, energy, the timeline — is streamed exactly
+    /// for **all** requests regardless; the cap only bounds the debug
+    /// records, which is what keeps a 10M-request run in constant
+    /// memory. Set 0 to capture nothing, `usize::MAX` to capture
+    /// everything.
+    pub outcome_capture: usize,
 }
+
+/// Default [`ServeConfig::outcome_capture`]: large enough that every
+/// toy/test scale keeps full per-request outcomes (all existing pins
+/// predate the cap), small enough that million-request runs stay
+/// bounded.
+pub const DEFAULT_OUTCOME_CAPTURE: usize = 4_096;
 
 impl ServeConfig {
     /// A reasonable operating point at a given offered load: queue of 64,
@@ -102,6 +118,7 @@ impl ServeConfig {
             scheduler: SchedulerKind::Fifo,
             router: RouterKind::RoundRobin,
             control: ControlConfig::default(),
+            outcome_capture: DEFAULT_OUTCOME_CAPTURE,
         }
     }
 

@@ -130,6 +130,24 @@ pub trait Controller: Send {
     /// Observes the epoch that just ended and returns the actions to
     /// apply before the next batch is formed.
     fn decide(&mut self, view: &FleetView) -> Vec<ControlAction>;
+
+    /// Whether the controller is *quiescent* at `view`: `decide` would
+    /// return no actions for this view — and for any run of consecutive
+    /// views identical to it up to epoch index and timestamps — and
+    /// skipping those `decide` calls leaves every future decision
+    /// unchanged.
+    ///
+    /// The event loop consults this only on all-quiet boundaries (no
+    /// arrivals, drops, completions or SLO misses in the epoch, and an
+    /// empty queue) and, on `true`, fast-forwards across the whole idle
+    /// gap in O(1) instead of stepping each boundary — the fix for the
+    /// old O(idle-epochs) walk. Returning `true` when the controller
+    /// would still mutate observable state breaks the determinism
+    /// contract, so the default is a conservative `false`; implementors
+    /// must argue state-equivalence before opting in.
+    fn quiescent(&self, _view: &FleetView) -> bool {
+        false
+    }
 }
 
 /// A static fleet at the nominal clock: never acts.
@@ -143,6 +161,10 @@ impl Controller for NoOpController {
 
     fn decide(&mut self, _view: &FleetView) -> Vec<ControlAction> {
         Vec::new()
+    }
+
+    fn quiescent(&self, _view: &FleetView) -> bool {
+        true
     }
 }
 
@@ -214,6 +236,19 @@ impl Controller for ShardAutoscaler {
         }
         Vec::new()
     }
+
+    fn quiescent(&self, view: &FleetView) -> bool {
+        // On an all-quiet view, `decide` is a pure no-op exactly when
+        // the fleet sits at its floor (the calm branch is skipped, and
+        // the streak reset in the else-branch only matters if the streak
+        // is non-zero) and a zero queue cannot read as pressure.
+        view.dropped == 0
+            && view.slo_violations == 0
+            && view.queue_depth == 0
+            && self.cfg.scale_up_queue > 0
+            && view.active_shards <= self.cfg.min_shards.max(1)
+            && self.calm_streak == 0
+    }
 }
 
 /// Operating thresholds of the [`DvfsGovernor`].
@@ -275,7 +310,10 @@ impl Controller for DvfsGovernor {
             return Vec::new();
         }
         if view.queue_depth == 0 {
-            self.quiet_streak += 1;
+            // Saturating: at the bottom rung the streak keeps growing
+            // without ever being read (see `quiescent`), and a 10M-epoch
+            // run must not overflow it.
+            self.quiet_streak = self.quiet_streak.saturating_add(1);
             if self.quiet_streak >= self.cfg.quiet_epochs && self.level + 1 < self.cfg.ladder.len()
             {
                 self.quiet_streak = 0;
@@ -286,6 +324,22 @@ impl Controller for DvfsGovernor {
             self.quiet_streak = 0;
         }
         Vec::new()
+    }
+
+    fn quiescent(&self, view: &FleetView) -> bool {
+        // At the bottom rung the quiet streak still increments, but its
+        // value is unobservable: it only gates steps *down* (impossible
+        // at the bottom) and the next pressure resets it to zero before
+        // it is read again. So an all-quiet view at the bottom — with a
+        // zero queue that cannot read as pressure — is skippable.
+        if self.cfg.ladder.is_empty() {
+            return true;
+        }
+        view.dropped == 0
+            && view.slo_violations == 0
+            && view.queue_depth == 0
+            && self.cfg.busy_queue > 0
+            && self.level + 1 >= self.cfg.ladder.len()
     }
 }
 
@@ -428,6 +482,45 @@ mod tests {
         ] {
             assert_eq!(kind.build().name(), kind.name());
         }
+    }
+
+    #[test]
+    fn quiescence_matches_a_decide_no_op() {
+        let idle = |active: usize| FleetView {
+            epoch: 9,
+            start_ns: 9_000_000,
+            end_ns: 10_000_000,
+            active_shards: active,
+            max_shards: 4,
+            queue_depth: 0,
+            arrivals: 0,
+            dropped: 0,
+            completed: 0,
+            slo_violations: 0,
+            clock: DvfsPoint::NOMINAL,
+        };
+        assert!(NoOpController.quiescent(&idle(2)));
+
+        // Autoscaler: above the floor an idle epoch still drains shards,
+        // so it must keep stepping; at the floor it is skippable.
+        let mut scaler = ShardAutoscaler::new(AutoscalerConfig::default());
+        assert!(!scaler.quiescent(&idle(2)));
+        assert!(scaler.quiescent(&idle(1)));
+        assert!(scaler.decide(&idle(1)).is_empty(), "quiescent view must be a decide no-op");
+        // A live calm streak is observable state: not skippable.
+        let mut streaky = ShardAutoscaler::new(AutoscalerConfig::default());
+        streaky.decide(&idle(3));
+        assert!(!streaky.quiescent(&idle(1)), "mid-streak state must keep stepping");
+
+        // Governor: quiescent only once parked at the bottom rung.
+        let mut gov = DvfsGovernor::new(DvfsConfig { quiet_epochs: 1, ..Default::default() });
+        assert!(!gov.quiescent(&idle(2)));
+        for e in 0..3 {
+            gov.decide(&idle(2));
+            let _ = e;
+        }
+        assert!(gov.quiescent(&idle(2)), "bottom of the ladder is skippable");
+        assert!(gov.decide(&idle(2)).is_empty());
     }
 
     #[test]

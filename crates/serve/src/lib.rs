@@ -85,6 +85,7 @@ pub mod config;
 pub mod control;
 pub mod energy;
 pub mod error;
+pub mod events;
 pub mod histogram;
 pub mod loadgen;
 pub mod report;
@@ -93,17 +94,18 @@ pub mod runtime;
 pub mod scheduler;
 
 pub use admission::{Admission, AdmissionQueue, DropPolicy, QueuedRequest};
-pub use backend::{Backend, BackendKind, BackendOutput};
-pub use config::{ControlConfig, ServeConfig};
+pub use backend::{Backend, BackendKind, BackendOutput, ReplayBackend};
+pub use config::{ControlConfig, ServeConfig, DEFAULT_OUTCOME_CAPTURE};
 pub use control::{
     AutoscalerConfig, ControlAction, Controller, ControllerKind, DvfsConfig, DvfsGovernor,
     DvfsPoint, FleetView, NoOpController, ShardAutoscaler, DVFS_LADDER,
 };
 pub use energy::EnergyBreakdown;
 pub use error::ServeError;
+pub use events::{EventClass, EventList};
 pub use histogram::LatencyHistogram;
-pub use loadgen::{ArrivalProcess, RateSegment, SegmentProcess, TraceSchedule};
-pub use report::{EpochStat, RequestOutcome, ServeReport};
+pub use loadgen::{ArrivalIter, ArrivalProcess, RateSegment, SegmentProcess, TraceSchedule};
+pub use report::{EpochStat, LiveStats, RequestOutcome, ServeReport};
 pub use router::{Router, RouterKind, ShardView};
 pub use runtime::ServeRuntime;
 pub use scheduler::{Scheduler, SchedulerKind};

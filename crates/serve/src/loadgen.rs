@@ -79,76 +79,6 @@ pub enum SegmentProcess {
     Uniform,
 }
 
-impl SegmentProcess {
-    /// Appends this process's arrivals inside the window `[t0, t1)` at
-    /// `rate_per_s` to `out`, stopping early at `n` total arrivals.
-    ///
-    /// Each window restarts the process (phase state does not carry
-    /// across segments); the rng *stream* carries across windows, so the
-    /// whole trace stays a pure function of one seed.
-    fn sample_window(
-        &self,
-        rng: &mut TensorRng,
-        rate_per_s: f64,
-        t0: u64,
-        t1: u64,
-        n: usize,
-        out: &mut Vec<u64>,
-    ) {
-        debug_assert!(rate_per_s > 0.0 && t0 < t1);
-        match *self {
-            SegmentProcess::Poisson => {
-                let mut t = t0;
-                while out.len() < n {
-                    t = t.saturating_add(exp_gap_ns(rng, rate_per_s));
-                    if t >= t1 {
-                        break;
-                    }
-                    out.push(t);
-                }
-            }
-            SegmentProcess::Uniform => {
-                // A rounded gap of 0 ns means genuinely simultaneous
-                // arrivals, exactly like ArrivalProcess::Uniform; the `n`
-                // bound keeps the window loop finite in that case.
-                let gap = (1e9 / rate_per_s).round() as u64;
-                let mut k = 1u64;
-                while out.len() < n {
-                    let t = t0.saturating_add(k.saturating_mul(gap));
-                    if t >= t1 {
-                        break;
-                    }
-                    out.push(t);
-                    k += 1;
-                }
-            }
-            SegmentProcess::Bursty { burst } => {
-                assert!(burst > 1.0, "burst factor must exceed 1, got {burst}");
-                let cycle_s = BURSTY_CYCLE_GAPS / rate_per_s;
-                let tau_on = cycle_s / burst;
-                let tau_off = cycle_s - tau_on;
-                let rate_on = rate_per_s * burst;
-                let mut t = t0;
-                let mut phase_end = t.saturating_add(exp_gap_ns(rng, 1.0 / tau_on));
-                while out.len() < n && t < t1 {
-                    let gap = exp_gap_ns(rng, rate_on);
-                    if t.saturating_add(gap) <= phase_end {
-                        t = t.saturating_add(gap);
-                        if t >= t1 {
-                            break;
-                        }
-                        out.push(t);
-                    } else {
-                        let off = exp_gap_ns(rng, 1.0 / tau_off);
-                        t = phase_end.saturating_add(off);
-                        phase_end = t.saturating_add(exp_gap_ns(rng, 1.0 / tau_on));
-                    }
-                }
-            }
-        }
-    }
-}
-
 /// One window of a [`TraceSchedule`]: a duration, a multiplier on the
 /// base offered rate, and the point process spacing arrivals inside it.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -324,7 +254,11 @@ impl ArrivalProcess {
     ///
     /// Pure in `(n, rate_per_s, seed)`; the Poisson variant reproduces
     /// [`arrival_times`] bit-for-bit, which is what keeps pre-policy
-    /// serving traces byte-identical.
+    /// serving traces byte-identical. Since the discrete-event rewrite
+    /// this is literally `stream(…).take(n).collect()` — the lazy
+    /// iterator is the single source of truth, and
+    /// `tests/tests/engine_equivalence.rs` pins the streams that the
+    /// materialized form produced before the refactor.
     ///
     /// # Panics
     ///
@@ -332,12 +266,32 @@ impl ArrivalProcess {
     /// schedule that can never arrive (the serving layer validates all of
     /// these in `ServeConfig::validate` first).
     pub fn sample(&self, n: usize, rate_per_s: f64, seed: u64) -> Vec<u64> {
+        self.stream(rate_per_s, seed).take(n).collect()
+    }
+
+    /// The lazy, unbounded form of [`Self::sample`]: an iterator yielding
+    /// the same virtual-nanosecond sequence draw for draw, generated on
+    /// demand in O(1) state instead of a materialized `Vec`.
+    ///
+    /// This is what lets the serving runtime pull 10M-request traces
+    /// without holding them: live memory is the iterator's cursor, not
+    /// the trace.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::sample`].
+    pub fn stream(&self, rate_per_s: f64, seed: u64) -> ArrivalIter {
         assert!(rate_per_s > 0.0, "offered load must be positive");
-        match *self {
-            ArrivalProcess::Poisson => arrival_times(n, rate_per_s, seed),
+        let mut rng = TensorRng::seed_from(seed);
+        let state = match *self {
+            ArrivalProcess::Poisson => IterState::Poisson { t: 0 },
             ArrivalProcess::Uniform => {
-                let gap = (1e9 / rate_per_s).round() as u64;
-                (1..=n as u64).map(|i| i.saturating_mul(gap).max(1)).collect()
+                IterState::Uniform { gap: (1e9 / rate_per_s).round() as u64, k: 0 }
+            }
+            ArrivalProcess::Bursty { burst } => {
+                assert!(burst > 1.0, "burst factor must exceed 1, got {burst}");
+                // Start inside an ON phase so short traces still arrive.
+                IterState::Bursty(BurstyState::enter(&mut rng, rate_per_s, burst, 0))
             }
             ArrivalProcess::Trace(ref schedule) => {
                 assert!(schedule.can_arrive(), "trace schedule can never produce an arrival");
@@ -346,58 +300,197 @@ impl ArrivalProcess {
                     "trace schedule can never produce an arrival at base rate {rate_per_s} \
                      (every productive window is uniform-paced with a gap longer than itself)"
                 );
-                let mut rng = TensorRng::seed_from(seed);
-                let mut out = Vec::with_capacity(n);
-                let mut t0 = 0u64;
-                while out.len() < n {
-                    for seg in &schedule.segments {
-                        let dur_ns = seg.duration_us.saturating_mul(1_000);
-                        let t1 = t0.saturating_add(dur_ns);
-                        // Zero-duration or silent windows contribute
-                        // nothing — they only advance (or hold) the clock.
-                        if dur_ns > 0 && seg.rate_mult > 0.0 {
-                            seg.process.sample_window(
-                                &mut rng,
-                                rate_per_s * seg.rate_mult,
-                                t0,
-                                t1,
-                                n,
-                                &mut out,
-                            );
-                        }
-                        t0 = t1;
-                        if out.len() >= n {
-                            break;
-                        }
-                    }
-                }
-                out
+                IterState::Trace { schedule: schedule.clone(), seg: 0, t0: 0, window: None }
             }
-            ArrivalProcess::Bursty { burst } => {
-                assert!(burst > 1.0, "burst factor must exceed 1, got {burst}");
-                let mut rng = TensorRng::seed_from(seed);
-                let cycle_s = BURSTY_CYCLE_GAPS / rate_per_s;
-                let tau_on = cycle_s / burst; // duty cycle 1/burst keeps the mean
-                let tau_off = cycle_s - tau_on;
-                let rate_on = rate_per_s * burst;
-                let mut t = 0u64;
-                // Start inside an ON phase so short traces still arrive.
-                let mut phase_end = t.saturating_add(exp_gap_ns(&mut rng, 1.0 / tau_on));
-                let mut out = Vec::with_capacity(n);
-                while out.len() < n {
-                    let gap = exp_gap_ns(&mut rng, rate_on);
-                    if t.saturating_add(gap) <= phase_end {
-                        t = t.saturating_add(gap);
-                        out.push(t);
+        };
+        ArrivalIter { rng, rate: rate_per_s, state }
+    }
+}
+
+/// On/off MMPP cursor shared by the standalone bursty process and bursty
+/// trace segments: the current time and the end of the current ON phase.
+#[derive(Debug, Clone)]
+struct BurstyState {
+    rate_on: f64,
+    tau_on: f64,
+    tau_off: f64,
+    t: u64,
+    phase_end: u64,
+}
+
+impl BurstyState {
+    /// Opens a bursty stretch at `t`: derives the phase constants and
+    /// draws the first ON-phase length (one rng draw, exactly like the
+    /// materialized sampler does on window entry).
+    fn enter(rng: &mut TensorRng, rate_per_s: f64, burst: f64, t: u64) -> Self {
+        assert!(burst > 1.0, "burst factor must exceed 1, got {burst}");
+        let cycle_s = BURSTY_CYCLE_GAPS / rate_per_s;
+        let tau_on = cycle_s / burst; // duty cycle 1/burst keeps the mean
+        let tau_off = cycle_s - tau_on;
+        let phase_end = t.saturating_add(exp_gap_ns(rng, 1.0 / tau_on));
+        BurstyState { rate_on: rate_per_s * burst, tau_on, tau_off, t, phase_end }
+    }
+
+    /// One unbounded arrival: draws gaps, skipping OFF phases, until one
+    /// lands inside an ON phase.
+    fn next_unbounded(&mut self, rng: &mut TensorRng) -> u64 {
+        loop {
+            let gap = exp_gap_ns(rng, self.rate_on);
+            if self.t.saturating_add(gap) <= self.phase_end {
+                self.t = self.t.saturating_add(gap);
+                return self.t;
+            }
+            // ON phase exhausted: skip the silent OFF phase and open the
+            // next ON phase.
+            let off = exp_gap_ns(rng, 1.0 / self.tau_off);
+            self.t = self.phase_end.saturating_add(off);
+            self.phase_end = self.t.saturating_add(exp_gap_ns(rng, 1.0 / self.tau_on));
+        }
+    }
+
+    /// One arrival bounded by the window end `t1`, or `None` once the
+    /// cursor leaves the window (same draw sequence as
+    /// `SegmentProcess::sample_window`).
+    fn next_in_window(&mut self, rng: &mut TensorRng, t1: u64) -> Option<u64> {
+        while self.t < t1 {
+            let gap = exp_gap_ns(rng, self.rate_on);
+            if self.t.saturating_add(gap) <= self.phase_end {
+                self.t = self.t.saturating_add(gap);
+                if self.t >= t1 {
+                    return None;
+                }
+                return Some(self.t);
+            }
+            let off = exp_gap_ns(rng, 1.0 / self.tau_off);
+            self.t = self.phase_end.saturating_add(off);
+            self.phase_end = self.t.saturating_add(exp_gap_ns(rng, 1.0 / self.tau_on));
+        }
+        None
+    }
+}
+
+/// Point-process cursor inside one entered trace window.
+#[derive(Debug, Clone)]
+enum WindowState {
+    Poisson { t: u64 },
+    Uniform { gap: u64, k: u64 },
+    Bursty(BurstyState),
+}
+
+/// Iterator state per [`ArrivalProcess`] variant.
+#[derive(Debug, Clone)]
+enum IterState {
+    Poisson {
+        t: u64,
+    },
+    Uniform {
+        gap: u64,
+        k: u64,
+    },
+    Bursty(BurstyState),
+    Trace {
+        schedule: TraceSchedule,
+        /// Index of the segment the cursor sits in (cycles).
+        seg: usize,
+        /// Virtual start of that segment's window.
+        t0: u64,
+        /// `(t0, t1, rate, cursor)` of an entered productive window.
+        window: Option<(u64, u64, f64, WindowState)>,
+    },
+}
+
+/// A lazy, unbounded arrival-time stream — the pull form of
+/// [`ArrivalProcess::sample`], built by [`ArrivalProcess::stream`].
+///
+/// Yields an infinite non-decreasing sequence of virtual nanoseconds;
+/// `next()` never returns `None`. Each pull performs O(1) amortized rng
+/// draws and the whole iterator is O(1) state (a time cursor, a phase
+/// cursor and — for traces — a segment index), so consumers decide how
+/// much trace exists. The draw *order* matches the materialized sampler
+/// exactly: taking `n` arrivals consumes the same rng stream as
+/// `sample(n, …)`, which keeps every engine digest pinned across the
+/// lazy/materialized boundary.
+#[derive(Debug, Clone)]
+pub struct ArrivalIter {
+    rng: TensorRng,
+    rate: f64,
+    state: IterState,
+}
+
+impl Iterator for ArrivalIter {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        match self.state {
+            IterState::Poisson { ref mut t } => {
+                *t = t.saturating_add(exp_gap_ns(&mut self.rng, self.rate));
+                Some(*t)
+            }
+            IterState::Uniform { gap, ref mut k } => {
+                *k += 1;
+                Some(k.saturating_mul(gap).max(1))
+            }
+            IterState::Bursty(ref mut b) => Some(b.next_unbounded(&mut self.rng)),
+            IterState::Trace { ref schedule, ref mut seg, ref mut t0, ref mut window } => {
+                loop {
+                    if let Some((w_t0, t1, rate, cursor)) = window.as_mut() {
+                        let hit = match cursor {
+                            WindowState::Poisson { t } => {
+                                *t = t.saturating_add(exp_gap_ns(&mut self.rng, *rate));
+                                if *t >= *t1 {
+                                    None
+                                } else {
+                                    Some(*t)
+                                }
+                            }
+                            WindowState::Uniform { gap, k } => {
+                                // A rounded gap of 0 ns means genuinely
+                                // simultaneous arrivals; the consumer's
+                                // take() bounds the yield count, exactly
+                                // like the `n` bound did in the
+                                // materialized sampler.
+                                *k += 1;
+                                let t = w_t0.saturating_add(k.saturating_mul(*gap));
+                                if t >= *t1 {
+                                    None
+                                } else {
+                                    Some(t)
+                                }
+                            }
+                            WindowState::Bursty(b) => b.next_in_window(&mut self.rng, *t1),
+                        };
+                        if let Some(t) = hit {
+                            return Some(t);
+                        }
+                        // Window exhausted: the cursor crosses into the
+                        // next segment.
+                        *t0 = *t1;
+                        *seg = (*seg + 1) % schedule.segments.len();
+                        *window = None;
+                        continue;
+                    }
+                    let s = &schedule.segments[*seg];
+                    let dur_ns = s.duration_us.saturating_mul(1_000);
+                    let t1 = t0.saturating_add(dur_ns);
+                    // Zero-duration or silent windows contribute nothing —
+                    // they only advance (or hold) the clock.
+                    if dur_ns > 0 && s.rate_mult > 0.0 {
+                        let rate = self.rate * s.rate_mult;
+                        let cursor = match s.process {
+                            SegmentProcess::Poisson => WindowState::Poisson { t: *t0 },
+                            SegmentProcess::Uniform => {
+                                WindowState::Uniform { gap: (1e9 / rate).round() as u64, k: 0 }
+                            }
+                            SegmentProcess::Bursty { burst } => WindowState::Bursty(
+                                BurstyState::enter(&mut self.rng, rate, burst, *t0),
+                            ),
+                        };
+                        *window = Some((*t0, t1, rate, cursor));
                     } else {
-                        // ON phase exhausted: skip the silent OFF phase and
-                        // open the next ON phase.
-                        let off = exp_gap_ns(&mut rng, 1.0 / tau_off);
-                        t = phase_end.saturating_add(off);
-                        phase_end = t.saturating_add(exp_gap_ns(&mut rng, 1.0 / tau_on));
+                        *t0 = t1;
+                        *seg = (*seg + 1) % schedule.segments.len();
                     }
                 }
-                out
             }
         }
     }

@@ -63,6 +63,31 @@ impl RequestOutcome {
     }
 }
 
+/// Peak live-state accounting of the event loop — exact integers, so
+/// the "memory is bounded by in-flight work, not trace length" contract
+/// is asserted by tests and benches rather than assumed.
+///
+/// All counts are high-water marks over one run. They are *outputs* of
+/// the same deterministic virtual schedule that pins the digests, so
+/// they too are byte-identical across thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LiveStats {
+    /// Max requests alive at once: queued + riding an in-flight batch.
+    pub peak_inflight: u64,
+    /// Max pending events in the event list (all classes: the epoch
+    /// boundary, the arrival cursor, and per-shard free events).
+    pub peak_events: u64,
+    /// Max depth of the settle-order reorder window that folds
+    /// per-request digests back into id order.
+    pub peak_reorder: u64,
+    /// Epoch boundaries the control loop actually stepped (controller
+    /// observed).
+    pub epochs_stepped: u64,
+    /// Epoch boundaries fast-forwarded over idle gaps with a quiescent
+    /// controller (skip-ahead; see `Controller::quiescent`).
+    pub epochs_skipped: u64,
+}
+
 /// One control epoch of a run: fleet state plus exact by-timestamp
 /// accounting of the load that fell into its window.
 ///
@@ -185,8 +210,19 @@ pub struct ServeReport {
     /// FNV fold of all per-request digests in id order (drops included as
     /// markers) — one number that pins every response bit.
     pub digest: u64,
-    /// Per-request outcomes, indexed by request id.
+    /// Per-request outcomes for the *first*
+    /// [`ServeConfig::outcome_capture`] request ids — a debug capture,
+    /// indexed by request id within its (possibly truncated) prefix.
+    /// Every aggregate field of the report covers all requests
+    /// regardless of this cap; see the config field for the memory
+    /// contract.
     pub outcomes: Vec<RequestOutcome>,
+    /// Requests each shard completed, indexed by shard — streamed at
+    /// settle time, so it covers all requests even beyond the outcome
+    /// capture cap.
+    pub per_shard_completed: Vec<u64>,
+    /// Peak live-state accounting of the event loop (exact integers).
+    pub live: LiveStats,
     /// The control-epoch timeline covering `[0, makespan_ns)` — fleet
     /// state plus exact by-timestamp load/energy accounting per epoch.
     pub timeline: Vec<EpochStat>,
@@ -342,13 +378,7 @@ impl ServeReport {
     /// Requests each shard completed, indexed by shard — the fleet-mix
     /// view routing policies are judged on.
     pub fn completed_per_shard(&self) -> Vec<u64> {
-        let mut per = vec![0u64; self.config.control.fleet_size(self.config.shards)];
-        for o in &self.outcomes {
-            if let RequestOutcome::Completed { shard, .. } = o {
-                per[*shard] += 1;
-            }
-        }
-        per
+        self.per_shard_completed.clone()
     }
 }
 
@@ -421,6 +451,16 @@ impl fmt::Display for ServeReport {
             hi_clock.freq_mhz,
             fmt_joules(self.static_energy_pj as f64 * 1e-12),
             self.average_power_with_static_w(),
+        )?;
+        writeln!(
+            f,
+            "  engine          : peak {} in-flight / {} events / {} reorder; {} epochs stepped, \
+             {} skipped",
+            self.live.peak_inflight,
+            self.live.peak_events,
+            self.live.peak_reorder,
+            self.live.epochs_stepped,
+            self.live.epochs_skipped,
         )?;
         Ok(())
     }

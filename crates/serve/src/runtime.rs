@@ -1,5 +1,5 @@
-//! The serving runtime: the virtual-time event loop that composes the
-//! policy layers.
+//! The serving runtime: the discrete-event virtual-time engine that
+//! composes the policy layers.
 //!
 //! # Execution model
 //!
@@ -14,15 +14,44 @@
 //!   persistent threads, so the thread-local [`defa_tensor::Scratch`]
 //!   arenas inside the GEMM kernels act as per-shard arenas: after the
 //!   first batch warms the high-water mark, steady-state serving performs
-//!   no packing allocations.
+//!   no packing allocations. Payload-free backends
+//!   ([`Backend::payload_free`], e.g. [`crate::backend::ReplayBackend`])
+//!   skip materialization *and* the pool round-trip entirely: their
+//!   batches execute inline on the accounting thread, which is what makes
+//!   10M-request traces feasible in seconds.
 //!
 //! * **Virtual-time accounting** — arrivals, queueing, batching triggers
 //!   and service times are tracked on an integer virtual clock driven by
 //!   the seeded load generator and the backends' deterministic cost
 //!   models. Latency numbers therefore never observe wall-clock jitter:
-//!   the full [`ServeReport`] — per-request outcomes, histogram buckets,
-//!   quantiles — is byte-identical for any `RAYON_NUM_THREADS`, pinned by
+//!   the full [`ServeReport`] — digest, histogram buckets, quantiles,
+//!   timeline — is byte-identical for any `RAYON_NUM_THREADS`, pinned by
 //!   `tests/tests/serving.rs`.
+//!
+//! # The event loop
+//!
+//! The loop is driven by a typed event list ([`crate::events`]): one
+//! pending epoch-boundary event, one pending arrival (the head of the
+//! lazy [`crate::loadgen::ArrivalIter`] — the trace is never
+//! materialized), and a binary heap of per-shard free events. Live state
+//! is therefore bounded by *in-flight* work — the admission queue, one
+//! batch per shard, and a small settle-reorder window — never by the
+//! trace length:
+//!
+//! * **Arrivals** stream from the pull iterator one at a time; consuming
+//!   the cursor pulls the next.
+//! * **Outcomes** stream into the log2 latency histograms, fixed-point
+//!   energy accumulators and the id-ordered FNV digest as they settle; a
+//!   reorder window no deeper than the scheduler's fairness bound puts
+//!   out-of-order settles back in id order. Per-request
+//!   [`RequestOutcome`] records are an opt-in debug capture of the first
+//!   [`crate::config::ServeConfig::outcome_capture`] requests.
+//! * **Epoch boundaries** are scheduled events. Across an idle gap with a
+//!   quiescent controller ([`Controller::quiescent`]) the loop
+//!   fast-forwards the boundary cursor in O(1) instead of stepping every
+//!   boundary — a multi-second silent trace segment costs one skip, not
+//!   O(idle-epochs) controller calls. Peak live state and the
+//!   stepped/skipped split are reported in [`crate::report::LiveStats`].
 //!
 //! # The policy layers
 //!
@@ -66,12 +95,15 @@ use crate::backend::{Backend, BackendOutput};
 use crate::config::ServeConfig;
 use crate::control::{ControlAction, Controller, DvfsPoint, FleetView};
 use crate::energy::EnergyBreakdown;
+use crate::events::EventList;
 use crate::histogram::LatencyHistogram;
-use crate::report::{EpochStat, RequestOutcome, ServeReport};
+use crate::loadgen::ArrivalIter;
+use crate::report::{EpochStat, LiveStats, RequestOutcome, ServeReport};
 use crate::router::ShardView;
 use crate::ServeError;
-use defa_model::workload::{RequestGenerator, SloClass};
+use defa_model::workload::RequestGenerator;
 use defa_parallel::WorkerPool;
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::sync::{mpsc, Arc};
 
@@ -82,29 +114,239 @@ const ARRIVAL_SALT: u64 = 0x5E54_1A7E_57A6_0001;
 /// Digest marker mixed in for dropped requests.
 const DROP_MARK: u64 = 0xD20D_D20D_D20D_D20D;
 
+/// Where a batch's real results come from: a worker-pool channel for
+/// backends that need materialized payloads, or the already-computed
+/// vector for payload-free backends executed inline.
+enum BatchResults {
+    Pool(mpsc::Receiver<Vec<Result<BackendOutput, ServeError>>>),
+    Ready(Vec<Result<BackendOutput, ServeError>>),
+}
+
 /// A batch handed to a shard: its virtual start, the clock it dispatched
-/// at, plus the channel its real results arrive on.
+/// at, plus where its real results arrive.
 struct Inflight {
     start_ns: u64,
     batch: u64,
     clock: DvfsPoint,
     members: Vec<QueuedRequest>,
-    rx: mpsc::Receiver<Vec<Result<BackendOutput, ServeError>>>,
+    results: BatchResults,
+}
+
+/// Streams settled outcomes into the id-ordered FNV digest without
+/// holding them all.
+///
+/// Settles arrive out of id order (pipelined shards, non-FIFO
+/// schedulers), but the digest folds in id order, so a small reorder
+/// window buffers outcomes until the id watermark (`base`) reaches them.
+/// The window depth is bounded by how far the scheduler lets a request
+/// fall behind its successors — the fairness bound — not by the trace
+/// length; its high-water mark is reported as
+/// [`LiveStats::peak_reorder`]. The first `capture_cap` outcomes (by id)
+/// are also kept verbatim as the opt-in debug capture.
+struct OutcomeLedger {
+    digest: u64,
+    /// All outcomes with id < base are folded into `digest`.
+    base: u64,
+    /// Pending outcomes for ids `base..base + window.len()`.
+    window: VecDeque<Option<RequestOutcome>>,
+    captured: Vec<RequestOutcome>,
+    capture_cap: usize,
+    peak_window: usize,
+}
+
+impl OutcomeLedger {
+    fn new(capture_cap: usize) -> Self {
+        OutcomeLedger {
+            digest: crate::backend::FNV_OFFSET,
+            base: 0,
+            window: VecDeque::new(),
+            captured: Vec::new(),
+            capture_cap,
+            peak_window: 0,
+        }
+    }
+
+    /// Buffers one settled outcome and folds every now-contiguous prefix
+    /// outcome into the digest.
+    fn record(&mut self, id: u64, outcome: RequestOutcome) {
+        debug_assert!(id >= self.base, "request {id} settled twice");
+        let off = (id - self.base) as usize;
+        if off >= self.window.len() {
+            self.window.resize_with(off + 1, || None);
+        }
+        debug_assert!(self.window[off].is_none(), "request {id} settled twice");
+        self.window[off] = Some(outcome);
+        self.peak_window = self.peak_window.max(self.window.len());
+        while matches!(self.window.front(), Some(Some(_))) {
+            let o = self.window.pop_front().flatten().expect("front is Some");
+            self.digest = crate::backend::fnv_fold(
+                self.digest,
+                match &o {
+                    RequestOutcome::Completed { digest, .. } => *digest,
+                    RequestOutcome::Dropped { .. } => DROP_MARK,
+                },
+            );
+            if (self.base as usize) < self.capture_cap {
+                self.captured.push(o);
+            }
+            self.base += 1;
+        }
+    }
+
+    /// Conservation check and final accounting:
+    /// `(digest, captured outcomes, peak reorder depth)`.
+    fn finish(self, n_requests: u64) -> (u64, Vec<RequestOutcome>, u64) {
+        assert_eq!(
+            self.base, n_requests,
+            "outcome ledger: {} of {n_requests} requests settled",
+            self.base
+        );
+        (self.digest, self.captured, self.peak_window as u64)
+    }
+}
+
+/// One epoch's worth of streamed timeline counters.
+#[derive(Debug, Clone, Copy)]
+struct SlotAcc {
+    arrivals: u64,
+    completed: u64,
+    dropped: u64,
+    slo_violations: u64,
+    energy: EnergyBreakdown,
+}
+
+impl SlotAcc {
+    const EMPTY: SlotAcc = SlotAcc {
+        arrivals: 0,
+        completed: 0,
+        dropped: 0,
+        slo_violations: 0,
+        energy: EnergyBreakdown::ZERO,
+    };
+}
+
+/// Streaming accumulator for the per-epoch report timeline.
+///
+/// Counters stream in by exact virtual timestamp as requests settle (the
+/// makespan — and hence the final epoch count — is unknown until the
+/// run ends); `finalize` clamps any counters recorded past the makespan
+/// into the last epoch, exactly as the outcome-replay builder it
+/// replaced did.
+struct TimelineAcc {
+    epoch_ns: u64,
+    slots: Vec<SlotAcc>,
+}
+
+impl TimelineAcc {
+    fn new(epoch_ns: u64) -> Self {
+        TimelineAcc { epoch_ns, slots: Vec::new() }
+    }
+
+    fn slot(&mut self, t: u64) -> &mut SlotAcc {
+        let idx = (t / self.epoch_ns) as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, SlotAcc::EMPTY);
+        }
+        &mut self.slots[idx]
+    }
+
+    /// An offered request at its arrival time.
+    fn arrival(&mut self, t: u64) {
+        self.slot(t).arrivals += 1;
+    }
+
+    /// A dropped request at its arrival time (drops count as offered).
+    fn drop_at(&mut self, t: u64) {
+        let s = self.slot(t);
+        s.arrivals += 1;
+        s.dropped += 1;
+    }
+
+    /// A completion (and its energy and SLO verdict) at its completion
+    /// time.
+    fn completion(&mut self, t: u64, energy: EnergyBreakdown, violated: bool) {
+        let s = self.slot(t);
+        s.completed += 1;
+        s.energy += energy;
+        if violated {
+            s.slo_violations += 1;
+        }
+    }
+
+    /// Builds the report timeline: one [`EpochStat`] per epoch up to the
+    /// makespan, fleet states looked up from the run's change-point log.
+    fn finalize(mut self, makespan_ns: u64, states: &[(u64, EpochFleetState)]) -> Vec<EpochStat> {
+        let n_epochs =
+            if makespan_ns == 0 { 1 } else { makespan_ns.div_ceil(self.epoch_ns) } as usize;
+        if self.slots.len() < n_epochs {
+            self.slots.resize(n_epochs, SlotAcc::EMPTY);
+        }
+        // Timestamps at the very edge of the trace (a drop offered past
+        // the final completion, or a completion exactly at the makespan)
+        // clamp into the last epoch.
+        let overflow: Vec<SlotAcc> = self.slots.split_off(n_epochs);
+        if let Some(last) = self.slots.last_mut() {
+            for extra in overflow {
+                last.arrivals += extra.arrivals;
+                last.completed += extra.completed;
+                last.dropped += extra.dropped;
+                last.slo_violations += extra.slo_violations;
+                last.energy += extra.energy;
+            }
+        }
+        // Fleet states are change-points `(from_epoch, state)`; epochs
+        // between change-points (including every skipped boundary) carry
+        // the last recorded state forward.
+        let mut si = 0usize;
+        self.slots
+            .into_iter()
+            .enumerate()
+            .map(|(e, s)| {
+                while si + 1 < states.len() && states[si + 1].0 <= e as u64 {
+                    si += 1;
+                }
+                let st = states[si].1;
+                let start_ns = e as u64 * self.epoch_ns;
+                let end_ns = (start_ns.saturating_add(self.epoch_ns)).min(makespan_ns);
+                EpochStat {
+                    epoch: e as u64,
+                    start_ns,
+                    end_ns,
+                    active_shards: st.active_shards,
+                    clock: st.clock,
+                    arrivals: s.arrivals,
+                    completed: s.completed,
+                    dropped: s.dropped,
+                    slo_violations: s.slo_violations,
+                    energy: s.energy,
+                    static_pj: st.idle_mw as u128 * end_ns.saturating_sub(start_ns) as u128,
+                }
+            })
+            .collect()
+    }
 }
 
 /// Mutable accounting state of one `run` call.
 struct SimState {
-    outcomes: Vec<Option<RequestOutcome>>,
+    ledger: OutcomeLedger,
+    timeline: TimelineAcc,
     queue: LatencyHistogram,
     compute: LatencyHistogram,
     total: LatencyHistogram,
     completed: u64,
     dropped: u64,
     slo_violations: u64,
+    per_shard_completed: Vec<u64>,
     shard_free: Vec<u64>,
     makespan_ns: u64,
     energy: EnergyBreakdown,
     dense_flops: u128,
+    events: EventList,
+    /// Requests currently riding an in-flight batch.
+    inflight_members: u64,
+    peak_inflight: u64,
+    epochs_stepped: u64,
+    epochs_skipped: u64,
     /// Events processed since the last epoch boundary — the controller's
     /// metric window (see [`FleetView`]).
     ep_arrivals: u64,
@@ -114,7 +356,7 @@ struct SimState {
 }
 
 impl SimState {
-    /// Settles a shard's in-flight batch: blocks for its real results,
+    /// Settles a shard's in-flight batch: collects its real results,
     /// re-prices them for the clock the batch dispatched at, and advances
     /// the shard's virtual clock through them in batch order.
     fn settle(
@@ -123,12 +365,17 @@ impl SimState {
         slot: &mut Option<Inflight>,
         overhead_ns: u64,
         backend: &dyn Backend,
+        shard_active: bool,
     ) -> Result<(), ServeError> {
         let Some(inf) = slot.take() else { return Ok(()) };
-        let results = inf.rx.recv().map_err(|_| {
-            ServeError::WorkerLost(format!("shard {shard} dropped batch {}", inf.batch))
-        })?;
+        let results = match inf.results {
+            BatchResults::Pool(rx) => rx.recv().map_err(|_| {
+                ServeError::WorkerLost(format!("shard {shard} dropped batch {}", inf.batch))
+            })?,
+            BatchResults::Ready(r) => r,
+        };
         debug_assert_eq!(results.len(), inf.members.len());
+        self.inflight_members -= inf.members.len() as u64;
         let mut t = inf.start_ns + overhead_ns;
         for (m, res) in inf.members.iter().zip(results) {
             // Re-pricing happens once, here, on the accounting thread:
@@ -144,6 +391,7 @@ impl SimState {
             self.total.record(queue_ns + compute_ns);
             self.completed += 1;
             self.ep_completed += 1;
+            self.per_shard_completed[shard] += 1;
             // Fixed reduction order: settle() runs on the accounting
             // thread in batch order, and the energies are integers, so the
             // totals are byte-identical however the batches were executed.
@@ -160,13 +408,19 @@ impl SimState {
                 compute_ns,
                 energy: out.energy,
             };
-            if outcome.violated_slo() {
+            let violated = outcome.violated_slo();
+            if violated {
                 self.slo_violations += 1;
                 self.ep_slo += 1;
             }
-            self.outcomes[m.id as usize] = Some(outcome);
+            self.timeline.arrival(m.arrival_ns);
+            self.timeline.completion(t, out.energy, violated);
+            self.ledger.record(m.id, outcome);
         }
         self.shard_free[shard] = t;
+        if shard_active {
+            self.events.reschedule_shard(shard, t);
+        }
         self.makespan_ns = self.makespan_ns.max(t);
         Ok(())
     }
@@ -177,8 +431,15 @@ impl SimState {
         if let Admission::Dropped { id, arrival_ns } = verdict {
             self.dropped += 1;
             self.ep_dropped += 1;
-            self.outcomes[id as usize] = Some(RequestOutcome::Dropped { arrival_ns });
+            self.timeline.drop_at(arrival_ns);
+            self.ledger.record(id, RequestOutcome::Dropped { arrival_ns });
         }
+    }
+
+    /// Tracks the peak of queued + in-flight requests — the live-state
+    /// bound [`LiveStats::peak_inflight`] reports.
+    fn note_live(&mut self, queued: usize) {
+        self.peak_inflight = self.peak_inflight.max(queued as u64 + self.inflight_members);
     }
 
     /// Drains the epoch-window counters, returning
@@ -193,9 +454,10 @@ impl SimState {
     }
 }
 
-/// Fleet state in effect during one epoch, recorded at each boundary for
-/// the report timeline and the static-energy accounting.
-#[derive(Debug, Clone, Copy)]
+/// Fleet state in effect during one epoch, recorded at each boundary
+/// where it changed for the report timeline and the static-energy
+/// accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct EpochFleetState {
     active_shards: usize,
     clock: DvfsPoint,
@@ -206,6 +468,36 @@ struct EpochFleetState {
 /// Total idle power of the active shards at the given clock.
 fn fleet_idle_mw(fleet: &[Arc<dyn Backend>], active: &[bool], clock: DvfsPoint) -> u64 {
     fleet.iter().zip(active).filter(|(_, a)| **a).map(|(b, _)| b.idle_power_mw(clock)).sum()
+}
+
+/// Runs one request on `backend`: the payload-free fast path for
+/// backends that model results from the scenario alone, the
+/// materialize-and-run path otherwise.
+fn exec_request(
+    gen: &RequestGenerator,
+    backend: &dyn Backend,
+    id: u64,
+    scenario: usize,
+) -> Result<BackendOutput, ServeError> {
+    if backend.payload_free() {
+        let wl = gen.scenario(scenario)?;
+        backend.run_modeled(scenario, wl, id)
+    } else {
+        let req = gen.request(id);
+        gen.scenario(req.scenario).map_err(ServeError::from).and_then(|wl| backend.run(wl, &req))
+    }
+}
+
+/// Consumes the pending arrival and primes the next from the lazy
+/// stream, returning `(arrival_ns, id)`.
+fn next_arrival(events: &mut EventList, stream: &mut ArrivalIter, n_requests: u64) -> (u64, u64) {
+    let (t, id) = events.take_arrival().expect("caller checked a pending arrival");
+    if id + 1 < n_requests {
+        let t_next = stream.next().expect("arrival stream is infinite");
+        debug_assert!(t_next >= t, "arrival stream went backwards");
+        events.set_arrival(t_next, id + 1);
+    }
+    (t, id)
 }
 
 /// Per-scenario and per-shard scheduling/routing estimates, computed once
@@ -335,9 +627,9 @@ impl ServeRuntime {
         let probes = 8u64;
         let mut total_cost_ns = 0f64;
         for id in 0..probes {
-            let req = self.gen.request(id);
-            let wl = self.gen.scenario(req.scenario)?;
-            total_cost_ns += backend.run(wl, &req)?.cost_ns as f64;
+            let scenario = self.gen.request_scenario(id);
+            total_cost_ns +=
+                exec_request(&self.gen, backend.as_ref(), id, scenario)?.cost_ns as f64;
         }
         let mean_cost_ns = total_cost_ns / probes as f64;
         let batch_ns = overhead_us as f64 * 1e3 + max_batch.max(1) as f64 * mean_cost_ns;
@@ -392,30 +684,37 @@ impl ServeRuntime {
         let router = cfg.router.build();
         let mut controller: Box<dyn Controller> = cfg.control.controller.build();
         let epoch_ns = cfg.control.epoch_us.saturating_mul(1_000).max(1);
-        let arrivals =
-            cfg.arrival.sample(cfg.n_requests, cfg.offered_load, self.gen.seed() ^ ARRIVAL_SALT);
-        // Admission-time request metadata, precomputed cheaply (hashes and
-        // analytic estimates) so batching never regenerates payloads.
-        let scenarios: Vec<usize> =
-            (0..cfg.n_requests as u64).map(|id| self.gen.request_scenario(id)).collect();
-        let slos: Vec<SloClass> =
-            (0..cfg.n_requests as u64).map(|id| self.gen.request_slo(id)).collect();
+        let n_requests = cfg.n_requests as u64;
+        // The arrival trace streams lazily: the event list holds exactly
+        // one pending arrival; consuming it pulls the next.
+        let mut stream = cfg.arrival.stream(cfg.offered_load, self.gen.seed() ^ ARRIVAL_SALT);
         let est = Estimates::compute(&self.gen, fleet)?;
         let deadline_ns = cfg.batch_deadline_us.saturating_mul(1_000);
         let overhead_ns = cfg.batch_overhead_us.saturating_mul(1_000);
+        // Payload-free fleets (replay/modeled backends) execute batches
+        // inline on the accounting thread: no materialization, no pool
+        // round-trip — the fast path trace-scale simulation rides on.
+        let inline = fleet.iter().all(|b| b.payload_free());
 
         let mut state = SimState {
-            outcomes: vec![None; cfg.n_requests],
+            ledger: OutcomeLedger::new(cfg.outcome_capture),
+            timeline: TimelineAcc::new(epoch_ns),
             queue: LatencyHistogram::new(),
             compute: LatencyHistogram::new(),
             total: LatencyHistogram::new(),
             completed: 0,
             dropped: 0,
             slo_violations: 0,
+            per_shard_completed: vec![0; fleet_size],
             shard_free: vec![0; fleet_size],
             makespan_ns: 0,
             energy: EnergyBreakdown::ZERO,
             dense_flops: 0,
+            events: EventList::new(fleet_size),
+            inflight_members: 0,
+            peak_inflight: 0,
+            epochs_stepped: 0,
+            epochs_skipped: 0,
             ep_arrivals: 0,
             ep_dropped: 0,
             ep_completed: 0,
@@ -423,31 +722,41 @@ impl ServeRuntime {
         };
         let mut queue = AdmissionQueue::new(cfg.queue_capacity, cfg.drop);
         let mut inflight: Vec<Option<Inflight>> = (0..fleet_size).map(|_| None).collect();
-        let mut arr_i = 0usize;
         let mut batches = 0u64;
         let mut batched_requests = 0u64;
 
         // Control-loop state: which shards take new batches, the clock
-        // batches dispatch at, and the per-epoch fleet states for the
+        // batches dispatch at, and the fleet-state change-points for the
         // timeline. Shards beyond cfg.shards start inactive (autoscaling
         // headroom).
         let mut active: Vec<bool> = (0..fleet_size).map(|s| s < cfg.shards).collect();
         let mut clock = DvfsPoint::NOMINAL;
-        let mut next_boundary = epoch_ns;
-        let mut epoch_idx = 0u64;
-        let mut epoch_states: Vec<EpochFleetState> = vec![EpochFleetState {
-            active_shards: cfg.shards,
-            clock,
-            idle_mw: fleet_idle_mw(fleet, &active, clock),
-        }];
+        let mut epoch_states: Vec<(u64, EpochFleetState)> = vec![(
+            0,
+            EpochFleetState {
+                active_shards: cfg.shards,
+                clock,
+                idle_mw: fleet_idle_mw(fleet, &active, clock),
+            },
+        )];
+        for (s, _) in active.iter().enumerate().filter(|(_, a)| **a) {
+            state.events.activate_shard(s, 0);
+        }
+        state.events.set_boundary(epoch_ns, 0);
+        state.events.set_arrival(stream.next().expect("arrival stream is infinite"), 0);
 
-        let queued = |id: usize, arrival_ns: u64| QueuedRequest {
-            id: id as u64,
-            arrival_ns,
-            scenario: scenarios[id],
-            slo: slos[id],
-            est_cost_ns: est.scenario_cost_ns[scenarios[id]],
-            deadline_ns: arrival_ns.saturating_add(slos[id].deadline_ns()),
+        let gen = &self.gen;
+        let queued = |id: u64, arrival_ns: u64| {
+            let scenario = gen.request_scenario(id);
+            let slo = gen.request_slo(id);
+            QueuedRequest {
+                id,
+                arrival_ns,
+                scenario,
+                slo,
+                est_cost_ns: est.scenario_cost_ns[scenario],
+                deadline_ns: arrival_ns.saturating_add(slo.deadline_ns()),
+            }
         };
         // Per-shard static router ratings, computed once; the routable
         // view buffer is rebuilt per dispatch (the active set can change
@@ -461,7 +770,7 @@ impl ServeRuntime {
         let mut views: Vec<ShardView> = Vec::with_capacity(fleet_size);
 
         loop {
-            if queue.is_empty() && arr_i == arrivals.len() {
+            if queue.is_empty() && state.events.arrival().is_none() {
                 break;
             }
             // The earliest moment the next batch could start: no sooner
@@ -472,27 +781,22 @@ impl ServeRuntime {
             let pending = queue
                 .front()
                 .map(|r| r.arrival_ns)
-                .or_else(|| arrivals.get(arr_i).copied())
+                .or_else(|| state.events.arrival().map(|(t, _)| t))
                 .expect("loop not done: work exists");
-            let min_free = state
-                .shard_free
-                .iter()
-                .zip(&active)
-                .filter(|(_, a)| **a)
-                .map(|(&f, _)| f)
-                .min()
-                .expect("at least one active shard");
+            let min_free = state.events.min_active_free().expect("at least one active shard");
             let t_now = min_free.max(pending);
 
             // Settle every epoch boundary the decision time has crossed:
             // snapshot the ended epoch, let the controller act, apply its
-            // actions before any further batch forms.
-            while next_boundary <= t_now {
+            // actions before any further batch forms. Across an idle gap
+            // with a quiescent controller the whole run of boundaries
+            // fast-forwards in one O(1) skip.
+            while let Some((boundary, epoch)) = state.events.boundary_due(t_now) {
                 let (arrivals_w, dropped_w, completed_w, slo_w) = state.take_epoch_counters();
                 let view = FleetView {
-                    epoch: epoch_idx,
-                    start_ns: next_boundary - epoch_ns,
-                    end_ns: next_boundary,
+                    epoch,
+                    start_ns: boundary - epoch_ns,
+                    end_ns: boundary,
                     active_shards: active.iter().filter(|a| **a).count(),
                     max_shards: fleet_size,
                     queue_depth: queue.len(),
@@ -502,11 +806,31 @@ impl ServeRuntime {
                     slo_violations: slo_w,
                     clock,
                 };
+                let all_quiet = arrivals_w == 0
+                    && dropped_w == 0
+                    && completed_w == 0
+                    && slo_w == 0
+                    && queue.is_empty();
+                if all_quiet && controller.quiescent(&view) {
+                    // Every remaining boundary up to t_now would see a
+                    // view identical to this one (up to epoch index and
+                    // timestamps): nothing settles or arrives before
+                    // t_now, and a quiescent controller's decide is a
+                    // no-op on all of them. Skip the whole run.
+                    let skipped = (t_now - boundary) / epoch_ns + 1;
+                    state.epochs_skipped += skipped;
+                    state.events.set_boundary(
+                        boundary.saturating_add(epoch_ns.saturating_mul(skipped)),
+                        epoch.saturating_add(skipped),
+                    );
+                    continue;
+                }
                 for action in controller.decide(&view) {
                     match action {
                         ControlAction::AddShard => {
                             if let Some(s) = active.iter().position(|a| !a) {
                                 active[s] = true;
+                                state.events.activate_shard(s, state.shard_free[s]);
                             }
                         }
                         ControlAction::DrainShard => {
@@ -517,6 +841,7 @@ impl ServeRuntime {
                                     // no new batches; its in-flight batch
                                     // settles through the normal path.
                                     active[s] = false;
+                                    state.events.deactivate_shard(s);
                                 }
                             }
                         }
@@ -526,13 +851,16 @@ impl ServeRuntime {
                         }
                     }
                 }
-                epoch_states.push(EpochFleetState {
+                let st = EpochFleetState {
                     active_shards: active.iter().filter(|a| **a).count(),
                     clock,
                     idle_mw: fleet_idle_mw(fleet, &active, clock),
-                });
-                epoch_idx += 1;
-                next_boundary = next_boundary.saturating_add(epoch_ns);
+                };
+                if epoch_states.last().map(|(_, prev)| *prev != st).unwrap_or(true) {
+                    epoch_states.push((epoch + 1, st));
+                }
+                state.epochs_stepped += 1;
+                state.events.set_boundary(boundary.saturating_add(epoch_ns), epoch + 1);
             }
 
             // Routing over the *active* shards only. Routers that read
@@ -543,16 +871,9 @@ impl ServeRuntime {
             // shard — the PR 2 pipeline.
             let shard = if router.needs_fleet_state() {
                 for (s, slot) in inflight.iter_mut().enumerate() {
-                    state.settle(s, slot, overhead_ns, fleet[s].as_ref())?;
+                    state.settle(s, slot, overhead_ns, fleet[s].as_ref(), active[s])?;
                 }
-                let min_free = state
-                    .shard_free
-                    .iter()
-                    .zip(&active)
-                    .filter(|(_, a)| **a)
-                    .map(|(&f, _)| f)
-                    .min()
-                    .expect("at least one active shard");
+                let min_free = state.events.min_active_free().expect("at least one active shard");
                 fill_views(&mut views, &active, &state.shard_free, &est_batch_ns, &est);
                 let pos = router.route(batches, min_free.max(pending), &views);
                 views[pos].shard
@@ -560,7 +881,7 @@ impl ServeRuntime {
                 fill_views(&mut views, &active, &state.shard_free, &est_batch_ns, &est);
                 let pos = router.route(batches, 0, &views);
                 let s = views[pos].shard;
-                state.settle(s, &mut inflight[s], overhead_ns, fleet[s].as_ref())?;
+                state.settle(s, &mut inflight[s], overhead_ns, fleet[s].as_ref(), active[s])?;
                 s
             };
             debug_assert!(shard < fleet_size, "router returned shard {shard}");
@@ -568,28 +889,30 @@ impl ServeRuntime {
 
             // Admission: everything that arrived while this shard was
             // busy faces the bounded queue and its drop policy.
-            while arr_i < arrivals.len() && arrivals[arr_i] <= t_free {
-                state.record_admission(queue.offer(queued(arr_i, arrivals[arr_i])));
-                arr_i += 1;
+            while state.events.arrival().is_some_and(|(t, _)| t <= t_free) {
+                let (t_arr, id) = next_arrival(&mut state.events, &mut stream, n_requests);
+                state.record_admission(queue.offer(queued(id, t_arr)));
+                state.note_live(queue.len());
             }
             if queue.is_empty() {
-                if arr_i == arrivals.len() {
+                if state.events.arrival().is_none() {
                     continue; // other shards may still be in flight; loop exits above
                 }
                 // Idle shard: virtually wait for the next arrival (an
                 // empty queue always admits).
-                state.record_admission(queue.offer(queued(arr_i, arrivals[arr_i])));
-                arr_i += 1;
+                let (t_arr, id) = next_arrival(&mut state.events, &mut stream, n_requests);
+                state.record_admission(queue.offer(queued(id, t_arr)));
+                state.note_live(queue.len());
             }
             // Batching window: wait for a full batch unless the oldest
             // waiting request's deadline fires first.
             let t_deadline = queue.front().expect("queue non-empty").arrival_ns + deadline_ns;
             while queue.len() < cfg.max_batch
-                && arr_i < arrivals.len()
-                && arrivals[arr_i] <= t_deadline
+                && state.events.arrival().is_some_and(|(t, _)| t <= t_deadline)
             {
-                state.record_admission(queue.offer(queued(arr_i, arrivals[arr_i])));
-                arr_i += 1;
+                let (t_arr, id) = next_arrival(&mut state.events, &mut stream, n_requests);
+                state.record_admission(queue.offer(queued(id, t_arr)));
+                state.note_live(queue.len());
             }
             // Scheduling: the policy picks who rides this batch.
             let members = scheduler.select(&mut queue, cfg.max_batch, t_free);
@@ -597,7 +920,7 @@ impl ServeRuntime {
             let last_arrival = members.iter().map(|m| m.arrival_ns).max().expect("batch non-empty");
             let ready_at = if members.len() >= cfg.max_batch {
                 last_arrival // when the filling request arrived
-            } else if arr_i < arrivals.len() {
+            } else if state.events.arrival().is_some() {
                 t_deadline
             } else {
                 last_arrival // trace exhausted: flush
@@ -605,79 +928,100 @@ impl ServeRuntime {
             let start_ns = t_free.max(ready_at);
             batched_requests += members.len() as u64;
 
-            // Real execution: materialize and evaluate the batch on this
-            // shard's backend, pinned to the shard's pool worker. Results
-            // come back over a per-batch channel; timing comes from the
-            // cost model, never the wall clock.
-            let (tx, rx) = mpsc::channel();
-            let gen = Arc::clone(&self.gen);
-            let backend = Arc::clone(&fleet[shard]);
-            let ids: Vec<u64> = members.iter().map(|m| m.id).collect();
-            self.pool.submit(shard, move || {
-                let results = ids
-                    .iter()
-                    .map(|&id| {
-                        let req = gen.request(id);
-                        gen.scenario(req.scenario)
-                            .map_err(ServeError::from)
-                            .and_then(|wl| backend.run(wl, &req))
-                    })
-                    .collect();
-                // The receiver disappears only if `run` already failed;
-                // nothing to report to in that case.
-                let _ = tx.send(results);
-            });
-            inflight[shard] = Some(Inflight { start_ns, batch: batches, clock, members, rx });
+            // Real execution. Payload-free fleets evaluate the batch
+            // inline; otherwise the batch materializes and runs on this
+            // shard's pool worker, results returning over a per-batch
+            // channel. Timing comes from the cost model either way, never
+            // the wall clock.
+            let results = if inline {
+                let backend = fleet[shard].as_ref();
+                BatchResults::Ready(
+                    members.iter().map(|m| exec_request(gen, backend, m.id, m.scenario)).collect(),
+                )
+            } else {
+                let (tx, rx) = mpsc::channel();
+                let gen = Arc::clone(&self.gen);
+                let backend = Arc::clone(&fleet[shard]);
+                let work: Vec<(u64, usize)> = members.iter().map(|m| (m.id, m.scenario)).collect();
+                self.pool.submit(shard, move || {
+                    let results = work
+                        .iter()
+                        .map(|&(id, sc)| exec_request(&gen, backend.as_ref(), id, sc))
+                        .collect();
+                    // The receiver disappears only if `run` already
+                    // failed; nothing to report to in that case.
+                    let _ = tx.send(results);
+                });
+                BatchResults::Pool(rx)
+            };
+            state.inflight_members += members.len() as u64;
+            state.note_live(queue.len());
+            inflight[shard] = Some(Inflight { start_ns, batch: batches, clock, members, results });
             batches += 1;
         }
         for (shard, slot) in inflight.iter_mut().enumerate() {
-            state.settle(shard, slot, overhead_ns, fleet[shard].as_ref())?;
+            state.settle(shard, slot, overhead_ns, fleet[shard].as_ref(), active[shard])?;
         }
         // Conservation: every observed arrival was either served or shed.
         // `drop_fraction` divides by this sum, so the invariant is what
         // keeps the reported rate meaningful for partial traces too.
         assert_eq!(
             state.completed + state.dropped,
-            arrivals.len() as u64,
+            n_requests,
             "runtime lost requests: {} completed + {} dropped != {} arrivals",
             state.completed,
             state.dropped,
-            arrivals.len()
+            n_requests
         );
 
-        let outcomes: Vec<RequestOutcome> = state
-            .outcomes
-            .into_iter()
-            .map(|o| o.expect("every request settled or dropped"))
-            .collect();
-        let digest = outcomes.iter().fold(crate::backend::FNV_OFFSET, |h, outcome| {
-            crate::backend::fnv_fold(
-                h,
-                match outcome {
-                    RequestOutcome::Completed { digest, .. } => *digest,
-                    RequestOutcome::Dropped { .. } => DROP_MARK,
-                },
-            )
-        });
-        let timeline = build_timeline(&outcomes, state.makespan_ns, epoch_ns, &epoch_states);
+        let SimState {
+            ledger,
+            timeline,
+            queue: queue_hist,
+            compute,
+            total,
+            completed,
+            dropped,
+            slo_violations,
+            per_shard_completed,
+            makespan_ns,
+            energy,
+            dense_flops,
+            events,
+            peak_inflight,
+            epochs_stepped,
+            epochs_skipped,
+            ..
+        } = state;
+        let (digest, outcomes, peak_reorder) = ledger.finish(n_requests);
+        let timeline = timeline.finalize(makespan_ns, &epoch_states);
         let static_energy_pj = timeline.iter().map(|e| e.static_pj).sum();
+        let live = LiveStats {
+            peak_inflight,
+            peak_events: events.peak_depth() as u64,
+            peak_reorder,
+            epochs_stepped,
+            epochs_skipped,
+        };
 
         Ok(ServeReport {
             backend: fleet_label(fleet),
             config: cfg.clone(),
-            completed: state.completed,
-            dropped: state.dropped,
-            slo_violations: state.slo_violations,
+            completed,
+            dropped,
+            slo_violations,
             batches,
             batched_requests,
-            queue: state.queue,
-            compute: state.compute,
-            total: state.total,
-            makespan_ns: state.makespan_ns,
-            energy: state.energy,
-            dense_flops: state.dense_flops,
+            queue: queue_hist,
+            compute,
+            total,
+            makespan_ns,
+            energy,
+            dense_flops,
             digest,
             outcomes,
+            per_shard_completed,
+            live,
             timeline,
             static_energy_pj,
         })
@@ -702,68 +1046,6 @@ fn fill_views(
             est_energy_pj: est.shard_energy_pj[shard],
         });
     }
-}
-
-/// Builds the per-epoch timeline from the settled outcomes.
-///
-/// Unlike the controller's processed-event windows, the timeline
-/// attributes every request by its exact virtual timestamps: offered load
-/// (and drops) by arrival time, completions (and their energy and SLO
-/// misses) by completion time. The final epoch is truncated at the
-/// makespan — possibly to zero length, which every [`EpochStat`] rate
-/// method guards — and epochs the control loop never crossed inherit the
-/// last recorded fleet state.
-fn build_timeline(
-    outcomes: &[RequestOutcome],
-    makespan_ns: u64,
-    epoch_ns: u64,
-    epoch_states: &[EpochFleetState],
-) -> Vec<EpochStat> {
-    let n_epochs = if makespan_ns == 0 { 1 } else { makespan_ns.div_ceil(epoch_ns) } as usize;
-    let last_state = epoch_states.last().expect("initial epoch state always recorded");
-    let mut timeline: Vec<EpochStat> = (0..n_epochs)
-        .map(|e| {
-            let st = epoch_states.get(e).unwrap_or(last_state);
-            let start_ns = e as u64 * epoch_ns;
-            let end_ns = (start_ns.saturating_add(epoch_ns)).min(makespan_ns);
-            EpochStat {
-                epoch: e as u64,
-                start_ns,
-                end_ns,
-                active_shards: st.active_shards,
-                clock: st.clock,
-                arrivals: 0,
-                completed: 0,
-                dropped: 0,
-                slo_violations: 0,
-                energy: EnergyBreakdown::ZERO,
-                static_pj: st.idle_mw as u128 * end_ns.saturating_sub(start_ns) as u128,
-            }
-        })
-        .collect();
-    // Timestamps at the very edge of the trace (a drop offered past the
-    // final completion, or a completion exactly at the makespan) clamp
-    // into the last epoch.
-    let ep_of = |t: u64| ((t / epoch_ns) as usize).min(n_epochs - 1);
-    for o in outcomes {
-        match o {
-            RequestOutcome::Completed { arrival_ns, queue_ns, compute_ns, energy, .. } => {
-                timeline[ep_of(*arrival_ns)].arrivals += 1;
-                let done = ep_of(arrival_ns + queue_ns + compute_ns);
-                timeline[done].completed += 1;
-                timeline[done].energy += *energy;
-                if o.violated_slo() {
-                    timeline[done].slo_violations += 1;
-                }
-            }
-            RequestOutcome::Dropped { arrival_ns } => {
-                let e = ep_of(*arrival_ns);
-                timeline[e].arrivals += 1;
-                timeline[e].dropped += 1;
-            }
-        }
-    }
-    timeline
 }
 
 #[cfg(test)]
@@ -1038,6 +1320,35 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn outcome_capture_caps_the_debug_record_without_touching_aggregates() {
+        let rt = runtime();
+        let backend = BackendKind::Accelerator.build();
+        let cfg = ServeConfig::at_load(2_000.0, 16);
+        let full = rt.run(&backend, &cfg).unwrap();
+        let capped = rt.run(&backend, &ServeConfig { outcome_capture: 4, ..cfg.clone() }).unwrap();
+        // The capture is a strict prefix of the full record; every
+        // aggregate — digest included — is computed from all requests
+        // either way.
+        assert_eq!(full.outcomes.len(), 16);
+        assert_eq!(capped.outcomes.len(), 4);
+        assert_eq!(&full.outcomes[..4], &capped.outcomes[..]);
+        assert_eq!(full.digest, capped.digest);
+        assert_eq!(full.completed, capped.completed);
+        assert_eq!(full.energy, capped.energy);
+        assert_eq!(full.timeline, capped.timeline);
+        assert_eq!(full.live, capped.live);
+        // Live-state accounting is populated.
+        assert!(capped.live.peak_inflight > 0);
+        assert!(capped.live.peak_events > 0);
+        assert!(capped.live.peak_reorder > 0);
+        assert!(capped.live.epochs_stepped + capped.live.epochs_skipped > 0);
+        // And zero capture means zero retained outcomes.
+        let none = rt.run(&backend, &ServeConfig { outcome_capture: 0, ..cfg }).unwrap();
+        assert!(none.outcomes.is_empty());
+        assert_eq!(none.digest, full.digest);
     }
 
     #[test]

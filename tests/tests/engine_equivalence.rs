@@ -1,0 +1,378 @@
+//! Byte-for-byte equivalence of the discrete-event serving engine with
+//! the epoch-scan engine it replaced.
+//!
+//! The event-loop rewrite (lazy arrival streaming, heap-scheduled shard
+//! frees, skip-ahead epoch boundaries, streaming outcome accounting)
+//! must be *invisible* in every report: the pins below were captured by
+//! running the pre-rewrite epoch-scan engine over all scheduler × router
+//! × controller combinations at three load scales, plus the first 500
+//! arrivals of every arrival process. A strong composite fingerprint
+//! (digest, makespan, counters, quantiles, energies, per-shard and
+//! per-epoch detail, per-outcome detail) guards against any silent
+//! drift, not just digest collisions.
+//!
+//! Alongside the pins, this file checks the two engine-internal
+//! equivalences the rewrite introduced: the lazy arrival iterator must
+//! be draw-for-draw identical to the materialized sampler for every
+//! process constructor, and multi-second silent trace segments must be
+//! skipped in O(1), not stepped boundary-by-boundary.
+
+use defa_model::workload::RequestGenerator;
+use defa_model::MsdaConfig;
+use defa_serve::loadgen::{ArrivalProcess, RateSegment, SegmentProcess, TraceSchedule};
+use defa_serve::{
+    AutoscalerConfig, BackendKind, ControlConfig, ControllerKind, DvfsConfig, RequestOutcome,
+    RouterKind, SchedulerKind, ServeConfig, ServeReport, ServeRuntime,
+};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv_fold(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x100_0000_01b3)
+}
+
+fn fnv128(h: u64, v: u128) -> u64 {
+    fnv_fold(fnv_fold(h, v as u64), (v >> 64) as u64)
+}
+
+/// Strong fingerprint over everything the report derives from the run.
+///
+/// Runs here stay below the default outcome-capture cap, so the
+/// per-outcome section covers every request — identical to what the
+/// epoch-scan engine (which always kept all outcomes) was pinned with.
+fn fingerprint(r: &ServeReport) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = fnv_fold(h, r.digest);
+    h = fnv_fold(h, r.makespan_ns);
+    h = fnv_fold(h, r.completed);
+    h = fnv_fold(h, r.dropped);
+    h = fnv_fold(h, r.slo_violations);
+    h = fnv_fold(h, r.batches);
+    h = fnv_fold(h, r.batched_requests);
+    for hist in [&r.queue, &r.compute, &r.total] {
+        h = fnv_fold(h, hist.p50_ns());
+        h = fnv_fold(h, hist.p95_ns());
+        h = fnv_fold(h, hist.p99_ns());
+    }
+    h = fnv128(h, r.energy.compute_pj);
+    h = fnv128(h, r.energy.sram_pj);
+    h = fnv128(h, r.energy.dram_pj);
+    h = fnv128(h, r.static_energy_pj);
+    h = fnv128(h, r.dense_flops);
+    for c in r.completed_per_shard() {
+        h = fnv_fold(h, c);
+    }
+    h = fnv_fold(h, r.timeline.len() as u64);
+    for ep in &r.timeline {
+        h = fnv_fold(h, ep.arrivals);
+        h = fnv_fold(h, ep.completed);
+        h = fnv_fold(h, ep.dropped);
+        h = fnv_fold(h, ep.slo_violations);
+        h = fnv128(h, ep.energy.total_pj());
+        h = fnv128(h, ep.static_pj);
+        h = fnv_fold(h, ep.active_shards as u64);
+        h = fnv_fold(h, ep.clock.freq_mhz as u64);
+        h = fnv_fold(h, ep.start_ns);
+        h = fnv_fold(h, ep.end_ns);
+    }
+    for out in &r.outcomes {
+        match out {
+            RequestOutcome::Completed { queue_ns, compute_ns, shard, batch, energy, .. } => {
+                h = fnv_fold(h, *queue_ns);
+                h = fnv_fold(h, *compute_ns);
+                h = fnv_fold(h, *shard as u64);
+                h = fnv_fold(h, *batch);
+                h = fnv128(h, energy.total_pj());
+            }
+            RequestOutcome::Dropped { arrival_ns } => h = fnv_fold(h, *arrival_ns),
+        }
+    }
+    h
+}
+
+/// One labelled arrival case per process constructor, at the rates the
+/// pins were captured at.
+fn arrival_cases() -> Vec<(&'static str, ArrivalProcess, f64)> {
+    let mixed = TraceSchedule::new(
+        "mixed",
+        vec![
+            RateSegment { duration_us: 700, rate_mult: 1.0, process: SegmentProcess::Poisson },
+            RateSegment { duration_us: 0, rate_mult: 2.0, process: SegmentProcess::Poisson },
+            RateSegment { duration_us: 400, rate_mult: 0.0, process: SegmentProcess::Poisson },
+            RateSegment {
+                duration_us: 600,
+                rate_mult: 2.0,
+                process: SegmentProcess::Bursty { burst: 6.0 },
+            },
+            RateSegment { duration_us: 300, rate_mult: 0.5, process: SegmentProcess::Uniform },
+        ],
+    );
+    vec![
+        ("poisson", ArrivalProcess::Poisson, 1.5e6),
+        ("bursty8", ArrivalProcess::bursty_default(), 1.5e6),
+        ("uniform", ArrivalProcess::Uniform, 1.5e6),
+        ("diurnal", ArrivalProcess::Trace(TraceSchedule::diurnal(4_000)), 2.0e5),
+        ("step_surge", ArrivalProcess::Trace(TraceSchedule::step_surge(1_000, 500, 4.0)), 2.0e5),
+        ("sawtooth", ArrivalProcess::Trace(TraceSchedule::sawtooth(3_000, 3, 3.0)), 2.0e5),
+        ("random_walk", ArrivalProcess::Trace(TraceSchedule::random_walk(5, 800, 9)), 2.0e5),
+        ("mixed", ArrivalProcess::Trace(mixed), 2.0e5),
+    ]
+}
+
+/// Pinned arrival streams: `(label, FNV fold of all 500 times,
+/// first four times, last time)` at seed 7, captured from the
+/// pre-rewrite materialized sampler.
+const ARRIVAL_PINS: [(&str, u64, [u64; 4], u64); 8] = [
+    ("poisson", 0x133ce71bec2492db, [38, 164, 1007, 1378], 336359),
+    ("bursty8", 0xfb87a08f86074395, [16, 121, 167, 23738], 222377),
+    ("uniform", 0x7e5fd7dbf5f0aed9, [667, 1334, 2001, 2668], 333500),
+    ("diurnal", 0xedbcf9e90f1163a5, [1139, 4917, 30204, 41349], 2515994),
+    ("step_surge", 0x23000296947809a1, [285, 1229, 7551, 10337], 1380341),
+    ("sawtooth", 0xd529b1042636bb6f, [1139, 4917, 30204, 41349], 2214111),
+    ("random_walk", 0x3308761bd2e00b24, [228, 984, 6041, 8270], 1737256),
+    ("mixed", 0x2aa00acce177319f, [285, 1229, 7551, 10337], 1654186),
+];
+
+#[test]
+fn arrival_samples_match_the_pre_rewrite_pins() {
+    for ((label, process, rate), (pin_label, fold, first, last)) in
+        arrival_cases().iter().zip(ARRIVAL_PINS)
+    {
+        assert_eq!(*label, pin_label, "case order matches the pin table");
+        let v = process.sample(500, *rate, 7);
+        assert_eq!(v.len(), 500);
+        assert_eq!(v.iter().fold(FNV_OFFSET, |h, &t| fnv_fold(h, t)), fold, "{label} fold");
+        assert_eq!(v[..4], first, "{label} head");
+        assert_eq!(*v.last().unwrap(), last, "{label} tail");
+    }
+}
+
+#[test]
+fn lazy_streams_equal_materialized_samples_for_every_constructor() {
+    // Every `ArrivalProcess` variant and `TraceSchedule` constructor is
+    // covered by `arrival_cases`; add the `RateSegment::poisson` helper
+    // the cases build without.
+    let mut cases = arrival_cases();
+    cases.push((
+        "poisson_helper",
+        ArrivalProcess::Trace(TraceSchedule::new(
+            "helper",
+            vec![RateSegment::poisson(250, 1.0), RateSegment::poisson(250, 3.0)],
+        )),
+        2.0e5,
+    ));
+    for (label, process, rate) in cases {
+        for (n, seed) in [(1usize, 1u64), (17, 7), (500, 42), (1_000, 0xDEAD_BEEF)] {
+            let sampled = process.sample(n, rate, seed);
+            let streamed: Vec<u64> = process.stream(rate, seed).take(n).collect();
+            assert_eq!(sampled, streamed, "{label} n={n} seed={seed:#x}");
+        }
+    }
+}
+
+/// Pinned engine fingerprints: every scheduler × router × controller at
+/// three scales — A (1.5 krps, 24 req, deep queue), B (5 Mrps overload,
+/// 64 req, drops), C (6 krps, 48 req, small queue) — accelerator
+/// backend, max_batch 4, 2 shards with autoscaling headroom to 4,
+/// 500 µs epochs, seed 42. Captured from the pre-rewrite epoch-scan
+/// engine; the event-driven engine must reproduce every row.
+const COMBO_PINS: [(&str, &str, &str, &str, u64, u64); 108] = [
+    ("A", "fifo", "round-robin", "static", 0xea55e781e2e9c681, 13094860),
+    ("A", "fifo", "round-robin", "autoscaler", 0x2fa4942a080387cd, 13094860),
+    ("A", "fifo", "round-robin", "dvfs", 0x7b9bb011387642a8, 13100767),
+    ("A", "fifo", "least-outstanding", "static", 0xea55e781e2e9c681, 13094860),
+    ("A", "fifo", "least-outstanding", "autoscaler", 0x2fa4942a080387cd, 13094860),
+    ("A", "fifo", "least-outstanding", "dvfs", 0x7b9bb011387642a8, 13100767),
+    ("A", "fifo", "latency-aware", "static", 0x994e23f2bb3cd4f1, 13094860),
+    ("A", "fifo", "latency-aware", "autoscaler", 0x2fa4942a080387cd, 13094860),
+    ("A", "fifo", "latency-aware", "dvfs", 0x2c9dbe92b3dd4100, 13100767),
+    ("A", "fifo", "energy-aware", "static", 0xea55e781e2e9c681, 13094860),
+    ("A", "fifo", "energy-aware", "autoscaler", 0x2fa4942a080387cd, 13094860),
+    ("A", "fifo", "energy-aware", "dvfs", 0x7b9bb011387642a8, 13100767),
+    ("A", "sjf", "round-robin", "static", 0xb61bb39483e86b67, 13094860),
+    ("A", "sjf", "round-robin", "autoscaler", 0x85ba57e00cdf5363, 13094860),
+    ("A", "sjf", "round-robin", "dvfs", 0x9bf409a3466dc4ba, 13100767),
+    ("A", "sjf", "least-outstanding", "static", 0xb61bb39483e86b67, 13094860),
+    ("A", "sjf", "least-outstanding", "autoscaler", 0x85ba57e00cdf5363, 13094860),
+    ("A", "sjf", "least-outstanding", "dvfs", 0x9bf409a3466dc4ba, 13100767),
+    ("A", "sjf", "latency-aware", "static", 0xe5c56ca85a39d7a7, 13094860),
+    ("A", "sjf", "latency-aware", "autoscaler", 0x85ba57e00cdf5363, 13094860),
+    ("A", "sjf", "latency-aware", "dvfs", 0xb16252361ef80a82, 13100767),
+    ("A", "sjf", "energy-aware", "static", 0xb61bb39483e86b67, 13094860),
+    ("A", "sjf", "energy-aware", "autoscaler", 0x85ba57e00cdf5363, 13094860),
+    ("A", "sjf", "energy-aware", "dvfs", 0x9bf409a3466dc4ba, 13100767),
+    ("A", "edf", "round-robin", "static", 0xceac3ba09d0b4acb, 13094860),
+    ("A", "edf", "round-robin", "autoscaler", 0x92f268cfe67ca213, 13094860),
+    ("A", "edf", "round-robin", "dvfs", 0xf4ab22fc61afbb5a, 13100767),
+    ("A", "edf", "least-outstanding", "static", 0xceac3ba09d0b4acb, 13094860),
+    ("A", "edf", "least-outstanding", "autoscaler", 0x92f268cfe67ca213, 13094860),
+    ("A", "edf", "least-outstanding", "dvfs", 0xf4ab22fc61afbb5a, 13100767),
+    ("A", "edf", "latency-aware", "static", 0x0c18f8095b79258f, 13094860),
+    ("A", "edf", "latency-aware", "autoscaler", 0x92f268cfe67ca213, 13094860),
+    ("A", "edf", "latency-aware", "dvfs", 0x2d4d8a8bea512f4a, 13100767),
+    ("A", "edf", "energy-aware", "static", 0xceac3ba09d0b4acb, 13094860),
+    ("A", "edf", "energy-aware", "autoscaler", 0x92f268cfe67ca213, 13094860),
+    ("A", "edf", "energy-aware", "dvfs", 0xf4ab22fc61afbb5a, 13100767),
+    ("B", "fifo", "round-robin", "static", 0xa78f689345d20bcb, 162496),
+    ("B", "fifo", "round-robin", "autoscaler", 0xa78f689345d20bcb, 162496),
+    ("B", "fifo", "round-robin", "dvfs", 0xa78f689345d20bcb, 162496),
+    ("B", "fifo", "least-outstanding", "static", 0xa78f689345d20bcb, 162496),
+    ("B", "fifo", "least-outstanding", "autoscaler", 0xa78f689345d20bcb, 162496),
+    ("B", "fifo", "least-outstanding", "dvfs", 0xa78f689345d20bcb, 162496),
+    ("B", "fifo", "latency-aware", "static", 0xa78f689345d20bcb, 162496),
+    ("B", "fifo", "latency-aware", "autoscaler", 0xa78f689345d20bcb, 162496),
+    ("B", "fifo", "latency-aware", "dvfs", 0xa78f689345d20bcb, 162496),
+    ("B", "fifo", "energy-aware", "static", 0xa78f689345d20bcb, 162496),
+    ("B", "fifo", "energy-aware", "autoscaler", 0xa78f689345d20bcb, 162496),
+    ("B", "fifo", "energy-aware", "dvfs", 0xa78f689345d20bcb, 162496),
+    ("B", "sjf", "round-robin", "static", 0xcea872c09a34c99b, 164218),
+    ("B", "sjf", "round-robin", "autoscaler", 0xcea872c09a34c99b, 164218),
+    ("B", "sjf", "round-robin", "dvfs", 0xcea872c09a34c99b, 164218),
+    ("B", "sjf", "least-outstanding", "static", 0xcea872c09a34c99b, 164218),
+    ("B", "sjf", "least-outstanding", "autoscaler", 0xcea872c09a34c99b, 164218),
+    ("B", "sjf", "least-outstanding", "dvfs", 0xcea872c09a34c99b, 164218),
+    ("B", "sjf", "latency-aware", "static", 0xcea872c09a34c99b, 164218),
+    ("B", "sjf", "latency-aware", "autoscaler", 0xcea872c09a34c99b, 164218),
+    ("B", "sjf", "latency-aware", "dvfs", 0xcea872c09a34c99b, 164218),
+    ("B", "sjf", "energy-aware", "static", 0xcea872c09a34c99b, 164218),
+    ("B", "sjf", "energy-aware", "autoscaler", 0xcea872c09a34c99b, 164218),
+    ("B", "sjf", "energy-aware", "dvfs", 0xcea872c09a34c99b, 164218),
+    ("B", "edf", "round-robin", "static", 0xdbcb22879b937e86, 163563),
+    ("B", "edf", "round-robin", "autoscaler", 0xdbcb22879b937e86, 163563),
+    ("B", "edf", "round-robin", "dvfs", 0xdbcb22879b937e86, 163563),
+    ("B", "edf", "least-outstanding", "static", 0xdbcb22879b937e86, 163563),
+    ("B", "edf", "least-outstanding", "autoscaler", 0xdbcb22879b937e86, 163563),
+    ("B", "edf", "least-outstanding", "dvfs", 0xdbcb22879b937e86, 163563),
+    ("B", "edf", "latency-aware", "static", 0xdbcb22879b937e86, 163563),
+    ("B", "edf", "latency-aware", "autoscaler", 0xdbcb22879b937e86, 163563),
+    ("B", "edf", "latency-aware", "dvfs", 0xdbcb22879b937e86, 163563),
+    ("B", "edf", "energy-aware", "static", 0xdbcb22879b937e86, 163563),
+    ("B", "edf", "energy-aware", "autoscaler", 0xdbcb22879b937e86, 163563),
+    ("B", "edf", "energy-aware", "dvfs", 0xdbcb22879b937e86, 163563),
+    ("C", "fifo", "round-robin", "static", 0xcc37feb231401cca, 8046022),
+    ("C", "fifo", "round-robin", "autoscaler", 0x2b5d549a2f1db4be, 8046022),
+    ("C", "fifo", "round-robin", "dvfs", 0xd57f17083972d4ba, 8059519),
+    ("C", "fifo", "least-outstanding", "static", 0xcc37feb231401cca, 8046022),
+    ("C", "fifo", "least-outstanding", "autoscaler", 0x2b5d549a2f1db4be, 8046022),
+    ("C", "fifo", "least-outstanding", "dvfs", 0xd57f17083972d4ba, 8059519),
+    ("C", "fifo", "latency-aware", "static", 0x8729b8eae4e8fa6a, 8046022),
+    ("C", "fifo", "latency-aware", "autoscaler", 0xea57e558d0ae562e, 8046022),
+    ("C", "fifo", "latency-aware", "dvfs", 0xf928b430cb274d76, 8059519),
+    ("C", "fifo", "energy-aware", "static", 0xcc37feb231401cca, 8046022),
+    ("C", "fifo", "energy-aware", "autoscaler", 0x2b5d549a2f1db4be, 8046022),
+    ("C", "fifo", "energy-aware", "dvfs", 0xd57f17083972d4ba, 8059519),
+    ("C", "sjf", "round-robin", "static", 0xf1210497c2a4ff4d, 8046022),
+    ("C", "sjf", "round-robin", "autoscaler", 0x0949e34a31143809, 8046022),
+    ("C", "sjf", "round-robin", "dvfs", 0xe27673f2a8172438, 8059519),
+    ("C", "sjf", "least-outstanding", "static", 0xf1210497c2a4ff4d, 8046022),
+    ("C", "sjf", "least-outstanding", "autoscaler", 0x0949e34a31143809, 8046022),
+    ("C", "sjf", "least-outstanding", "dvfs", 0xe27673f2a8172438, 8059519),
+    ("C", "sjf", "latency-aware", "static", 0x08b2228a758d7f55, 8046022),
+    ("C", "sjf", "latency-aware", "autoscaler", 0xf0d3c2bb8e52b801, 8046022),
+    ("C", "sjf", "latency-aware", "dvfs", 0x1161441b29a15278, 8059519),
+    ("C", "sjf", "energy-aware", "static", 0xf1210497c2a4ff4d, 8046022),
+    ("C", "sjf", "energy-aware", "autoscaler", 0x0949e34a31143809, 8046022),
+    ("C", "sjf", "energy-aware", "dvfs", 0xe27673f2a8172438, 8059519),
+    ("C", "edf", "round-robin", "static", 0x96e319209887612d, 8046022),
+    ("C", "edf", "round-robin", "autoscaler", 0x6d21892b4eb44a99, 8046022),
+    ("C", "edf", "round-robin", "dvfs", 0x05be05b750e2a669, 8059519),
+    ("C", "edf", "least-outstanding", "static", 0x96e319209887612d, 8046022),
+    ("C", "edf", "least-outstanding", "autoscaler", 0x6d21892b4eb44a99, 8046022),
+    ("C", "edf", "least-outstanding", "dvfs", 0x05be05b750e2a669, 8059519),
+    ("C", "edf", "latency-aware", "static", 0x01c7eac359f73195, 8046022),
+    ("C", "edf", "latency-aware", "autoscaler", 0xb22f45e57f9ffb49, 8046022),
+    ("C", "edf", "latency-aware", "dvfs", 0x7691edce3a874ba1, 8059519),
+    ("C", "edf", "energy-aware", "static", 0x96e319209887612d, 8046022),
+    ("C", "edf", "energy-aware", "autoscaler", 0x6d21892b4eb44a99, 8046022),
+    ("C", "edf", "energy-aware", "dvfs", 0x05be05b750e2a669, 8059519),
+];
+
+#[test]
+fn event_engine_reproduces_every_epoch_scan_fingerprint() {
+    let gen = RequestGenerator::standard(&MsdaConfig::tiny(), 42).unwrap();
+    let runtime = ServeRuntime::new(gen);
+    let backend = BackendKind::Accelerator.build();
+    let mut pins = COMBO_PINS.iter();
+    for (scale, load, n, queue) in
+        [("A", 1_500.0, 24usize, 16usize), ("B", 5_000_000.0, 64, 16), ("C", 6_000.0, 48, 8)]
+    {
+        for sched in SchedulerKind::all() {
+            for router in RouterKind::all() {
+                for ctrl in [
+                    ControllerKind::NoOp,
+                    ControllerKind::Autoscaler(AutoscalerConfig::default()),
+                    ControllerKind::Dvfs(DvfsConfig::default()),
+                ] {
+                    let &(p_scale, p_sched, p_router, p_ctrl, p_fingerprint, p_makespan) =
+                        pins.next().expect("pin table covers every combo");
+                    assert_eq!(
+                        (scale, sched.name(), router.name(), ctrl.name()),
+                        (p_scale, p_sched, p_router, p_ctrl),
+                        "sweep order matches the pin table"
+                    );
+                    let cfg = ServeConfig {
+                        offered_load: load,
+                        n_requests: n,
+                        queue_capacity: queue,
+                        max_batch: 4,
+                        shards: 2,
+                        scheduler: sched,
+                        router,
+                        control: ControlConfig { epoch_us: 500, max_shards: 4, controller: ctrl },
+                        ..ServeConfig::at_load(load, n)
+                    };
+                    let r = runtime.run(&backend, &cfg).unwrap();
+                    assert_eq!(
+                        fingerprint(&r),
+                        p_fingerprint,
+                        "{p_scale}/{p_sched}/{p_router}/{p_ctrl} fingerprint drifted"
+                    );
+                    assert_eq!(
+                        r.makespan_ns, p_makespan,
+                        "{p_scale}/{p_sched}/{p_router}/{p_ctrl} makespan drifted"
+                    );
+                }
+            }
+        }
+    }
+    assert!(pins.next().is_none(), "every pin was checked");
+}
+
+#[test]
+fn silent_trace_gaps_are_skipped_not_stepped() {
+    let gen = RequestGenerator::standard(&MsdaConfig::tiny(), 42).unwrap();
+    let rt = ServeRuntime::new(gen);
+    // A trace with a multi-second dead-air segment between two active
+    // ones. The epoch-scan loop walked every boundary inside the gap
+    // (O(idle-epochs) controller calls per crossing); the event loop
+    // must fast-forward each gap in O(1).
+    let trace = TraceSchedule::new(
+        "dead-air",
+        vec![
+            RateSegment::poisson(2_000, 1.0),
+            RateSegment {
+                duration_us: 3_000_000,
+                rate_mult: 0.0,
+                process: SegmentProcess::Poisson,
+            },
+            RateSegment::poisson(2_000, 1.0),
+        ],
+    );
+    let cfg =
+        ServeConfig { arrival: ArrivalProcess::Trace(trace), ..ServeConfig::at_load(4_000.0, 32) };
+    let r = rt.run(&BackendKind::Accelerator.build(), &cfg).unwrap();
+    assert_eq!(r.completed + r.dropped, 32, "conservation across the gaps");
+    // Each 3 s gap spans ~3000 epochs at the default 1 ms epoch; nearly
+    // all of them must be skipped.
+    assert!(r.live.epochs_skipped > 2_000, "skipped only {} epochs", r.live.epochs_skipped);
+    assert!(
+        r.live.epochs_stepped < r.live.epochs_skipped / 10,
+        "stepped {} epochs vs {} skipped: the gap is being walked",
+        r.live.epochs_stepped,
+        r.live.epochs_skipped
+    );
+    // The report timeline still covers every epoch up to the makespan —
+    // skipping is an engine optimization, not an accounting change.
+    let epoch_ns = 1_000u64 * 1_000;
+    assert_eq!(r.timeline.len() as u64, r.makespan_ns.div_ceil(epoch_ns).max(1));
+}
