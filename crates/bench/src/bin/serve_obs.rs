@@ -1,0 +1,326 @@
+//! `serve_obs` — the observability layer exercised end to end, with its
+//! determinism contract asserted on every invocation.
+//!
+//! The workload is the autoscale surge scenario (8× flash crowd over a
+//! half-capacity baseline, elastic fleet of 2..8 accelerator shards)
+//! with full observability on: span tracing at sample 1.0, the metrics
+//! registry, and the wall-clock self-profile. Every run executes the
+//! identical trace under a 1-thread and a 4-thread worker pool and
+//! asserts:
+//!
+//! * the full `ServeReport`s are equal (the profile is excluded from
+//!   equality by construction);
+//! * the exported Chrome traces and the metrics JSON are **byte
+//!   identical** across the two pool sizes;
+//! * the Chrome trace parses as JSON (`defa_bench::json::parse`);
+//! * the span stream **replays every request**: each id's events are
+//!   monotone in virtual time, completed requests walk
+//!   arrival → admitted → scheduled → settled, dropped requests walk
+//!   arrival → dropped, and the settled/dropped totals match the
+//!   report's aggregates exactly.
+//!
+//! Flags (on top of the shared `--seed`):
+//!
+//! * `--quick` — tiny model scale, 96 requests (the CI smoke mode);
+//! * `--requests <n>` — explicit trace length;
+//! * `--out <dir>` — write `serve_obs_trace.json` (open it in Perfetto
+//!   or `chrome://tracing`) and `serve_obs_metrics.json` into `dir`;
+//! * `--json` — the `bench_diff` gate document: every span/metric count
+//!   and both content fingerprints gate exactly; the self-profile
+//!   fields use the `*_wall_ns` suffix and are informational.
+
+use defa_bench::json::{parse, to_document, Json};
+use defa_bench::RunOptions;
+use defa_model::workload::RequestGenerator;
+use defa_model::MsdaConfig;
+use defa_parallel::with_num_threads;
+use defa_serve::obs::ProfSection;
+use defa_serve::{
+    ArrivalProcess, AutoscalerConfig, BackendKind, ControlConfig, ControllerKind, MetricsRegistry,
+    ObsConfig, ServeConfig, ServeReport, ServeRuntime, SpanEvent, TraceSchedule,
+};
+
+/// The autoscale-bin operating point this bench mirrors.
+const OVERHEAD_US: u64 = 5;
+const MAX_BATCH: usize = 4;
+const SHARDS: usize = 2;
+const MAX_SHARDS: usize = 8;
+
+/// Byte FNV-1a fingerprint of an exported artifact — one number that
+/// pins the entire trace/metrics content in the gate document.
+fn fnv_bytes(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in s.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The metrics registry as a `defa_bench::json` document: final
+/// counter/gauge values, the log2 histograms, and the epoch-boundary
+/// snapshot time-series. Integers throughout — byte-identical whenever
+/// the virtual schedule is.
+fn metrics_json(reg: &MetricsRegistry) -> Json {
+    let metric = |m: &defa_serve::obs::Metric| {
+        Json::obj([
+            ("name", Json::str(m.name.clone())),
+            ("unit", Json::str(m.unit)),
+            ("value", Json::uint(m.value)),
+        ])
+    };
+    Json::obj([
+        ("bench", Json::str("serve_obs_metrics")),
+        ("counters", Json::Arr(reg.counters().iter().map(metric).collect())),
+        ("gauges", Json::Arr(reg.gauges().iter().map(metric).collect())),
+        (
+            "histograms",
+            Json::Arr(
+                reg.histograms()
+                    .map(|(name, unit, h)| {
+                        Json::obj([
+                            ("name", Json::str(name)),
+                            ("unit", Json::str(unit)),
+                            ("count", Json::uint(h.count as u128)),
+                            ("sum", Json::uint(h.sum)),
+                            ("max", Json::uint(h.max as u128)),
+                            (
+                                "buckets",
+                                Json::Arr(
+                                    h.buckets.iter().map(|&b| Json::uint(b as u128)).collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "snapshots",
+            Json::Arr(
+                reg.snapshots()
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("epoch", Json::uint(s.epoch as u128)),
+                            ("t_ns", Json::uint(s.t_ns as u128)),
+                            (
+                                "counters",
+                                Json::Arr(s.counters.iter().map(|&v| Json::uint(v)).collect()),
+                            ),
+                            (
+                                "gauges",
+                                Json::Arr(s.gauges.iter().map(|&v| Json::uint(v)).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("snapshots_dropped", Json::uint(reg.snapshots_dropped() as u128)),
+    ])
+}
+
+/// Runs the surge scenario under full observability with a `threads`-
+/// sized pool, returning the report plus its exported artifacts.
+fn run_once(
+    seed: u64,
+    quick: bool,
+    scale: &MsdaConfig,
+    n_requests: usize,
+    threads: usize,
+) -> Result<(ServeReport, String, String), Box<dyn std::error::Error>> {
+    with_num_threads(threads, || {
+        let base = if quick { MsdaConfig::tiny() } else { scale.clone() };
+        let gen = RequestGenerator::standard(&base, seed)?;
+        let rt = ServeRuntime::with_pool_threads(gen, threads);
+        let backend = BackendKind::Accelerator.build();
+        let cap = rt.modeled_capacity_rps(&backend, SHARDS, MAX_BATCH, OVERHEAD_US)?;
+        let offered = cap * 0.5;
+        let us_for = |requests: f64| (requests / offered * 1e6).round().max(1.0) as u64;
+        let epoch_us = (1.0 / offered * 1e6).round().max(1.0) as u64;
+        let cfg = ServeConfig {
+            queue_capacity: 16,
+            max_batch: MAX_BATCH,
+            batch_overhead_us: OVERHEAD_US,
+            shards: SHARDS,
+            arrival: ArrivalProcess::Trace(TraceSchedule::step_surge(
+                us_for(14.0),
+                us_for(10.0),
+                8.0,
+            )),
+            control: ControlConfig {
+                epoch_us,
+                max_shards: MAX_SHARDS,
+                controller: ControllerKind::Autoscaler(AutoscalerConfig {
+                    min_shards: SHARDS,
+                    ..AutoscalerConfig::default()
+                }),
+            },
+            obs: ObsConfig::full().with_profile(),
+            ..ServeConfig::at_load(offered, n_requests)
+        };
+        let report = rt.run(&backend, &cfg)?;
+        let trace = report.obs.chrome_trace();
+        let metrics =
+            to_document(&metrics_json(report.obs.metrics.as_ref().expect("metrics pillar is on")));
+        Ok((report, trace, metrics))
+    })
+}
+
+/// Asserts the replay contract: every request id's span sub-sequence is
+/// monotone in virtual time and walks the full lifecycle for its
+/// outcome. Returns `(settled ids, dropped ids)`.
+fn assert_replay(report: &ServeReport, n_requests: u64) -> (u64, u64) {
+    let (mut settled, mut dropped) = (0u64, 0u64);
+    for id in 0..n_requests {
+        let seq = report.obs.request_events(id);
+        assert!(!seq.is_empty(), "request {id} left no spans at sample 1.0");
+        for w in seq.windows(2) {
+            assert!(
+                w[0].at_ns() <= w[1].at_ns(),
+                "request {id}: span time went backwards ({} -> {})",
+                w[0].at_ns(),
+                w[1].at_ns()
+            );
+        }
+        let kinds: Vec<&str> = seq.iter().map(|e| e.kind()).collect();
+        match seq.last().expect("non-empty") {
+            SpanEvent::Settled { .. } => {
+                assert_eq!(
+                    kinds,
+                    ["arrival", "admitted", "scheduled", "settled"],
+                    "request {id}: unexpected lifecycle"
+                );
+                settled += 1;
+            }
+            SpanEvent::Dropped { .. } => {
+                assert_eq!(kinds, ["arrival", "dropped"], "request {id}: unexpected drop path");
+                dropped += 1;
+            }
+            other => panic!("request {id} ended on a non-terminal span {other:?}"),
+        }
+    }
+    assert_eq!(settled, report.completed, "settled spans vs report.completed");
+    assert_eq!(dropped, report.dropped, "dropped spans vs report.dropped");
+    (settled, dropped)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = RunOptions::parse(args.iter().cloned());
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let mut n_requests = if quick { 96 } else { 192 };
+    let mut out_dir: Option<String> = None;
+    for w in args.windows(2) {
+        match w[0].as_str() {
+            "--requests" => n_requests = w[1].parse().unwrap_or(n_requests),
+            "--out" => out_dir = Some(w[1].clone()),
+            _ => {}
+        }
+    }
+    let scale = opts.config();
+
+    // Thread-count invariance of every observability surface, asserted
+    // in-process on each invocation.
+    let (r1, trace1, metrics1) = run_once(opts.seed, quick, &scale, n_requests, 1)?;
+    let (r4, trace4, metrics4) = run_once(opts.seed, quick, &scale, n_requests, 4)?;
+    assert_eq!(r1, r4, "ServeReport differs across worker-pool sizes");
+    assert_eq!(trace1, trace4, "Chrome trace differs across worker-pool sizes");
+    assert_eq!(metrics1, metrics4, "metrics JSON differs across worker-pool sizes");
+
+    // The exported trace must be well-formed JSON, and at sample 1.0 the
+    // span stream must replay every request in virtual-time order.
+    parse(&trace1).map_err(|e| format!("Chrome trace is not valid JSON: {e:?}"))?;
+    parse(&metrics1).map_err(|e| format!("metrics document is not valid JSON: {e:?}"))?;
+    assert_eq!(r1.obs.events_dropped, 0, "span buffer overflowed at bench scale");
+    assert_eq!(r1.obs.sampled_requests, n_requests as u64, "sample 1.0 must select every id");
+    let (settled, dropped) = assert_replay(&r1, n_requests as u64);
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(format!("{dir}/serve_obs_trace.json"), &trace1)?;
+        std::fs::write(format!("{dir}/serve_obs_metrics.json"), &metrics1)?;
+    }
+
+    let kind_count = |k: &str| r1.obs.events.iter().filter(|e| e.kind() == k).count() as u128;
+    let snapshots = r1.obs.metrics.as_ref().map_or(0, |m| m.snapshots().len());
+
+    if json {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("bench".into(), Json::str("serve_obs")),
+            ("seed".into(), Json::uint(opts.seed as u128)),
+            ("requests".into(), Json::uint(n_requests as u128)),
+            ("trace".into(), Json::str("surge")),
+            ("controller".into(), Json::str("autoscaler")),
+            ("completed".into(), Json::uint(r1.completed as u128)),
+            ("dropped".into(), Json::uint(r1.dropped as u128)),
+            ("slo_violations".into(), Json::uint(r1.slo_violations as u128)),
+            ("batches".into(), Json::uint(r1.batches as u128)),
+            ("makespan_ns".into(), Json::uint(r1.makespan_ns as u128)),
+            ("digest".into(), Json::str(format!("{:#018x}", r1.digest))),
+            ("span_events".into(), Json::uint(r1.obs.events.len() as u128)),
+            ("events_dropped".into(), Json::uint(r1.obs.events_dropped as u128)),
+            ("sampled_requests".into(), Json::uint(r1.obs.sampled_requests as u128)),
+            ("arrival_events".into(), Json::uint(kind_count("arrival"))),
+            ("admitted_events".into(), Json::uint(kind_count("admitted"))),
+            ("dropped_events".into(), Json::uint(kind_count("dropped"))),
+            ("scheduled_events".into(), Json::uint(kind_count("scheduled"))),
+            ("dispatched_events".into(), Json::uint(kind_count("dispatched"))),
+            ("settled_events".into(), Json::uint(kind_count("settled"))),
+            ("epoch_events".into(), Json::uint(kind_count("epoch"))),
+            ("control_events".into(), Json::uint(kind_count("control"))),
+            ("trace_bytes".into(), Json::uint(trace1.len() as u128)),
+            ("trace_fnv".into(), Json::str(format!("{:#018x}", fnv_bytes(&trace1)))),
+            ("metrics_snapshots".into(), Json::uint(snapshots as u128)),
+            ("metrics_bytes".into(), Json::uint(metrics1.len() as u128)),
+            ("metrics_fnv".into(), Json::str(format!("{:#018x}", fnv_bytes(&metrics1)))),
+        ];
+        for s in ProfSection::ALL {
+            let st = r1.obs.profile.stat(s);
+            fields.push((format!("{}_calls", s.name()), Json::uint(st.calls as u128)));
+            fields.push((format!("{}_wall_ns", s.name()), Json::uint(st.wall_ns as u128)));
+        }
+        print!("{}", to_document(&Json::Obj(fields)));
+        return Ok(());
+    }
+
+    println!(
+        "serve_obs: surge x autoscaler under full observability ({} requests, sample 1.0, \
+         accel x{SHARDS}..{MAX_SHARDS} fleet)",
+        n_requests
+    );
+    println!("{r1}");
+    println!(
+        "  spans       : {} events ({settled} settled + {dropped} dropped lifecycles), \
+         0 overflow, byte-identical across 1- and 4-thread pools",
+        r1.obs.events.len(),
+    );
+    println!(
+        "  trace       : {} bytes of Chrome trace_event JSON (fnv {:#018x})",
+        trace1.len(),
+        fnv_bytes(&trace1),
+    );
+    println!(
+        "  metrics     : {snapshots} epoch snapshots, {} bytes (fnv {:#018x})",
+        metrics1.len(),
+        fnv_bytes(&metrics1),
+    );
+    for s in ProfSection::ALL {
+        let st = r1.obs.profile.stat(s);
+        println!(
+            "  profile     : {:<15} {:>9} calls  {:>12} ns wall",
+            s.name(),
+            st.calls,
+            st.wall_ns
+        );
+    }
+    if let Some(dir) = &out_dir {
+        println!(
+            "  artifacts   : {dir}/serve_obs_trace.json (open in Perfetto / chrome://tracing), \
+             {dir}/serve_obs_metrics.json"
+        );
+    }
+    Ok(())
+}

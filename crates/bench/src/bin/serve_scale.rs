@@ -31,6 +31,7 @@
 //!   `bench_diff --help` text for the tolerance classes).
 
 use defa_bench::json::{to_document, Json};
+use defa_bench::table::print_table;
 use defa_bench::RunOptions;
 use defa_model::workload::RequestGenerator;
 use defa_model::MsdaConfig;
@@ -172,13 +173,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r1.dropped,
         r1.batches,
     );
-    println!(
-        "  live state  : peak {} in-flight (bound {}), {} events, {} reorder",
-        r1.live.peak_inflight, inflight_bound, r1.live.peak_events, r1.live.peak_reorder,
-    );
-    println!(
-        "  epochs      : {} stepped, {} skipped",
-        r1.live.epochs_stepped, r1.live.epochs_skipped,
+    let live_rows: Vec<Vec<String>> = vec![
+        vec![
+            "peak in-flight".into(),
+            r1.live.peak_inflight.to_string(),
+            format!("<= {inflight_bound} (queue + one batch/shard)"),
+        ],
+        vec![
+            "peak events".into(),
+            r1.live.peak_events.to_string(),
+            format!("<= {} (fleet + 2 cursors)", fleet + 2),
+        ],
+        vec!["peak reorder".into(), r1.live.peak_reorder.to_string(), "scheduler fairness".into()],
+        vec!["epochs stepped".into(), r1.live.epochs_stepped.to_string(), "-".into()],
+        vec![
+            "epochs skipped".into(),
+            r1.live.epochs_skipped.to_string(),
+            "quiescent skip-ahead".into(),
+        ],
+    ];
+    print_table(
+        "Engine live state (high-water marks, bounded by in-flight work)",
+        &["metric", "value", "bound"],
+        &live_rows,
     );
     println!(
         "  simulator   : {:.2} s wall ({:.2} s @ 1 thread, {:.2} s @ 4) = {:.2} Mreq/s; \

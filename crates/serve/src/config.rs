@@ -4,6 +4,7 @@
 use crate::admission::DropPolicy;
 use crate::control::ControllerKind;
 use crate::loadgen::ArrivalProcess;
+use crate::obs::ObsConfig;
 use crate::router::RouterKind;
 use crate::scheduler::SchedulerKind;
 use crate::ServeError;
@@ -92,6 +93,10 @@ pub struct ServeConfig {
     /// memory. Set 0 to capture nothing, `usize::MAX` to capture
     /// everything.
     pub outcome_capture: usize,
+    /// The observability layer: span tracing, the metrics registry and
+    /// wall-clock self-profiling. Defaults to fully disabled — the
+    /// zero-overhead path every pre-observability pin runs on.
+    pub obs: ObsConfig,
 }
 
 /// Default [`ServeConfig::outcome_capture`]: large enough that every
@@ -119,6 +124,7 @@ impl ServeConfig {
             router: RouterKind::RoundRobin,
             control: ControlConfig::default(),
             outcome_capture: DEFAULT_OUTCOME_CAPTURE,
+            obs: ObsConfig::default(),
         }
     }
 
@@ -216,6 +222,24 @@ impl ServeConfig {
         if self.control.epoch_us == 0 {
             return degenerate("control.epoch_us", "0 (must be at least 1)".into());
         }
+        if !(self.obs.trace_sample.is_finite() && (0.0..=1.0).contains(&self.obs.trace_sample)) {
+            return degenerate(
+                "obs.trace_sample",
+                format!("{} (must be a finite fraction in [0, 1])", self.obs.trace_sample),
+            );
+        }
+        if self.obs.tracing && self.obs.trace_buffer == 0 {
+            return degenerate(
+                "obs.trace_buffer",
+                "0 (tracing is enabled; the span buffer needs capacity)".into(),
+            );
+        }
+        if self.obs.metrics && self.obs.metrics_buffer == 0 {
+            return degenerate(
+                "obs.metrics_buffer",
+                "0 (metrics are enabled; the snapshot series needs capacity)".into(),
+            );
+        }
         if self.control.max_shards != 0 && self.control.max_shards < self.shards {
             return Err(ServeError::InvalidConfig(format!(
                 "control.max_shards {} below shards {} — the initial fleet would not fit its \
@@ -311,6 +335,38 @@ mod tests {
                     ..base.clone()
                 },
                 "control.epoch_us",
+            ),
+            (
+                ServeConfig { obs: crate::obs::ObsConfig::tracing_at(1.5), ..base.clone() },
+                "obs.trace_sample",
+            ),
+            (
+                ServeConfig { obs: crate::obs::ObsConfig::tracing_at(-0.1), ..base.clone() },
+                "obs.trace_sample",
+            ),
+            (
+                ServeConfig { obs: crate::obs::ObsConfig::tracing_at(f64::NAN), ..base.clone() },
+                "obs.trace_sample",
+            ),
+            (
+                ServeConfig {
+                    obs: crate::obs::ObsConfig {
+                        trace_buffer: 0,
+                        ..crate::obs::ObsConfig::tracing_at(1.0)
+                    },
+                    ..base.clone()
+                },
+                "obs.trace_buffer",
+            ),
+            (
+                ServeConfig {
+                    obs: crate::obs::ObsConfig {
+                        metrics_buffer: 0,
+                        ..crate::obs::ObsConfig::disabled().with_metrics()
+                    },
+                    ..base.clone()
+                },
+                "obs.metrics_buffer",
             ),
         ] {
             match cfg.validate() {

@@ -119,6 +119,18 @@ pub enum ControlAction {
     SetClock(DvfsPoint),
 }
 
+impl ControlAction {
+    /// Stable snake_case kind label (used on the observability
+    /// controller track and in tables).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            ControlAction::AddShard => "add_shard",
+            ControlAction::DrainShard => "drain_shard",
+            ControlAction::SetClock(_) => "set_clock",
+        }
+    }
+}
+
 /// An epoch-boundary fleet controller.
 ///
 /// `decide` must be a pure function of the snapshot sequence and the

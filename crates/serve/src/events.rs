@@ -99,6 +99,12 @@ impl EventList {
         self.peak
     }
 
+    /// Live shard-free events right now (one per active shard) — the
+    /// `events.shard_free` observability gauge.
+    pub fn live_shard_events(&self) -> usize {
+        self.live
+    }
+
     fn note_peak(&mut self) {
         self.peak = self.peak.max(self.depth());
     }

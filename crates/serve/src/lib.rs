@@ -44,6 +44,13 @@
 //!   [`Backend::reprice`]. [`loadgen::TraceSchedule`] supplies the
 //!   time-varying traces (diurnal / surge / sawtooth / random-walk) the
 //!   controllers are exercised against.
+//! * [`obs`] — the deterministic observability layer: seeded-sampled
+//!   span tracing of every request lifecycle (exported as Chrome
+//!   `trace_event` JSON), an integer metrics registry snapshotted at
+//!   epoch boundaries, and flag-gated wall-clock self-profiling of the
+//!   engine hot paths. Disabled by default at zero overhead; when on,
+//!   every deterministic surface is byte-identical across thread counts
+//!   like the rest of the report.
 //! * [`histogram`] accounts queue/compute/total latency per request in
 //!   fixed log2 buckets with deterministic p50/p95/p99; [`energy`]
 //!   attributes deterministic per-request energy in integer picojoules;
@@ -88,6 +95,7 @@ pub mod error;
 pub mod events;
 pub mod histogram;
 pub mod loadgen;
+pub mod obs;
 pub mod report;
 pub mod router;
 pub mod runtime;
@@ -105,6 +113,10 @@ pub use error::ServeError;
 pub use events::{EventClass, EventList};
 pub use histogram::LatencyHistogram;
 pub use loadgen::{ArrivalIter, ArrivalProcess, RateSegment, SegmentProcess, TraceSchedule};
+pub use obs::{
+    Log2Histogram, MetricsRegistry, ObsConfig, ObsReport, ProfSection, SelfProfile, SpanEvent,
+    SpanSampler,
+};
 pub use report::{EpochStat, LiveStats, RequestOutcome, ServeReport};
 pub use router::{Router, RouterKind, ShardView};
 pub use runtime::ServeRuntime;

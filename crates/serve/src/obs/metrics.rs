@@ -1,0 +1,255 @@
+//! Metrics registry: named counters, gauges and log2 histograms with
+//! epoch-boundary snapshots forming a compact, bounded time-series.
+//!
+//! Everything here is integer-valued and updated only from the
+//! single-threaded engine loop on the virtual clock, so registry
+//! contents are byte-identical across worker-pool sizes by
+//! construction. Snapshots capture counter and gauge values (histograms
+//! are cumulative, reported once at the end) and are capped at the
+//! configured buffer size; overflow is counted, never recorded.
+
+/// Handle to a registered counter (monotone, `inc` only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(pub(crate) usize);
+
+/// Handle to a registered gauge (`set` to the latest value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(pub(crate) usize);
+
+/// Handle to a registered log2 histogram (`observe` samples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(pub(crate) usize);
+
+/// A named integer metric: current value plus identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Metric {
+    /// Dotted metric name, e.g. `requests.admitted`.
+    pub name: String,
+    /// Unit label, e.g. `req`, `pJ`, `MHz`.
+    pub unit: &'static str,
+    /// Current value (counters accumulate, gauges hold the last `set`).
+    pub value: u128,
+}
+
+/// Power-of-two bucketed histogram over `u64` samples.
+///
+/// Bucket 0 holds the value 0; bucket `i ≥ 1` holds `[2^(i-1), 2^i)`;
+/// bucket 31 absorbs everything from `2^30` up. Exact count/sum/max
+/// ride along so means are not quantized.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Log2Histogram {
+    /// Per-bucket sample counts.
+    pub buckets: [u64; 32],
+    /// Total samples observed.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: u128,
+    /// Largest sample observed.
+    pub max: u64,
+}
+
+impl Log2Histogram {
+    /// Bucket index for a sample.
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros() as usize).min(31)
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.max = self.max.max(v);
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Counter + gauge values captured at one epoch boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Epoch index that just ended.
+    pub epoch: u64,
+    /// Virtual boundary time.
+    pub t_ns: u64,
+    /// Counter values in registration order.
+    pub counters: Vec<u128>,
+    /// Gauge values in registration order.
+    pub gauges: Vec<u128>,
+}
+
+/// The registry: registration returns typed ids, updates go through the
+/// ids, `snapshot` appends the current counter/gauge vectors to the
+/// bounded time-series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsRegistry {
+    counters: Vec<Metric>,
+    gauges: Vec<Metric>,
+    hist_names: Vec<(String, &'static str)>,
+    hists: Vec<Log2Histogram>,
+    snapshots: Vec<MetricsSnapshot>,
+    snapshot_cap: usize,
+    snapshots_dropped: u64,
+}
+
+impl MetricsRegistry {
+    /// An empty registry whose time-series holds at most `snapshot_cap`
+    /// epoch snapshots.
+    pub fn new(snapshot_cap: usize) -> Self {
+        MetricsRegistry {
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            hist_names: Vec::new(),
+            hists: Vec::new(),
+            snapshots: Vec::new(),
+            snapshot_cap,
+            snapshots_dropped: 0,
+        }
+    }
+
+    /// Registers a counter; the returned id is its permanent handle.
+    pub fn counter(&mut self, name: impl Into<String>, unit: &'static str) -> CounterId {
+        self.counters.push(Metric { name: name.into(), unit, value: 0 });
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers a gauge.
+    pub fn gauge(&mut self, name: impl Into<String>, unit: &'static str) -> GaugeId {
+        self.gauges.push(Metric { name: name.into(), unit, value: 0 });
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers a log2 histogram.
+    pub fn histogram(&mut self, name: impl Into<String>, unit: &'static str) -> HistId {
+        self.hist_names.push((name.into(), unit));
+        self.hists.push(Log2Histogram::default());
+        HistId(self.hists.len() - 1)
+    }
+
+    /// Adds to a counter.
+    pub fn inc(&mut self, id: CounterId, by: u128) {
+        self.counters[id.0].value += by;
+    }
+
+    /// Sets a gauge to its latest value.
+    pub fn set(&mut self, id: GaugeId, value: u128) {
+        self.gauges[id.0].value = value;
+    }
+
+    /// Records a histogram sample.
+    pub fn observe(&mut self, id: HistId, v: u64) {
+        self.hists[id.0].observe(v);
+    }
+
+    /// Appends the current counter/gauge values to the time-series, or
+    /// counts the snapshot as dropped when the buffer is full.
+    pub fn snapshot(&mut self, epoch: u64, t_ns: u64) {
+        if self.snapshots.len() < self.snapshot_cap {
+            self.snapshots.push(MetricsSnapshot {
+                epoch,
+                t_ns,
+                counters: self.counters.iter().map(|m| m.value).collect(),
+                gauges: self.gauges.iter().map(|m| m.value).collect(),
+            });
+        } else {
+            self.snapshots_dropped += 1;
+        }
+    }
+
+    /// Registered counters (registration order; values are final).
+    pub fn counters(&self) -> &[Metric] {
+        &self.counters
+    }
+
+    /// Registered gauges (registration order; values are the last set).
+    pub fn gauges(&self) -> &[Metric] {
+        &self.gauges
+    }
+
+    /// Registered histograms as `(name, unit, histogram)` triples.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &'static str, &Log2Histogram)> {
+        self.hist_names.iter().zip(&self.hists).map(|((name, unit), h)| (name.as_str(), *unit, h))
+    }
+
+    /// The epoch-boundary time-series (bounded by the snapshot cap).
+    pub fn snapshots(&self) -> &[MetricsSnapshot] {
+        &self.snapshots
+    }
+
+    /// Snapshots that hit the cap and were counted instead of stored.
+    pub fn snapshots_dropped(&self) -> u64 {
+        self.snapshots_dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_buckets_split_at_powers_of_two() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(1 << 29), 30);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 31);
+    }
+
+    #[test]
+    fn histogram_tracks_exact_count_sum_max() {
+        let mut h = Log2Histogram::default();
+        for v in [0u64, 1, 3, 8, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 112);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.mean(), 112.0 / 5.0);
+    }
+
+    #[test]
+    fn registry_roundtrips_counters_gauges_hists() {
+        let mut reg = MetricsRegistry::new(8);
+        let c = reg.counter("requests.admitted", "req");
+        let g = reg.gauge("queue.depth", "req");
+        let h = reg.histogram("batch.occupancy", "req/batch");
+        reg.inc(c, 3);
+        reg.set(g, 7);
+        reg.set(g, 5);
+        reg.observe(h, 4);
+        assert_eq!(reg.counters()[0].value, 3);
+        assert_eq!(reg.gauges()[0].value, 5, "gauge holds the latest set");
+        let (name, unit, hist) = reg.histograms().next().unwrap();
+        assert_eq!((name, unit, hist.count), ("batch.occupancy", "req/batch", 1));
+    }
+
+    #[test]
+    fn snapshots_capture_values_in_registration_order_and_cap() {
+        let mut reg = MetricsRegistry::new(2);
+        let c = reg.counter("a", "x");
+        let g = reg.gauge("b", "y");
+        for epoch in 0..4u64 {
+            reg.inc(c, 1);
+            reg.set(g, 10 + epoch as u128);
+            reg.snapshot(epoch, epoch * 1_000);
+        }
+        assert_eq!(reg.snapshots().len(), 2);
+        assert_eq!(reg.snapshots_dropped(), 2);
+        assert_eq!(reg.snapshots()[1].counters, vec![2]);
+        assert_eq!(reg.snapshots()[1].gauges, vec![11]);
+        assert_eq!(reg.snapshots()[1].t_ns, 1_000);
+    }
+}

@@ -1,0 +1,113 @@
+//! Self-profiling: wall-clock section timers around the engine's hot
+//! paths.
+//!
+//! Unlike everything else in `obs`, these numbers read the *host*
+//! clock, so they vary run to run and across machines. They are
+//! therefore excluded from every determinism surface: `ObsReport`'s
+//! `PartialEq` skips the profile, and the `serve_obs` gate document
+//! emits them only under `*_wall_ns` field names, which the
+//! `bench_diff` tolerance classes treat as informational.
+
+/// One instrumented hot-path section of the engine loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfSection {
+    /// Popping the next earliest event off the event list.
+    EventPop,
+    /// Pulling due arrivals from the lazy stream into admission.
+    ArrivalPull,
+    /// Scheduling + launching one batch (select, route, exec submit).
+    Dispatch,
+    /// Settling a finished batch (per-member accounting).
+    Settle,
+    /// One controller decision + applied actions at a boundary.
+    ControllerStep,
+}
+
+impl ProfSection {
+    /// All sections, in reporting order.
+    pub const ALL: [ProfSection; 5] = [
+        ProfSection::EventPop,
+        ProfSection::ArrivalPull,
+        ProfSection::Dispatch,
+        ProfSection::Settle,
+        ProfSection::ControllerStep,
+    ];
+
+    /// Stable snake_case name (used as JSON field prefixes).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProfSection::EventPop => "event_pop",
+            ProfSection::ArrivalPull => "arrival_pull",
+            ProfSection::Dispatch => "dispatch",
+            ProfSection::Settle => "settle",
+            ProfSection::ControllerStep => "controller_step",
+        }
+    }
+
+    fn index(&self) -> usize {
+        *self as usize
+    }
+}
+
+/// Accumulated wall time for one section.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SectionStat {
+    /// Times the section ran.
+    pub calls: u64,
+    /// Total host wall time spent inside it.
+    pub wall_ns: u64,
+}
+
+/// Per-section wall-clock totals for one run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SelfProfile {
+    stats: [SectionStat; 5],
+}
+
+impl SelfProfile {
+    /// Adds one timed invocation of `section`.
+    pub fn add(&mut self, section: ProfSection, wall_ns: u64) {
+        let s = &mut self.stats[section.index()];
+        s.calls += 1;
+        s.wall_ns += wall_ns;
+    }
+
+    /// Accumulated stats for one section.
+    pub fn stat(&self, section: ProfSection) -> SectionStat {
+        self.stats[section.index()]
+    }
+
+    /// Wall time across all sections.
+    pub fn total_wall_ns(&self) -> u64 {
+        self.stats.iter().map(|s| s.wall_ns).sum()
+    }
+
+    /// Calls across all sections.
+    pub fn total_calls(&self) -> u64 {
+        self.stats.iter().map(|s| s.calls).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_have_stable_distinct_names() {
+        let names: Vec<_> = ProfSection::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["event_pop", "arrival_pull", "dispatch", "settle", "controller_step"]);
+    }
+
+    #[test]
+    fn profile_accumulates_per_section() {
+        let mut p = SelfProfile::default();
+        p.add(ProfSection::Dispatch, 100);
+        p.add(ProfSection::Dispatch, 50);
+        p.add(ProfSection::Settle, 10);
+        assert_eq!(p.stat(ProfSection::Dispatch), SectionStat { calls: 2, wall_ns: 150 });
+        assert_eq!(p.stat(ProfSection::Settle).calls, 1);
+        assert_eq!(p.stat(ProfSection::EventPop), SectionStat::default());
+        assert_eq!(p.total_wall_ns(), 160);
+        assert_eq!(p.total_calls(), 3);
+    }
+}

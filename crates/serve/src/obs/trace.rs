@@ -1,0 +1,565 @@
+//! Structured span tracing: typed lifecycle events on the virtual
+//! clock, seeded sampling, a bounded buffer, and the Chrome
+//! `trace_event` exporter.
+//!
+//! # Span model
+//!
+//! Request-lifecycle events ([`SpanEvent::Arrival`] →
+//! [`SpanEvent::Admitted`]/[`SpanEvent::Dropped`] →
+//! [`SpanEvent::Scheduled`] → [`SpanEvent::Settled`]) are gated per
+//! request id by the [`SpanSampler`]; fleet-level events
+//! ([`SpanEvent::Dispatched`], [`SpanEvent::Epoch`],
+//! [`SpanEvent::Control`]) are recorded whenever tracing is on. Events
+//! are appended in engine processing order, which for any single
+//! request is monotone in virtual time — the replay contract the
+//! `serve_obs` bin asserts.
+//!
+//! # Determinism
+//!
+//! The sampler is a pure function of `(generator seed, request id)`;
+//! the buffer caps in emission order and counts overflow; the exporter
+//! is a pure function of the buffered events. Nothing here reads the
+//! wall clock, so trace output is byte-identical whenever the virtual
+//! schedule is.
+
+use defa_tensor::rng::splitmix64;
+use std::fmt::Write as _;
+
+/// Salt applied to the generator seed for the trace sampler, so
+/// sampling decisions are independent of payload, SLO and arrival
+/// streams.
+const SAMPLE_SALT: u64 = 0x0B5E_C0DE_5A11_0001;
+
+/// Seeded deterministic per-request sampler: request `id` is traced iff
+/// a salted hash of `(seed, id)` lands below `sample × 2^64`.
+///
+/// A pure function of its inputs — tests can construct the same sampler
+/// as the runtime (same generator seed, same rate) and predict the
+/// sampled id set exactly. `sample = 1.0` selects every id, `0.0` none.
+#[derive(Debug, Clone)]
+pub struct SpanSampler {
+    seed: u64,
+    /// Acceptance threshold in `[0, 2^64]` (u128 so 1.0 is inclusive).
+    threshold: u128,
+}
+
+impl SpanSampler {
+    /// A sampler over the given *generator* seed (salted internally) at
+    /// `sample` ∈ [0, 1] (clamped).
+    pub fn new(gen_seed: u64, sample: f64) -> Self {
+        let clamped = sample.clamp(0.0, 1.0);
+        // Exact at both endpoints: 1.0 maps to 2^64 (accepts any u64
+        // hash), 0.0 to 0 (accepts none).
+        let threshold = (clamped * 18_446_744_073_709_551_616.0) as u128;
+        SpanSampler { seed: gen_seed ^ SAMPLE_SALT, threshold }
+    }
+
+    /// Whether request `id` is traced.
+    pub fn sampled(&self, id: u64) -> bool {
+        let h = splitmix64(self.seed.wrapping_add(id.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        (h as u128) < self.threshold
+    }
+}
+
+/// One structured observability event on the virtual clock.
+///
+/// All payloads are integers (no floats), so the event stream is
+/// `Eq`-comparable and byte-stable. `t_ns` is always the virtual time
+/// the event is attributed to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpanEvent {
+    /// A sampled request arrived (was offered to admission).
+    Arrival {
+        /// Virtual arrival time.
+        t_ns: u64,
+        /// Request id.
+        id: u64,
+        /// Scenario the request draws.
+        scenario: usize,
+    },
+    /// A sampled request entered the admission queue.
+    Admitted {
+        /// Virtual arrival time (admission is instantaneous).
+        t_ns: u64,
+        /// Request id.
+        id: u64,
+        /// Queue depth just after admission.
+        queue_depth: usize,
+    },
+    /// A sampled request was dropped (tail drop at its own arrival, or
+    /// evicted at the admitting newcomer's arrival).
+    Dropped {
+        /// Virtual time of the drop decision.
+        t_ns: u64,
+        /// Id of the dropped request.
+        id: u64,
+    },
+    /// A sampled request was selected into a batch.
+    Scheduled {
+        /// Virtual start time of the batch it rides.
+        t_ns: u64,
+        /// Request id.
+        id: u64,
+        /// Global batch counter value.
+        batch: u64,
+        /// Shard the batch was placed on.
+        shard: usize,
+    },
+    /// A batch was dispatched to a shard (recorded for every batch when
+    /// tracing is on, independent of sampling).
+    Dispatched {
+        /// Virtual batch start time.
+        t_ns: u64,
+        /// Global batch counter value.
+        batch: u64,
+        /// Target shard.
+        shard: usize,
+        /// Requests riding the batch.
+        size: usize,
+        /// Clock the batch dispatched at.
+        clock_mhz: u32,
+    },
+    /// A sampled request completed.
+    Settled {
+        /// Virtual completion time.
+        t_ns: u64,
+        /// Request id.
+        id: u64,
+        /// Shard that served it.
+        shard: usize,
+        /// Batch it rode in.
+        batch: u64,
+        /// Admission-queue wait.
+        queue_ns: u64,
+        /// Service time including dispatch overhead and in-batch
+        /// serialization.
+        compute_ns: u64,
+        /// Whether total latency blew the request's SLO budget.
+        violated: bool,
+    },
+    /// A stepped epoch boundary (fleet state after controller actions).
+    Epoch {
+        /// Boundary time.
+        t_ns: u64,
+        /// Epoch index that just ended.
+        epoch: u64,
+        /// Shards accepting new batches after the boundary.
+        active_shards: usize,
+        /// Admission-queue depth at the boundary.
+        queue_depth: usize,
+        /// Fleet clock after the boundary.
+        clock_mhz: u32,
+    },
+    /// A control action applied at an epoch boundary.
+    Control {
+        /// Boundary time.
+        t_ns: u64,
+        /// Epoch index that just ended.
+        epoch: u64,
+        /// Action kind label (`add_shard` / `drain_shard` /
+        /// `set_clock`).
+        action: &'static str,
+        /// Target clock for `set_clock`, 0 otherwise.
+        clock_mhz: u32,
+    },
+}
+
+impl SpanEvent {
+    /// The virtual time this event is attributed to.
+    pub fn at_ns(&self) -> u64 {
+        match self {
+            SpanEvent::Arrival { t_ns, .. }
+            | SpanEvent::Admitted { t_ns, .. }
+            | SpanEvent::Dropped { t_ns, .. }
+            | SpanEvent::Scheduled { t_ns, .. }
+            | SpanEvent::Dispatched { t_ns, .. }
+            | SpanEvent::Settled { t_ns, .. }
+            | SpanEvent::Epoch { t_ns, .. }
+            | SpanEvent::Control { t_ns, .. } => *t_ns,
+        }
+    }
+
+    /// The request id, for request-lifecycle events.
+    pub fn request_id(&self) -> Option<u64> {
+        match self {
+            SpanEvent::Arrival { id, .. }
+            | SpanEvent::Admitted { id, .. }
+            | SpanEvent::Dropped { id, .. }
+            | SpanEvent::Scheduled { id, .. }
+            | SpanEvent::Settled { id, .. } => Some(*id),
+            SpanEvent::Dispatched { .. } | SpanEvent::Epoch { .. } | SpanEvent::Control { .. } => {
+                None
+            }
+        }
+    }
+
+    /// Short kind label (stable across versions; used in tables and the
+    /// `serve_obs` gate document).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SpanEvent::Arrival { .. } => "arrival",
+            SpanEvent::Admitted { .. } => "admitted",
+            SpanEvent::Dropped { .. } => "dropped",
+            SpanEvent::Scheduled { .. } => "scheduled",
+            SpanEvent::Dispatched { .. } => "dispatched",
+            SpanEvent::Settled { .. } => "settled",
+            SpanEvent::Epoch { .. } => "epoch",
+            SpanEvent::Control { .. } => "control",
+        }
+    }
+}
+
+/// A bounded append-only span buffer: events past the cap are counted,
+/// never recorded, so memory stays bounded and the kept prefix is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceBuffer {
+    events: Vec<SpanEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// An empty buffer holding at most `cap` events (0 disables
+    /// recording entirely — every push counts as dropped… except that
+    /// the runtime only pushes when tracing is on, so a zero cap never
+    /// sees a push in practice).
+    pub fn new(cap: usize) -> Self {
+        // Allocation is deferred to first push; a disabled run never
+        // allocates.
+        TraceBuffer { events: Vec::new(), cap, dropped: 0 }
+    }
+
+    /// Appends one event, or counts it as dropped at capacity.
+    pub fn push(&mut self, ev: SpanEvent) {
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Recorded events so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Consumes the buffer into `(events, dropped count)`.
+    pub fn into_parts(self) -> (Vec<SpanEvent>, u64) {
+        (self.events, self.dropped)
+    }
+}
+
+/// Virtual ns rendered as Chrome trace microseconds with exact
+/// nanosecond fractions (`1234567` → `"1234.567"`).
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// One trace_event record. `ph` is the Chrome phase; `dur_ns` only for
+/// complete (`"X"`) events; args are pre-rendered JSON values. The
+/// process-name metadata record always opens the array, so every record
+/// written here is comma-continued.
+fn push_record(
+    out: &mut String,
+    name: &str,
+    ph: &str,
+    t_ns: u64,
+    dur_ns: Option<u64>,
+    tid: usize,
+    args: &[(&str, String)],
+) {
+    out.push_str(",\n");
+    let _ = write!(out, "{{\"name\":\"{name}\",\"ph\":\"{ph}\",\"ts\":{}", ts_us(t_ns));
+    if let Some(d) = dur_ns {
+        let _ = write!(out, ",\"dur\":{}", ts_us(d));
+    }
+    if ph == "i" {
+        // Instant scope: thread.
+        out.push_str(",\"s\":\"t\"");
+    }
+    let _ = write!(out, ",\"pid\":1,\"tid\":{tid}");
+    if !args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{v}");
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Exports recorded spans as a Chrome `trace_event` JSON document.
+///
+/// Track layout (all under pid 1 "defa-serve"): tid 0 is the requests
+/// track (arrival/admit/drop instants plus per-request `wait` spans),
+/// tid `1 + shard` is one track per fleet shard (sched/batch instants
+/// plus per-request `req` serve spans), tid `fleet_size + 1` the
+/// controller track (applied actions), tid `fleet_size + 2` the epoch
+/// track (a `fleet` counter series: active shards, queue depth, clock).
+///
+/// Timestamps are virtual microseconds with exact nanosecond fractions;
+/// the output is a pure function of `events` and `fleet_size`.
+pub fn chrome_trace(events: &[SpanEvent], fleet_size: usize) -> String {
+    let req_tid = 0usize;
+    let shard_tid = |s: usize| 1 + s;
+    let ctrl_tid = fleet_size + 1;
+    let epoch_tid = fleet_size + 2;
+
+    let mut out = String::with_capacity(256 + events.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    // Metadata: process and track names. The process record opens the
+    // array; everything after it is comma-continued.
+    let _ = write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\
+         \"args\":{{\"name\":\"defa-serve\"}}}}"
+    );
+    let meta = |out: &mut String, tid: usize, name: &str| {
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{name}\"}}}}"
+        );
+    };
+    meta(&mut out, req_tid, "requests");
+    for s in 0..fleet_size {
+        meta(&mut out, shard_tid(s), &format!("shard {s}"));
+    }
+    meta(&mut out, ctrl_tid, "controller");
+    meta(&mut out, epoch_tid, "epochs");
+
+    for ev in events {
+        match ev {
+            SpanEvent::Arrival { t_ns, id, scenario } => push_record(
+                &mut out,
+                &format!("arrive {id}"),
+                "i",
+                *t_ns,
+                None,
+                req_tid,
+                &[("id", id.to_string()), ("scenario", scenario.to_string())],
+            ),
+            SpanEvent::Admitted { t_ns, id, queue_depth } => push_record(
+                &mut out,
+                &format!("admit {id}"),
+                "i",
+                *t_ns,
+                None,
+                req_tid,
+                &[("queue_depth", queue_depth.to_string())],
+            ),
+            SpanEvent::Dropped { t_ns, id } => push_record(
+                &mut out,
+                &format!("drop {id}"),
+                "i",
+                *t_ns,
+                None,
+                req_tid,
+                &[("id", id.to_string())],
+            ),
+            SpanEvent::Scheduled { t_ns, id, batch, shard } => push_record(
+                &mut out,
+                &format!("sched {id}"),
+                "i",
+                *t_ns,
+                None,
+                shard_tid(*shard),
+                &[("batch", batch.to_string())],
+            ),
+            SpanEvent::Dispatched { t_ns, batch, shard, size, clock_mhz } => push_record(
+                &mut out,
+                &format!("batch {batch} x{size}"),
+                "i",
+                *t_ns,
+                None,
+                shard_tid(*shard),
+                &[("clock_mhz", clock_mhz.to_string())],
+            ),
+            SpanEvent::Settled { t_ns, id, shard, batch, queue_ns, compute_ns, violated } => {
+                // Two complete spans replay the lifecycle visually: the
+                // admission-queue wait on the requests track, the serve
+                // span on the shard track.
+                let serve_start = t_ns - compute_ns;
+                if *queue_ns > 0 {
+                    push_record(
+                        &mut out,
+                        &format!("wait {id}"),
+                        "X",
+                        serve_start - queue_ns,
+                        Some(*queue_ns),
+                        req_tid,
+                        &[],
+                    );
+                }
+                push_record(
+                    &mut out,
+                    &format!("req {id}"),
+                    "X",
+                    serve_start,
+                    Some(*compute_ns),
+                    shard_tid(*shard),
+                    &[
+                        ("batch", batch.to_string()),
+                        ("queue_ns", queue_ns.to_string()),
+                        ("slo_violated", violated.to_string()),
+                    ],
+                );
+            }
+            SpanEvent::Epoch { t_ns, epoch, active_shards, queue_depth, clock_mhz } => {
+                push_record(
+                    &mut out,
+                    "fleet",
+                    "C",
+                    *t_ns,
+                    None,
+                    epoch_tid,
+                    &[
+                        ("active_shards", active_shards.to_string()),
+                        ("queue_depth", queue_depth.to_string()),
+                        ("clock_mhz", clock_mhz.to_string()),
+                    ],
+                );
+                push_record(&mut out, &format!("epoch {epoch}"), "i", *t_ns, None, epoch_tid, &[]);
+            }
+            SpanEvent::Control { t_ns, epoch, action, clock_mhz } => push_record(
+                &mut out,
+                action,
+                "i",
+                *t_ns,
+                None,
+                ctrl_tid,
+                &[("epoch", epoch.to_string()), ("clock_mhz", clock_mhz.to_string())],
+            ),
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_endpoints_are_exact() {
+        let all = SpanSampler::new(42, 1.0);
+        let none = SpanSampler::new(42, 0.0);
+        for id in 0..1_000u64 {
+            assert!(all.sampled(id), "rate 1.0 must sample id {id}");
+            assert!(!none.sampled(id), "rate 0.0 must never sample id {id}");
+        }
+    }
+
+    #[test]
+    fn sampler_rate_is_approximately_honoured() {
+        let n = 20_000u64;
+        for rate in [0.1, 0.5, 0.9] {
+            let s = SpanSampler::new(7, rate);
+            let hits = (0..n).filter(|&id| s.sampled(id)).count() as f64 / n as f64;
+            assert!((hits - rate).abs() < 0.02, "rate {rate}: sampled fraction {hits} too far off");
+        }
+    }
+
+    #[test]
+    fn sampler_is_a_pure_function_of_seed_and_id() {
+        let a = SpanSampler::new(42, 0.3);
+        let b = SpanSampler::new(42, 0.3);
+        let c = SpanSampler::new(43, 0.3);
+        let pick = |s: &SpanSampler| (0..512).filter(|&id| s.sampled(id)).collect::<Vec<_>>();
+        assert_eq!(pick(&a), pick(&b));
+        assert_ne!(pick(&a), pick(&c), "different seeds must sample different id sets");
+    }
+
+    #[test]
+    fn buffer_caps_and_counts_overflow() {
+        let mut buf = TraceBuffer::new(2);
+        for id in 0..5 {
+            buf.push(SpanEvent::Dropped { t_ns: id, id });
+        }
+        let (events, dropped) = buf.into_parts();
+        assert_eq!(events.len(), 2);
+        assert_eq!(dropped, 3);
+        assert_eq!(events[0], SpanEvent::Dropped { t_ns: 0, id: 0 }, "kept prefix is the oldest");
+    }
+
+    #[test]
+    fn chrome_export_is_valid_shaped_json_with_all_tracks() {
+        let events = vec![
+            SpanEvent::Arrival { t_ns: 1_000, id: 0, scenario: 2 },
+            SpanEvent::Admitted { t_ns: 1_000, id: 0, queue_depth: 1 },
+            SpanEvent::Dispatched { t_ns: 2_000, batch: 0, shard: 1, size: 1, clock_mhz: 400 },
+            SpanEvent::Scheduled { t_ns: 2_000, id: 0, batch: 0, shard: 1 },
+            SpanEvent::Settled {
+                t_ns: 5_500,
+                id: 0,
+                shard: 1,
+                batch: 0,
+                queue_ns: 1_000,
+                compute_ns: 2_500,
+                violated: false,
+            },
+            SpanEvent::Epoch {
+                t_ns: 6_000,
+                epoch: 0,
+                active_shards: 2,
+                queue_depth: 0,
+                clock_mhz: 400,
+            },
+            SpanEvent::Control { t_ns: 6_000, epoch: 0, action: "add_shard", clock_mhz: 0 },
+        ];
+        let json = chrome_trace(&events, 2);
+        for key in [
+            "\"traceEvents\"",
+            "\"requests\"",
+            "\"shard 0\"",
+            "\"shard 1\"",
+            "\"controller\"",
+            "\"epochs\"",
+            "\"req 0\"",
+            "\"wait 0\"",
+            "\"ts\":3.000", // serve span start = 5500 - 2500 ns = 3.000 µs
+            "\"dur\":2.500",
+            "add_shard",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        // Identical inputs produce identical bytes.
+        assert_eq!(json, chrome_trace(&events, 2));
+    }
+
+    #[test]
+    fn timestamps_render_exact_nanosecond_fractions() {
+        assert_eq!(ts_us(0), "0.000");
+        assert_eq!(ts_us(999), "0.999");
+        assert_eq!(ts_us(1_000), "1.000");
+        assert_eq!(ts_us(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn event_accessors_expose_time_id_and_kind() {
+        let e = SpanEvent::Settled {
+            t_ns: 50,
+            id: 7,
+            shard: 0,
+            batch: 3,
+            queue_ns: 10,
+            compute_ns: 20,
+            violated: true,
+        };
+        assert_eq!(e.at_ns(), 50);
+        assert_eq!(e.request_id(), Some(7));
+        assert_eq!(e.kind(), "settled");
+        let d = SpanEvent::Dispatched { t_ns: 9, batch: 0, shard: 0, size: 4, clock_mhz: 400 };
+        assert_eq!(d.request_id(), None);
+        assert_eq!(d.kind(), "dispatched");
+    }
+}

@@ -12,6 +12,7 @@ use crate::config::ServeConfig;
 use crate::control::DvfsPoint;
 use crate::energy::{fmt_joules, EnergyBreakdown};
 use crate::histogram::{fmt_ns, LatencyHistogram};
+use crate::obs::ObsReport;
 use defa_model::workload::SloClass;
 use std::fmt;
 
@@ -231,6 +232,12 @@ pub struct ServeReport {
     /// so per-request attribution (and its byte-compat pins) is
     /// untouched.
     pub static_energy_pj: u128,
+    /// The observability section: recorded spans, the metrics registry
+    /// and the wall-clock self-profile. Empty (and equal to
+    /// [`ObsReport::disabled`]) unless [`ServeConfig::obs`] enabled a
+    /// pillar; its `PartialEq` ignores the wall-clock profile, so
+    /// report equality stays a virtual-schedule statement.
+    pub obs: ObsReport,
 }
 
 impl ServeReport {
@@ -462,6 +469,19 @@ impl fmt::Display for ServeReport {
             self.live.epochs_stepped,
             self.live.epochs_skipped,
         )?;
+        if self.obs.enabled() {
+            let snaps = self.obs.metrics.as_ref().map_or(0, |m| m.snapshots().len());
+            writeln!(
+                f,
+                "  observability   : {} spans ({} sampled requests, {} overflow), {} metric \
+                 snapshots, {} profiled wall",
+                self.obs.events.len(),
+                self.obs.sampled_requests,
+                self.obs.events_dropped,
+                snaps,
+                fmt_ns(self.obs.profile.total_wall_ns()),
+            )?;
+        }
         Ok(())
     }
 }

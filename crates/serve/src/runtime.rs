@@ -98,6 +98,7 @@ use crate::energy::EnergyBreakdown;
 use crate::events::EventList;
 use crate::histogram::LatencyHistogram;
 use crate::loadgen::ArrivalIter;
+use crate::obs::{Obs, ProfSection};
 use crate::report::{EpochStat, LiveStats, RequestOutcome, ServeReport};
 use crate::router::ShardView;
 use crate::ServeError;
@@ -353,6 +354,9 @@ struct SimState {
     ep_dropped: u64,
     ep_completed: u64,
     ep_slo: u64,
+    /// The observability collector (every hook bails on one boolean when
+    /// its pillar is disabled — the zero-overhead contract).
+    obs: Obs,
 }
 
 impl SimState {
@@ -368,6 +372,7 @@ impl SimState {
         shard_active: bool,
     ) -> Result<(), ServeError> {
         let Some(inf) = slot.take() else { return Ok(()) };
+        let prof = self.obs.prof_begin();
         let results = match inf.results {
             BatchResults::Pool(rx) => rx.recv().map_err(|_| {
                 ServeError::WorkerLost(format!("shard {shard} dropped batch {}", inf.batch))
@@ -413,6 +418,16 @@ impl SimState {
                 self.slo_violations += 1;
                 self.ep_slo += 1;
             }
+            self.obs.on_settle(
+                t,
+                m.id,
+                shard,
+                inf.batch,
+                queue_ns,
+                compute_ns,
+                violated,
+                out.energy.total_pj(),
+            );
             self.timeline.arrival(m.arrival_ns);
             self.timeline.completion(t, out.energy, violated);
             self.ledger.record(m.id, outcome);
@@ -422,17 +437,31 @@ impl SimState {
             self.events.reschedule_shard(shard, t);
         }
         self.makespan_ns = self.makespan_ns.max(t);
+        self.obs.prof_end(ProfSection::Settle, prof);
         Ok(())
     }
 
     /// Records whatever the admission queue decided about one arrival.
-    fn record_admission(&mut self, verdict: Admission) {
+    /// `req` is the offered newcomer, `depth` the queue depth after the
+    /// verdict; under evict-oldest the dropped id can be an older waiter
+    /// while the newcomer itself is admitted.
+    fn record_admission(&mut self, req: &QueuedRequest, verdict: Admission, depth: usize) {
+        self.obs.on_arrival(req.arrival_ns, req.id, req.scenario);
         self.ep_arrivals += 1;
-        if let Admission::Dropped { id, arrival_ns } = verdict {
-            self.dropped += 1;
-            self.ep_dropped += 1;
-            self.timeline.drop_at(arrival_ns);
-            self.ledger.record(id, RequestOutcome::Dropped { arrival_ns });
+        match verdict {
+            Admission::Admitted => self.obs.on_admitted(req.arrival_ns, req.id, depth),
+            Admission::Dropped { id, arrival_ns } => {
+                if id != req.id {
+                    // Evict-oldest: the newcomer got in; an old waiter
+                    // was shed at the newcomer's arrival instant.
+                    self.obs.on_admitted(req.arrival_ns, req.id, depth);
+                }
+                self.obs.on_dropped(req.arrival_ns, id);
+                self.dropped += 1;
+                self.ep_dropped += 1;
+                self.timeline.drop_at(arrival_ns);
+                self.ledger.record(id, RequestOutcome::Dropped { arrival_ns });
+            }
         }
     }
 
@@ -719,6 +748,7 @@ impl ServeRuntime {
             ep_dropped: 0,
             ep_completed: 0,
             ep_slo: 0,
+            obs: Obs::new(&cfg.obs, self.gen.seed(), fleet_size),
         };
         let mut queue = AdmissionQueue::new(cfg.queue_capacity, cfg.drop);
         let mut inflight: Vec<Option<Inflight>> = (0..fleet_size).map(|_| None).collect();
@@ -778,6 +808,7 @@ impl ServeRuntime {
             // work exists to serve. (Under the pipelined round-robin path
             // free times may be stale-low; the bound is still
             // deterministic, which is all the control loop needs.)
+            let prof_pop = state.obs.prof_begin();
             let pending = queue
                 .front()
                 .map(|r| r.arrival_ns)
@@ -785,6 +816,7 @@ impl ServeRuntime {
                 .expect("loop not done: work exists");
             let min_free = state.events.min_active_free().expect("at least one active shard");
             let t_now = min_free.max(pending);
+            state.obs.prof_end(ProfSection::EventPop, prof_pop);
 
             // Settle every epoch boundary the decision time has crossed:
             // snapshot the ended epoch, let the controller act, apply its
@@ -825,7 +857,9 @@ impl ServeRuntime {
                     );
                     continue;
                 }
+                let prof_ctl = state.obs.prof_begin();
                 for action in controller.decide(&view) {
+                    state.obs.on_control(boundary, epoch, &action);
                     match action {
                         ControlAction::AddShard => {
                             if let Some(s) = active.iter().position(|a| !a) {
@@ -859,6 +893,20 @@ impl ServeRuntime {
                 if epoch_states.last().map(|(_, prev)| *prev != st).unwrap_or(true) {
                     epoch_states.push((epoch + 1, st));
                 }
+                state.obs.prof_end(ProfSection::ControllerStep, prof_ctl);
+                let inflight_now = state.inflight_members;
+                let ev_depth = state.events.depth() as u64;
+                let free_ev = state.events.live_shard_events() as u64;
+                state.obs.on_epoch(
+                    boundary,
+                    epoch,
+                    st.active_shards,
+                    queue.len(),
+                    clock,
+                    inflight_now,
+                    ev_depth,
+                    free_ev,
+                );
                 state.epochs_stepped += 1;
                 state.events.set_boundary(boundary.saturating_add(epoch_ns), epoch + 1);
             }
@@ -889,19 +937,25 @@ impl ServeRuntime {
 
             // Admission: everything that arrived while this shard was
             // busy faces the bounded queue and its drop policy.
+            let prof_pull = state.obs.prof_begin();
             while state.events.arrival().is_some_and(|(t, _)| t <= t_free) {
                 let (t_arr, id) = next_arrival(&mut state.events, &mut stream, n_requests);
-                state.record_admission(queue.offer(queued(id, t_arr)));
+                let req = queued(id, t_arr);
+                let verdict = queue.offer(req);
+                state.record_admission(&req, verdict, queue.len());
                 state.note_live(queue.len());
             }
             if queue.is_empty() {
                 if state.events.arrival().is_none() {
+                    state.obs.prof_end(ProfSection::ArrivalPull, prof_pull);
                     continue; // other shards may still be in flight; loop exits above
                 }
                 // Idle shard: virtually wait for the next arrival (an
                 // empty queue always admits).
                 let (t_arr, id) = next_arrival(&mut state.events, &mut stream, n_requests);
-                state.record_admission(queue.offer(queued(id, t_arr)));
+                let req = queued(id, t_arr);
+                let verdict = queue.offer(req);
+                state.record_admission(&req, verdict, queue.len());
                 state.note_live(queue.len());
             }
             // Batching window: wait for a full batch unless the oldest
@@ -911,10 +965,14 @@ impl ServeRuntime {
                 && state.events.arrival().is_some_and(|(t, _)| t <= t_deadline)
             {
                 let (t_arr, id) = next_arrival(&mut state.events, &mut stream, n_requests);
-                state.record_admission(queue.offer(queued(id, t_arr)));
+                let req = queued(id, t_arr);
+                let verdict = queue.offer(req);
+                state.record_admission(&req, verdict, queue.len());
                 state.note_live(queue.len());
             }
+            state.obs.prof_end(ProfSection::ArrivalPull, prof_pull);
             // Scheduling: the policy picks who rides this batch.
+            let prof_dispatch = state.obs.prof_begin();
             let members = scheduler.select(&mut queue, cfg.max_batch, t_free);
             debug_assert!(!members.is_empty(), "scheduler returned an empty batch");
             let last_arrival = members.iter().map(|m| m.arrival_ns).max().expect("batch non-empty");
@@ -927,6 +985,10 @@ impl ServeRuntime {
             };
             let start_ns = t_free.max(ready_at);
             batched_requests += members.len() as u64;
+            state.obs.on_dispatch(start_ns, batches, shard, members.len(), clock);
+            for m in &members {
+                state.obs.on_scheduled(start_ns, m.id, batches, shard);
+            }
 
             // Real execution. Payload-free fleets evaluate the batch
             // inline; otherwise the batch materializes and runs on this
@@ -958,6 +1020,7 @@ impl ServeRuntime {
             state.note_live(queue.len());
             inflight[shard] = Some(Inflight { start_ns, batch: batches, clock, members, results });
             batches += 1;
+            state.obs.prof_end(ProfSection::Dispatch, prof_dispatch);
         }
         for (shard, slot) in inflight.iter_mut().enumerate() {
             state.settle(shard, slot, overhead_ns, fleet[shard].as_ref(), active[shard])?;
@@ -991,6 +1054,7 @@ impl ServeRuntime {
             peak_inflight,
             epochs_stepped,
             epochs_skipped,
+            obs,
             ..
         } = state;
         let (digest, outcomes, peak_reorder) = ledger.finish(n_requests);
@@ -1024,6 +1088,7 @@ impl ServeRuntime {
             live,
             timeline,
             static_energy_pj,
+            obs: obs.finish(),
         })
     }
 }

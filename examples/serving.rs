@@ -17,13 +17,17 @@
 //! 3. the closed control loop: an 8× step-surge trace served by a static
 //!    fleet and by the elastic `ShardAutoscaler`, with the per-epoch
 //!    timeline showing the fleet growing into the spike and draining
-//!    back out.
+//!    back out;
+//! 4. the observability layer: the same surge re-run with span tracing,
+//!    metrics and self-profiling on — one request's full lifecycle, the
+//!    metrics the registry collected, and a Chrome-loadable trace, all
+//!    without moving the virtual schedule by a nanosecond.
 
 use defa_model::workload::RequestGenerator;
 use defa_model::MsdaConfig;
 use defa_serve::{
-    ArrivalProcess, AutoscalerConfig, BackendKind, ControlConfig, ControllerKind, RouterKind,
-    SchedulerKind, ServeConfig, ServeRuntime, TraceSchedule,
+    ArrivalProcess, AutoscalerConfig, BackendKind, ControlConfig, ControllerKind, ObsConfig,
+    ProfSection, RouterKind, SchedulerKind, ServeConfig, ServeRuntime, TraceSchedule,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -121,5 +125,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if e.dropped > 0 { format!(", {} dropped", e.dropped) } else { String::new() },
         );
     }
+
+    // 4. Observability: the elastic surge again, now with every probe
+    // on. Same seed, same config — the digest proves the flight
+    // recorder never touched the flight.
+    let observed_cfg = ServeConfig {
+        obs: ObsConfig::full().with_profile(),
+        ..control(ControllerKind::Autoscaler(AutoscalerConfig {
+            min_shards: 2,
+            ..AutoscalerConfig::default()
+        }))
+    };
+    let observed = runtime.run(&backend, &observed_cfg)?;
+    assert_eq!(observed.digest, elastic.digest, "observability must not perturb the schedule");
+    let obs = &observed.obs;
+    println!(
+        "\nobserved surge: {} span events over {} sampled requests (digest unchanged)",
+        obs.events.len(),
+        obs.sampled_requests,
+    );
+    if let Some(first) = obs.events.iter().find_map(|e| e.request_id()) {
+        println!("  request {first} lifecycle:");
+        for ev in obs.request_events(first) {
+            println!("    {:>9} ns  {}", ev.at_ns(), ev.kind());
+        }
+    }
+    if let Some(metrics) = &obs.metrics {
+        let busiest = metrics.counters().iter().max_by_key(|m| m.value);
+        println!(
+            "  metrics: {} counters, {} gauges, {} epoch snapshots (busiest counter: {})",
+            metrics.counters().len(),
+            metrics.gauges().len(),
+            metrics.snapshots().len(),
+            busiest.map_or_else(|| "-".into(), |m| format!("{} = {} {}", m.name, m.value, m.unit)),
+        );
+    }
+    println!(
+        "  self-profile: {} timed calls over {} ns wall (dispatch {} ns) — wall-clock \
+         numbers, excluded from every determinism pin",
+        obs.profile.total_calls(),
+        obs.profile.total_wall_ns(),
+        obs.profile.stat(ProfSection::Dispatch).wall_ns,
+    );
+    println!(
+        "  chrome trace: {} bytes; `serve_obs --out <dir>` writes it for chrome://tracing",
+        obs.chrome_trace().len(),
+    );
     Ok(())
 }
