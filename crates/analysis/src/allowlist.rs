@@ -1,0 +1,153 @@
+//! The in-repo allowlist: `analysis.allow` at the workspace root.
+//!
+//! TOML-free by constraint (no external parser crates) and by design —
+//! the format is one entry per line, greppable, and every entry carries
+//! a **mandatory justification**:
+//!
+//! ```text
+//! # comment
+//! <rule-id> <path> max=<N> why="<non-empty justification>"
+//! no-panic-in-library crates/parallel/src/lib.rs max=12 why="mutex poisoning is unrecoverable"
+//! ```
+//!
+//! Semantics:
+//!
+//! * an entry silences up to `max` violations of `<rule-id>` in
+//!   `<path>`; the `max + 1`-th violation is reported as over budget —
+//!   so new violations in an allowlisted file still fail the pass;
+//! * an entry that matches **zero** violations is *stale* and is itself
+//!   an error — the allowlist can only shrink ratchet-style as code is
+//!   fixed, never accrete dead exemptions;
+//! * the allowlisted counts are emitted in the `--json` report, where
+//!   `bench_diff` gates them **exactly**: silently consuming more (or
+//!   less) of a budget still forces a reviewed snapshot update.
+
+use std::collections::BTreeMap;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id the entry applies to.
+    pub rule: String,
+    /// Workspace-relative file path it covers.
+    pub path: String,
+    /// Maximum violations of `rule` in `path` the entry absorbs.
+    pub max: usize,
+    /// Mandatory human justification.
+    pub why: String,
+    /// 1-based line in `analysis.allow` (for error messages).
+    pub line: u32,
+}
+
+/// A parse failure, with its `analysis.allow` line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for AllowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "analysis.allow:{}: {}", self.line, self.message)
+    }
+}
+
+/// Parses the allowlist text. Unknown rules, malformed fields, missing
+/// or empty justifications, and duplicate `(rule, path)` pairs are all
+/// hard errors — a lint pass with a sloppy exemption file checks
+/// nothing.
+pub fn parse(text: &str, known_rules: &[&str]) -> Result<Vec<AllowEntry>, AllowError> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut seen: BTreeMap<(String, String), u32> = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| AllowError { line: lineno, message };
+        let mut parts = line.splitn(3, char::is_whitespace);
+        let rule = parts.next().unwrap_or_default().to_string();
+        let path = parts.next().unwrap_or_default().to_string();
+        let rest = parts.next().unwrap_or_default().trim();
+        if !known_rules.contains(&rule.as_str()) {
+            return Err(err(format!("unknown rule '{rule}' (known: {})", known_rules.join(", "))));
+        }
+        if path.is_empty() {
+            return Err(err("missing <path> field".into()));
+        }
+        let Some(after_max) = rest.strip_prefix("max=") else {
+            return Err(err(format!("expected `max=<N>` after the path, found '{rest}'")));
+        };
+        let (max_str, after) = after_max.split_once(char::is_whitespace).unwrap_or((after_max, ""));
+        let max: usize = max_str
+            .parse()
+            .map_err(|_| err(format!("`max=` needs a positive integer, found '{max_str}'")))?;
+        if max == 0 {
+            return Err(err("`max=0` allows nothing — delete the entry instead".into()));
+        }
+        let after = after.trim();
+        let Some(quoted) = after.strip_prefix("why=\"") else {
+            return Err(err("every entry needs a justification: why=\"...\"".into()));
+        };
+        let Some(why) = quoted.strip_suffix('"') else {
+            return Err(err("unterminated justification string".into()));
+        };
+        if why.trim().is_empty() {
+            return Err(err("justification must be non-empty".into()));
+        }
+        if let Some(prev) = seen.insert((rule.clone(), path.clone()), lineno) {
+            return Err(err(format!(
+                "duplicate entry for ({rule}, {path}) — first defined on line {prev}"
+            )));
+        }
+        entries.push(AllowEntry { rule, path, max, why: why.to_string(), line: lineno });
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: [&str; 2] = ["no-panic-in-library", "no-wall-clock"];
+
+    #[test]
+    fn parses_entries_comments_and_blanks() {
+        let text = "\
+# header comment
+no-panic-in-library crates/a/src/lib.rs max=3 why=\"invariant-backed\"
+
+no-wall-clock crates/b/src/lib.rs max=1 why=\"legacy probe, tracked in #12\"
+";
+        let e = parse(text, &RULES).unwrap();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].rule, "no-panic-in-library");
+        assert_eq!(e[0].max, 3);
+        assert_eq!(e[0].why, "invariant-backed");
+        assert_eq!(e[1].line, 4);
+    }
+
+    #[test]
+    fn justification_is_mandatory_and_non_empty() {
+        for bad in [
+            "no-wall-clock crates/a/src/lib.rs max=1",
+            "no-wall-clock crates/a/src/lib.rs max=1 why=\"\"",
+            "no-wall-clock crates/a/src/lib.rs max=1 why=\"   \"",
+            "no-wall-clock crates/a/src/lib.rs max=1 why=\"unterminated",
+        ] {
+            assert!(parse(bad, &RULES).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn unknown_rules_bad_max_and_duplicates_error() {
+        assert!(parse("no-such-rule p max=1 why=\"x\"", &RULES).is_err());
+        assert!(parse("no-wall-clock p max=zero why=\"x\"", &RULES).is_err());
+        assert!(parse("no-wall-clock p max=0 why=\"x\"", &RULES).is_err());
+        let dup = "no-wall-clock p max=1 why=\"x\"\nno-wall-clock p max=2 why=\"y\"";
+        let e = parse(dup, &RULES).unwrap_err();
+        assert!(e.message.contains("duplicate"), "{}", e.message);
+        assert_eq!(e.line, 2);
+    }
+}

@@ -1,0 +1,493 @@
+//! A hand-rolled token-level lexer for Rust source.
+//!
+//! The container has no crates.io access, so `syn`/`proc-macro2` are off
+//! the table — the same constraint that produced the local
+//! rayon/criterion stand-ins. The determinism rules only need *tokens
+//! with spans*, not a syntax tree: an identifier is a potential API
+//! call, a comment is a potential `// SAFETY:` justification, and
+//! everything inside string literals must be ignored. This lexer covers
+//! the token forms that actually occur in real Rust source, including
+//! the classically tricky ones:
+//!
+//! * nested block comments (`/* /* */ */`);
+//! * raw strings with arbitrary hash fences (`r##"…"##`), byte strings
+//!   and raw byte strings;
+//! * lifetimes vs char literals (`'a` vs `'a'`, including `'\''`);
+//! * raw identifiers (`r#match`) — lexed as identifiers, never as the
+//!   start of a raw string;
+//! * numeric literals with underscores, type suffixes and exponents.
+//!
+//! Anything it does not model (float vs int distinction, keyword
+//! classification beyond the identifier text) is irrelevant to the
+//! rules and deliberately left out.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `r#match`, …).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// Character literal (`'x'`, `'\''`, `'\u{1F600}'`).
+    CharLit,
+    /// String literal of any form (plain, raw, byte, raw byte).
+    StrLit,
+    /// Numeric literal (`0xFF`, `1_000`, `2.5e-3`, `42usize`).
+    NumLit,
+    /// Line comment (`//`, `///`, `//!`) including its text.
+    LineComment,
+    /// Block comment (`/* … */`, nested) including its text.
+    BlockComment,
+    /// Any single punctuation byte (`.`, `!`, `(`, `{`, `#`, …).
+    Punct,
+}
+
+/// One lexed token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Token text, exactly as written (comments keep their delimiters).
+    pub text: String,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// True for the punctuation byte `b`.
+    pub fn is_punct(&self, b: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.as_bytes()[0] == b as u8
+    }
+
+    /// True for comments of either form.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Identifier text with any `r#` prefix stripped, or `None`.
+    pub fn ident(&self) -> Option<&str> {
+        if self.kind == TokenKind::Ident {
+            Some(self.text.strip_prefix("r#").unwrap_or(&self.text))
+        } else {
+            None
+        }
+    }
+}
+
+/// Lexes `src` into a token stream. Unterminated constructs (strings,
+/// block comments) consume to end of input rather than erroring: the
+/// rules run over code that `rustc` already accepted, so recovery only
+/// matters for fixture robustness.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { b: src.as_bytes(), src, pos: 0, line: 1, col: 1, out: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, off: usize) -> Option<u8> {
+        self.b.get(self.pos + off).copied()
+    }
+
+    /// Advances one byte, tracking line/col.
+    fn bump(&mut self) {
+        if self.b[self.pos] == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.pos < self.b.len() {
+                self.bump();
+            }
+        }
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        self.out.push(Token { kind, text: self.src[start..self.pos].to_string(), line, col });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        // A leading shebang line is not Rust tokens.
+        if self.b.starts_with(b"#!") && !self.b.starts_with(b"#![") {
+            while self.peek(0).is_some_and(|c| c != b'\n') {
+                self.bump();
+            }
+        }
+        while let Some(c) = self.peek(0) {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.peek(0).is_some_and(|c| c != b'\n') {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::LineComment, start, line, col);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    self.emit(TokenKind::BlockComment, start, line, col);
+                }
+                b'\'' => self.lifetime_or_char(start, line, col),
+                b'"' => {
+                    self.string_body();
+                    self.emit(TokenKind::StrLit, start, line, col);
+                }
+                b'r' | b'b' => {
+                    if let Some(kind) = self.raw_or_prefixed(start) {
+                        self.emit(kind, start, line, col);
+                    } else {
+                        self.ident_body();
+                        self.emit(TokenKind::Ident, start, line, col);
+                    }
+                }
+                c if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => {
+                    self.ident_body();
+                    self.emit(TokenKind::Ident, start, line, col);
+                }
+                c if c.is_ascii_digit() => {
+                    self.number_body();
+                    self.emit(TokenKind::NumLit, start, line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.emit(TokenKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Consumes a `/* … */` comment, honouring nesting.
+    fn block_comment(&mut self) {
+        self.bump_n(2); // `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump_n(2);
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// After a `'`: a char literal iff the body is followed by a closing
+    /// quote, otherwise a lifetime/label. `'\''` and `'\u{…}'` are chars;
+    /// `'a` and `'static` are lifetimes; `'a'` is a char.
+    fn lifetime_or_char(&mut self, start: usize, line: u32, col: u32) {
+        self.bump(); // opening '
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: consume escape, then to closing quote.
+                self.bump();
+                if self.peek(0).is_some() {
+                    self.bump();
+                }
+                while self.peek(0).is_some_and(|c| c != b'\'' && c != b'\n') {
+                    self.bump();
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                self.emit(TokenKind::CharLit, start, line, col);
+            }
+            Some(c) if c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80 => {
+                // Could be `'a'` (char) or `'abc` (lifetime): consume the
+                // ident-ish run, then check for a closing quote.
+                while self
+                    .peek(0)
+                    .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80)
+                {
+                    self.bump();
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                    self.emit(TokenKind::CharLit, start, line, col);
+                } else {
+                    self.emit(TokenKind::Lifetime, start, line, col);
+                }
+            }
+            Some(b'\'') => {
+                // `''` — empty char literal (invalid Rust, but recover).
+                self.bump();
+                self.emit(TokenKind::CharLit, start, line, col);
+            }
+            Some(_) => {
+                // `'('`-style single-char literal of a non-ident byte.
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                self.emit(TokenKind::CharLit, start, line, col);
+            }
+            None => self.emit(TokenKind::Lifetime, start, line, col),
+        }
+    }
+
+    /// Consumes a plain `"…"` body (after the opening quote is current).
+    fn string_body(&mut self) {
+        self.bump(); // opening "
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a raw string body `r#*"…"#*` with the fence already
+    /// counted (`hashes`), starting at the opening `"`.
+    fn raw_string_body(&mut self, hashes: usize) {
+        self.bump(); // opening "
+        while self.peek(0).is_some() {
+            if self.peek(0) == Some(b'"') {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.bump_n(1 + hashes);
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Disambiguates tokens starting with `r` or `b`: raw strings
+    /// (`r"`, `r#"`), byte strings (`b"`, `br"`, `br#"`), byte chars
+    /// (`b'x'`), raw identifiers (`r#ident`) — or a plain identifier.
+    /// Returns the token kind if a literal was consumed, else `None`
+    /// (caller lexes an identifier).
+    fn raw_or_prefixed(&mut self, _start: usize) -> Option<TokenKind> {
+        let c0 = self.peek(0)?;
+        // b'x' byte char literal.
+        if c0 == b'b' && self.peek(1) == Some(b'\'') {
+            self.bump(); // b
+            let (s, l, c) = (self.pos, self.line, self.col);
+            self.lifetime_or_char(s, l, c);
+            // lifetime_or_char already emitted a CharLit/Lifetime token for
+            // the quote part; merge is unnecessary for the rules, but we
+            // must not emit twice. Pop the sub-token and report as CharLit.
+            self.out.pop();
+            return Some(TokenKind::CharLit);
+        }
+        // b"…" byte string.
+        if c0 == b'b' && self.peek(1) == Some(b'"') {
+            self.bump();
+            self.string_body();
+            return Some(TokenKind::StrLit);
+        }
+        // br#*"…" raw byte string.
+        if c0 == b'b' && self.peek(1) == Some(b'r') {
+            let mut h = 0usize;
+            while self.peek(2 + h) == Some(b'#') {
+                h += 1;
+            }
+            if self.peek(2 + h) == Some(b'"') {
+                self.bump_n(2 + h);
+                self.raw_string_body(h);
+                return Some(TokenKind::StrLit);
+            }
+            return None;
+        }
+        if c0 == b'r' {
+            let mut h = 0usize;
+            while self.peek(1 + h) == Some(b'#') {
+                h += 1;
+            }
+            if self.peek(1 + h) == Some(b'"') {
+                // r"…" or r#"…"# raw string.
+                self.bump_n(1 + h);
+                self.raw_string_body(h);
+                return Some(TokenKind::StrLit);
+            }
+            if h == 1
+                && self.peek(2).is_some_and(|c| c == b'_' || c.is_ascii_alphabetic() || c >= 0x80)
+            {
+                // r#ident raw identifier: consume as one Ident token.
+                self.bump_n(2);
+                self.ident_body();
+                return Some(TokenKind::Ident);
+            }
+        }
+        None
+    }
+
+    fn ident_body(&mut self) {
+        while self.peek(0).is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80) {
+            self.bump();
+        }
+    }
+
+    fn number_body(&mut self) {
+        // Integer/float body: digits, underscores, radix prefixes, a
+        // possible `.` fraction, exponent with sign, and a type suffix.
+        // Precise numeric grammar is irrelevant to the rules; consume the
+        // maximal plausible run without swallowing `..` or method calls
+        // (`1.max(2)`).
+        while self.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+            // `e+`/`e-` exponent signs ride along with the ident-ish run.
+            let at_exp = (self.peek(0) == Some(b'e') || self.peek(0) == Some(b'E'))
+                && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                && self.peek(2).is_some_and(|c| c.is_ascii_digit());
+            self.bump();
+            if at_exp {
+                self.bump(); // sign
+            }
+        }
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while self.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+                let at_exp = (self.peek(0) == Some(b'e') || self.peek(0) == Some(b'E'))
+                    && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                    && self.peek(2).is_some_and(|c| c.is_ascii_digit());
+                self.bump();
+                if at_exp {
+                    self.bump();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        let t = kinds("unsafe fn f(x: u32) { x.unwrap() }");
+        assert_eq!(t[0], (TokenKind::Ident, "unsafe".into()));
+        assert_eq!(t[1], (TokenKind::Ident, "fn".into()));
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Ident && s == "unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Lifetime && s == "'a"));
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::CharLit && s == "'x'"));
+        // Escaped quote and unicode escape are chars, `'static` is a lifetime.
+        let t = kinds(r"('\'', '\u{1F600}', &'static str)");
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokenKind::CharLit).count(), 2);
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Lifetime && s == "'static"));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let t = kinds(r####"let x = r#"Instant::now() inside a string"#;"####);
+        assert!(t.iter().all(|(_, s)| !s.contains("now") || s.starts_with("r#")));
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::StrLit && s.contains("Instant")));
+        // Multi-hash fence with an embedded `"#`.
+        let t = kinds(r#####"r##"fence "# inside"##"#####);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].0, TokenKind::StrLit);
+    }
+
+    #[test]
+    fn plain_and_byte_strings() {
+        let t = kinds(r##"("esc \" quote", b"bytes", b'x', br#"raw"#)"##);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokenKind::StrLit).count(), 3);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokenKind::CharLit).count(), 1);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_raw_strings() {
+        let t = kinds("let r#match = r#fn;");
+        let raws: Vec<_> =
+            t.iter().filter(|(k, s)| *k == TokenKind::Ident && s.starts_with("r#")).collect();
+        assert_eq!(raws.len(), 2);
+        // And `ident()` strips the prefix.
+        let toks = lex("r#match");
+        assert_eq!(toks[0].ident(), Some("match"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let t = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[1].0, TokenKind::BlockComment);
+        assert!(t[1].1.contains("inner"));
+        assert_eq!(t[2], (TokenKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn line_comments_and_doc_comments() {
+        let t = kinds("x // trailing\n/// doc\n//! inner\ny");
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokenKind::LineComment).count(), 3);
+        assert_eq!(t.last().unwrap(), &(TokenKind::Ident, "y".into()));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_exponents() {
+        let t = kinds("(0xFF_u8, 1_000, 2.5e-3, 42usize, 1.max(2))");
+        let nums: Vec<_> = t.iter().filter(|(k, _)| *k == TokenKind::NumLit).collect();
+        assert_eq!(nums.len(), 6); // 1.max(2) lexes `1` and `2` separately
+        assert!(nums.iter().any(|(_, s)| s == "2.5e-3"));
+        assert!(nums.iter().any(|(_, s)| s == "0xFF_u8"));
+        // `1.max` must not swallow the `.` as a float.
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Ident && s == "max"));
+    }
+
+    #[test]
+    fn spans_are_one_based_lines_and_cols() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn strings_spanning_lines_keep_line_accounting() {
+        let toks = lex("\"line1\nline2\"\nafter");
+        assert_eq!(toks[0].kind, TokenKind::StrLit);
+        let after = &toks[1];
+        assert_eq!((after.text.as_str(), after.line), ("after", 3));
+    }
+
+    #[test]
+    fn shebang_is_skipped_but_inner_attr_is_not() {
+        let t = kinds("#!/usr/bin/env rust\nfn main() {}");
+        assert_eq!(t[0], (TokenKind::Ident, "fn".into()));
+        let t = kinds("#![allow(dead_code)]");
+        assert_eq!(t[0].0, TokenKind::Punct); // `#`
+    }
+
+    #[test]
+    fn unterminated_constructs_recover_at_eof() {
+        assert_eq!(lex("/* never closed").len(), 1);
+        assert_eq!(lex("\"never closed").len(), 1);
+        assert_eq!(lex("r#\"never closed").len(), 1);
+    }
+}

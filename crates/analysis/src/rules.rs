@@ -1,0 +1,594 @@
+//! The determinism-contract rules.
+//!
+//! Each rule walks one file's token stream and emits spanned
+//! violations. The scopes mirror the prose contract in ROADMAP.md's
+//! design notes (see `crates/serve/README.md` § "Determinism contract,
+//! machine-checked" for the rule-by-rule mapping):
+//!
+//! | rule id                  | forbids                                   | scope                                         |
+//! |--------------------------|-------------------------------------------|-----------------------------------------------|
+//! | `no-wall-clock`          | `Instant` / `SystemTime`                  | everywhere except `obs/profile.rs`, `crates/criterion`, bench bins/benches |
+//! | `no-ambient-randomness`  | `thread_rng` / `from_entropy` / `RandomState` | the whole workspace                       |
+//! | `no-unordered-iteration` | `HashMap` / `HashSet`                     | library code of `serve` (non-obs), `core`, `tensor`, `bench` |
+//! | `unsafe-audit`           | `unsafe` without a `SAFETY`-marked comment | the whole workspace (also builds the inventory) |
+//! | `no-panic-in-library`    | `.unwrap()` / `.expect(…)` / `panic!`     | library code outside `#[cfg(test)]` / `#[test]` regions |
+//!
+//! Rules are syntactic by design: a token named `Instant` that is not
+//! `std::time::Instant` still fires, and the allowlist (with its
+//! mandatory justification) is the pressure valve — exactly like the
+//! `bench_diff --allow` escape hatch for intentional perf moves.
+
+use crate::lexer::{lex, Token};
+use crate::walker::{FileKind, SourceFile};
+
+/// Stable rule identifiers (also the allowlist / JSON keys).
+pub const RULE_IDS: [&str; 5] = [
+    "no-wall-clock",
+    "no-ambient-randomness",
+    "no-unordered-iteration",
+    "unsafe-audit",
+    "no-panic-in-library",
+];
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id from [`RULE_IDS`].
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line / byte column of the offending token.
+    pub line: u32,
+    pub col: u32,
+    /// Human explanation with the remediation.
+    pub message: String,
+}
+
+/// What kind of `unsafe` site an inventory entry is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    /// `unsafe fn` declaration.
+    Fn,
+    /// `unsafe { … }` block (including `unsafe extern`).
+    Block,
+    /// `unsafe impl` / `unsafe trait`.
+    ImplOrTrait,
+}
+
+impl UnsafeKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            UnsafeKind::Fn => "fn",
+            UnsafeKind::Block => "block",
+            UnsafeKind::ImplOrTrait => "impl",
+        }
+    }
+}
+
+/// One `unsafe` site, SAFETY-commented or not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeSite {
+    pub path: String,
+    pub line: u32,
+    pub kind: UnsafeKind,
+    /// Whether a `SAFETY`-marked comment justifies the site.
+    pub documented: bool,
+}
+
+/// Output of running every rule over one file set.
+#[derive(Debug, Default)]
+pub struct RuleOutput {
+    pub violations: Vec<Violation>,
+    /// Every `unsafe` site found, documented or not (the inventory).
+    pub unsafe_sites: Vec<UnsafeSite>,
+}
+
+/// Runs all five rules over `files` (workspace or synthetic fixtures).
+pub fn run_rules(files: &[SourceFile]) -> RuleOutput {
+    let mut out = RuleOutput::default();
+    for f in files {
+        let toks = lex(&f.text);
+        let test_mask = test_region_mask(&toks);
+        no_wall_clock(f, &toks, &mut out.violations);
+        no_ambient_randomness(f, &toks, &mut out.violations);
+        no_unordered_iteration(f, &toks, &mut out.violations);
+        unsafe_audit(f, &toks, &mut out);
+        no_panic_in_library(f, &toks, &test_mask, &mut out.violations);
+    }
+    // Deterministic report order regardless of rule interleaving.
+    out.violations
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    out.unsafe_sites.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Test-region detection
+// ---------------------------------------------------------------------------
+
+/// Marks token indices that live inside `#[cfg(test)]` items or
+/// `#[test]` functions — the regions `no-panic-in-library` exempts.
+///
+/// Token-level heuristic: an attribute whose content mentions `test`
+/// (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`) starts a test
+/// item; the region runs to the matching `}` of the first `{` that
+/// follows (or to the `;` of a braceless item).
+fn test_region_mask(toks: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // Find the attribute's closing `]` (attrs can nest brackets).
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            let mut mentions_test = false;
+            while j < toks.len() {
+                if toks[j].is_punct('[') {
+                    depth += 1;
+                } else if toks[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if toks[j].ident() == Some("test") {
+                    mentions_test = true;
+                }
+                j += 1;
+            }
+            if mentions_test {
+                // Scan to the item body `{ … }` (or a `;` for braceless
+                // items); everything through the matching brace is test
+                // code. Later attributes may intervene (`#[test] #[ignore]`).
+                let mut k = j + 1;
+                while k < toks.len() && !toks[k].is_punct('{') && !toks[k].is_punct(';') {
+                    k += 1;
+                }
+                if k < toks.len() && toks[k].is_punct('{') {
+                    let mut bdepth = 0i32;
+                    let mut end = k;
+                    while end < toks.len() {
+                        if toks[end].is_punct('{') {
+                            bdepth += 1;
+                        } else if toks[end].is_punct('}') {
+                            bdepth -= 1;
+                            if bdepth == 0 {
+                                break;
+                            }
+                        }
+                        end += 1;
+                    }
+                    for m in mask.iter_mut().take(end.min(toks.len() - 1) + 1).skip(i) {
+                        *m = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-wall-clock
+// ---------------------------------------------------------------------------
+
+/// Paths where reading the host clock is sanctioned.
+fn wall_clock_exempt(f: &SourceFile) -> bool {
+    f.path == "crates/serve/src/obs/profile.rs"
+        || f.path.starts_with("crates/criterion/")
+        || matches!(f.kind, FileKind::Bin | FileKind::Bench)
+}
+
+fn no_wall_clock(f: &SourceFile, toks: &[Token], out: &mut Vec<Violation>) {
+    if wall_clock_exempt(f) {
+        return;
+    }
+    for t in toks {
+        if matches!(t.ident(), Some("Instant") | Some("SystemTime")) {
+            out.push(Violation {
+                rule: "no-wall-clock",
+                path: f.path.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` reads the host clock; the serving stack runs on virtual time — \
+                     route wall-clock measurement through `obs::profile` or a bench bin",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-ambient-randomness
+// ---------------------------------------------------------------------------
+
+fn no_ambient_randomness(f: &SourceFile, toks: &[Token], out: &mut Vec<Violation>) {
+    for t in toks {
+        if matches!(t.ident(), Some("thread_rng") | Some("from_entropy") | Some("RandomState")) {
+            out.push(Violation {
+                rule: "no-ambient-randomness",
+                path: f.path.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` draws OS entropy; all randomness must flow from an explicit \
+                     seed (`defa_tensor::rng`) so reports replay byte-identically",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-unordered-iteration
+// ---------------------------------------------------------------------------
+
+/// Library code whose iteration order reaches digests or reports.
+fn unordered_scope(f: &SourceFile) -> bool {
+    if f.kind != FileKind::Library {
+        return false;
+    }
+    (f.path.starts_with("crates/serve/") && !f.path.starts_with("crates/serve/src/obs/"))
+        || f.path.starts_with("crates/core/")
+        || f.path.starts_with("crates/tensor/")
+        || f.path.starts_with("crates/bench/")
+}
+
+fn no_unordered_iteration(f: &SourceFile, toks: &[Token], out: &mut Vec<Violation>) {
+    if !unordered_scope(f) {
+        return;
+    }
+    for t in toks {
+        if matches!(t.ident(), Some("HashMap") | Some("HashSet")) {
+            out.push(Violation {
+                rule: "no-unordered-iteration",
+                path: f.path.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` iterates in hash order, which leaks into digests and reports — \
+                     use `BTreeMap`/`BTreeSet`/`Vec` or allowlist with a justification",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unsafe-audit
+// ---------------------------------------------------------------------------
+
+/// Looks backwards from token `i` for a comment containing a safety
+/// marker (`SAFETY` or `# Safety`). The scan may cross anything within
+/// the same statement/item head — attributes, visibility, qualifiers,
+/// a `let x =`, a match-arm pattern — but stops cold at a statement or
+/// item boundary (`;` or `}`): a justification on the *previous*
+/// statement, function, or match arm never carries over.
+fn has_safety_comment(toks: &[Token], i: usize) -> bool {
+    let mut j = i;
+    let mut hops = 0;
+    while j > 0 && hops < 64 {
+        j -= 1;
+        hops += 1;
+        let t = &toks[j];
+        if t.is_comment() {
+            if t.text.contains("SAFETY") || t.text.contains("# Safety") {
+                return true;
+            }
+            // An unrelated or continuing comment line — keep scanning
+            // upwards through the comment run.
+            continue;
+        }
+        if t.is_punct(';') || t.is_punct('}') {
+            return false;
+        }
+    }
+    false
+}
+
+fn unsafe_audit(f: &SourceFile, toks: &[Token], out: &mut RuleOutput) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.ident() != Some("unsafe") {
+            continue;
+        }
+        // Classify the site from the next significant token.
+        let next = toks[i + 1..].iter().find(|t| !t.is_comment());
+        let kind = match next.and_then(|t| t.ident()) {
+            Some("fn") => UnsafeKind::Fn,
+            Some("impl") | Some("trait") => UnsafeKind::ImplOrTrait,
+            _ => UnsafeKind::Block,
+        };
+        let documented = has_safety_comment(toks, i);
+        out.unsafe_sites.push(UnsafeSite { path: f.path.clone(), line: t.line, kind, documented });
+        if !documented {
+            out.violations.push(Violation {
+                rule: "unsafe-audit",
+                path: f.path.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`unsafe` {} without a `// SAFETY:` comment — state the invariant \
+                     that makes it sound directly above the site",
+                    kind.label()
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-panic-in-library
+// ---------------------------------------------------------------------------
+
+fn no_panic_in_library(
+    f: &SourceFile,
+    toks: &[Token],
+    test_mask: &[bool],
+    out: &mut Vec<Violation>,
+) {
+    if f.kind != FileKind::Library {
+        return;
+    }
+    let significant: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    for (si, &i) in significant.iter().enumerate() {
+        if test_mask[i] {
+            continue;
+        }
+        let t = &toks[i];
+        let prev = si.checked_sub(1).map(|p| &toks[significant[p]]);
+        let next = significant.get(si + 1).map(|&n| &toks[n]);
+        let fires = match t.ident() {
+            Some("unwrap") | Some("expect") => {
+                prev.is_some_and(|p| p.is_punct('.')) && next.is_some_and(|n| n.is_punct('('))
+            }
+            Some("panic") => next.is_some_and(|n| n.is_punct('!')),
+            _ => false,
+        };
+        if fires {
+            out.push(Violation {
+                rule: "no-panic-in-library",
+                path: f.path.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` can abort a serving run from library code — return a typed \
+                     error, prove the invariant, or allowlist with a justification",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walker::SourceFile;
+
+    fn run_one(path: &str, src: &str) -> RuleOutput {
+        run_rules(&[SourceFile::synthetic(path, src)])
+    }
+
+    fn rules_fired(out: &RuleOutput) -> Vec<&'static str> {
+        let mut r: Vec<_> = out.violations.iter().map(|v| v.rule).collect();
+        r.dedup();
+        r
+    }
+
+    // -- no-wall-clock ----------------------------------------------------
+
+    #[test]
+    fn wall_clock_fires_in_library_code() {
+        let out = run_one(
+            "crates/serve/src/runtime.rs",
+            "fn t() -> std::time::Instant { std::time::Instant::now() }",
+        );
+        assert_eq!(rules_fired(&out), ["no-wall-clock"]);
+        assert_eq!(out.violations.len(), 2);
+        assert_eq!(out.violations[0].line, 1);
+    }
+
+    #[test]
+    fn wall_clock_is_sanctioned_in_profile_criterion_and_bench_bins() {
+        for path in [
+            "crates/serve/src/obs/profile.rs",
+            "crates/criterion/src/lib.rs",
+            "crates/bench/src/bin/serve.rs",
+            "crates/bench/benches/gemm.rs",
+        ] {
+            let out = run_one(path, "fn t() { let _ = Instant::now(); }");
+            assert!(out.violations.is_empty(), "{path} should be exempt");
+        }
+    }
+
+    #[test]
+    fn wall_clock_inside_strings_and_comments_does_not_fire() {
+        let out = run_one(
+            "crates/serve/src/runtime.rs",
+            r##"// Instant::now is forbidden here
+               const DOC: &str = "Instant::now()";
+               const RAW: &str = r#"SystemTime"#;"##,
+        );
+        assert!(out.violations.is_empty());
+    }
+
+    #[test]
+    fn system_time_fires_too() {
+        let out = run_one("crates/core/src/runner.rs", "use std::time::SystemTime;");
+        assert_eq!(rules_fired(&out), ["no-wall-clock"]);
+    }
+
+    // -- no-ambient-randomness --------------------------------------------
+
+    #[test]
+    fn ambient_randomness_fires_everywhere_including_bins() {
+        for path in ["crates/serve/src/loadgen.rs", "crates/bench/src/bin/serve.rs"] {
+            let out = run_one(path, "let mut rng = thread_rng();");
+            assert_eq!(rules_fired(&out), ["no-ambient-randomness"], "{path}");
+        }
+        let out = run_one("crates/model/src/sampling.rs", "let s = RandomState::new();");
+        assert_eq!(rules_fired(&out), ["no-ambient-randomness"]);
+        let out = run_one("tests/tests/serving.rs", "let r = SmallRng::from_entropy();");
+        assert_eq!(rules_fired(&out), ["no-ambient-randomness"]);
+    }
+
+    // -- no-unordered-iteration -------------------------------------------
+
+    #[test]
+    fn unordered_iteration_fires_in_digest_scope_only() {
+        let src = "use std::collections::HashMap;";
+        for path in [
+            "crates/serve/src/report.rs",
+            "crates/core/src/msgs.rs",
+            "crates/tensor/src/tensor.rs",
+            "crates/bench/src/json.rs",
+        ] {
+            let out = run_one(path, src);
+            assert_eq!(rules_fired(&out), ["no-unordered-iteration"], "{path}");
+        }
+        // The obs subtree, other crates, and bins are out of scope.
+        for path in [
+            "crates/serve/src/obs/metrics.rs",
+            "crates/model/src/config.rs",
+            "crates/bench/src/bin/serve.rs",
+        ] {
+            let out = run_one(path, src);
+            assert!(out.violations.is_empty(), "{path} should be out of scope");
+        }
+    }
+
+    // -- unsafe-audit ------------------------------------------------------
+
+    #[test]
+    fn unsafe_without_safety_comment_fires_and_is_inventoried() {
+        let out = run_one(
+            "crates/tensor/src/matmul.rs",
+            "fn f() { unsafe { danger() } }\nunsafe fn g() {}\n",
+        );
+        assert_eq!(rules_fired(&out), ["unsafe-audit"]);
+        assert_eq!(out.violations.len(), 2);
+        assert_eq!(out.unsafe_sites.len(), 2);
+        assert_eq!(out.unsafe_sites[0].kind, UnsafeKind::Block);
+        assert_eq!(out.unsafe_sites[1].kind, UnsafeKind::Fn);
+        assert!(out.unsafe_sites.iter().all(|s| !s.documented));
+    }
+
+    #[test]
+    fn safety_comment_silences_but_still_inventories() {
+        let src = "\
+// SAFETY: cpu features verified at dispatch.
+fn f() { unsafe { danger() } }
+
+/// Docs.
+///
+/// # Safety
+///
+/// Caller verified avx512f.
+#[cfg(target_arch = \"x86_64\")]
+#[target_feature(enable = \"avx512f\")]
+unsafe fn g() {}
+";
+        let out = run_one("crates/tensor/src/matmul.rs", src);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.unsafe_sites.len(), 2);
+        assert!(out.unsafe_sites.iter().all(|s| s.documented));
+    }
+
+    #[test]
+    fn safety_comment_must_be_adjacent_not_anywhere_above() {
+        let src = "\
+// SAFETY: this one justifies f only.
+fn f() { unsafe { a() } }
+fn g() { let x = 1; unsafe { b() } }
+";
+        let out = run_one("crates/x/src/lib.rs", src);
+        assert_eq!(out.violations.len(), 1);
+        assert_eq!(out.violations[0].line, 3);
+    }
+
+    #[test]
+    fn match_arm_unsafe_needs_its_own_safety_comment() {
+        // Mirrors the matmul dispatch shape: the second arm cannot
+        // borrow the first arm's justification.
+        let src = "\
+fn dispatch(isa: Isa) {
+    match isa {
+        // SAFETY: verified avx512f.
+        Isa::A => unsafe { a() },
+        Isa::B => unsafe { b() },
+    }
+}
+";
+        let out = run_one("crates/x/src/lib.rs", src);
+        assert_eq!(out.violations.len(), 1);
+        assert_eq!(out.violations[0].line, 5);
+    }
+
+    // -- no-panic-in-library ----------------------------------------------
+
+    #[test]
+    fn panics_fire_in_library_code_only() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   fn g(x: Option<u32>) -> u32 { x.expect(\"msg\") }\n\
+                   fn h() { panic!(\"boom\"); }\n";
+        let out = run_one("crates/serve/src/runtime.rs", src);
+        assert_eq!(out.violations.len(), 3);
+        assert!(rules_fired(&out) == ["no-panic-in-library"]);
+        // Bins, benches, examples and the test host are exempt.
+        for path in [
+            "crates/bench/src/bin/serve.rs",
+            "crates/bench/benches/gemm.rs",
+            "examples/serving.rs",
+            "tests/tests/serving.rs",
+        ] {
+            assert!(run_one(path, src).violations.is_empty(), "{path}");
+        }
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_fns_are_exempt() {
+        let src = "\
+fn lib_code(x: Option<u32>) -> u32 { x.unwrap() }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { None::<u32>.unwrap(); panic!(\"in test\"); }
+}
+
+#[test]
+fn top_level_test() { Some(1).expect(\"fine\"); }
+";
+        let out = run_one("crates/serve/src/report.rs", src);
+        assert_eq!(out.violations.len(), 1, "{:?}", out.violations);
+        assert_eq!(out.violations[0].line, 1);
+    }
+
+    #[test]
+    fn expect_as_free_fn_or_field_does_not_fire() {
+        // Only method-call position (`.expect(`) fires; a field named
+        // `expect` or a local fn does not.
+        let src = "fn f() { let expect = 1; let _ = expect; g(expect); }";
+        let out = run_one("crates/x/src/lib.rs", src);
+        assert!(out.violations.is_empty());
+    }
+
+    #[test]
+    fn violations_sort_deterministically() {
+        let files = [
+            SourceFile::synthetic("crates/b/src/lib.rs", "fn f(x: Option<u32>) { x.unwrap(); }"),
+            SourceFile::synthetic("crates/a/src/lib.rs", "use std::time::Instant;"),
+        ];
+        let out = run_rules(&files);
+        assert_eq!(out.violations[0].path, "crates/a/src/lib.rs");
+        assert_eq!(out.violations[1].path, "crates/b/src/lib.rs");
+    }
+}

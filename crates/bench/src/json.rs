@@ -152,7 +152,7 @@ impl std::error::Error for JsonError {}
 /// Returns a [`JsonError`] with the byte offset of the first violation;
 /// trailing non-whitespace is a violation too.
 pub fn parse(s: &str) -> Result<Json, JsonError> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser { src: s, bytes: s.as_bytes(), pos: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -163,6 +163,9 @@ pub fn parse(s: &str) -> Result<Json, JsonError> {
 }
 
 struct Parser<'a> {
+    /// The document as text — `pos` always sits on a char boundary
+    /// (it advances by whole UTF-8 scalars), so slicing is safe.
+    src: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
@@ -182,7 +185,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -214,7 +217,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -237,7 +240,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -248,7 +251,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             pairs.push((key, self.value()?));
             self.skip_ws();
@@ -264,7 +267,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -301,11 +304,11 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (the input is &str, so
-                    // boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().expect("non-empty checked above");
+                    // Consume one UTF-8 scalar; `peek` returned `Some`,
+                    // so the slice is non-empty.
+                    let Some(c) = self.src[self.pos..].chars().next() else {
+                        return Err(self.err("unterminated string"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -339,8 +342,9 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("ascii digits are valid utf-8");
+        let Ok(text) = std::str::from_utf8(&self.bytes[start..self.pos]) else {
+            return Err(self.err("invalid bytes in number"));
+        };
         if text.is_empty() || text == "-" {
             return Err(self.err("malformed number"));
         }

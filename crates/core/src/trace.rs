@@ -46,7 +46,15 @@ impl StageCycles {
             ("msgs", self.msgs),
             ("dram_stall", self.dram_stall),
         ];
-        entries.into_iter().max_by_key(|&(_, c)| c).expect("entries are non-empty")
+        // Last max wins on ties, matching `max_by_key`, without an
+        // Option to unwrap on this provably non-empty array.
+        let mut best = entries[0];
+        for e in entries {
+            if e.1 >= best.1 {
+                best = e;
+            }
+        }
+        best
     }
 
     /// Fraction of cycles in MSGS + aggregation — the quantity DEFA's

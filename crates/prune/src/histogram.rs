@@ -44,7 +44,7 @@ pub fn stats(values: &[f64]) -> DistributionStats {
     let total: f64 = values.iter().sum();
     let mean = total / count as f64;
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-negative finite values"));
+    sorted.sort_by(f64::total_cmp);
 
     // Gini via the sorted-index formula.
     let gini = if total > 0.0 {

@@ -472,23 +472,9 @@ impl Obs {
         }
     }
 
-    /// Starts a wall-clock scoped timer when profiling is on.
-    #[inline]
-    pub(crate) fn prof_begin(&self) -> Option<std::time::Instant> {
-        if self.profile_on {
-            Some(std::time::Instant::now())
-        } else {
-            None
-        }
-    }
-
-    /// Ends a scoped timer begun by [`Self::prof_begin`].
-    #[inline]
-    pub(crate) fn prof_end(&mut self, section: ProfSection, t0: Option<std::time::Instant>) {
-        if let Some(t0) = t0 {
-            self.profile.add(section, t0.elapsed().as_nanos() as u64);
-        }
-    }
+    // `prof_begin` / `prof_end` — the only host-clock readers in the
+    // serving stack — live in [`profile`], the one module the
+    // `no-wall-clock` rule of `defa-analysis` sanctions.
 
     /// Folds the collector into the report section.
     pub(crate) fn finish(self) -> ObsReport {

@@ -88,6 +88,33 @@ impl SelfProfile {
     }
 }
 
+/// An in-flight scoped timer handed out by [`Obs::prof_begin`] —
+/// opaque, so the engine loop carries it without ever naming the host
+/// clock type. `None` when profiling is off (zero overhead).
+#[derive(Debug)]
+pub(crate) struct ProfTimer(Option<std::time::Instant>);
+
+/// The profiling half of the `Obs` collector. These two methods are
+/// the **only sanctioned wall-clock readers in the serving stack**:
+/// the `no-wall-clock` rule of `defa-analysis` exempts exactly this
+/// file (plus `crates/criterion` and the bench bins), so a host-clock
+/// read anywhere else in `crates/serve` fails `lint_static`.
+impl crate::obs::Obs {
+    /// Starts a wall-clock scoped timer when profiling is on.
+    #[inline]
+    pub(crate) fn prof_begin(&self) -> ProfTimer {
+        ProfTimer(if self.profile_on { Some(std::time::Instant::now()) } else { None })
+    }
+
+    /// Ends a scoped timer begun by [`Self::prof_begin`].
+    #[inline]
+    pub(crate) fn prof_end(&mut self, section: ProfSection, t0: ProfTimer) {
+        if let Some(t0) = t0.0 {
+            self.profile.add(section, t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -334,6 +334,8 @@ fn compute_band(
         // the corresponding CPU features at runtime.
         Isa::Avx512 => unsafe { compute_band_avx512(band_rows, band_out, out_chunk, packed, k, n) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `isa` is only Avx2Fma when `detect_isa` verified avx2
+        // and fma support at runtime.
         Isa::Avx2Fma => unsafe { compute_band_avx2(band_rows, band_out, out_chunk, packed, k, n) },
         Isa::Portable => {
             compute_band_impl::<8, false>(band_rows, band_out, out_chunk, packed, k, n)
