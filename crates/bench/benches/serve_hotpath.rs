@@ -1,0 +1,91 @@
+//! Criterion: the serving engine's hot-path primitives.
+//!
+//! Two micro-surfaces behind the `serve_scale` simulator-speed ratchet:
+//!
+//! * `estimate_cost` — memoized [`CostTable`] lookup vs the live
+//!   analytic estimator it replaces (same integers by property test;
+//!   this bench shows the per-call cost gap the memoization removes
+//!   from fleet construction-adjacent paths);
+//! * `scheduler_pop` — one batch selection + re-offer on a queue held at
+//!   depth {16, 256, 4096} for FIFO (ring drain), SJF and EDF (indexed
+//!   heap pops), the `O(log n)` structures that replaced whole-queue
+//!   sorts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use defa_model::workload::{RequestGenerator, SloClass};
+use defa_model::MsdaConfig;
+use defa_serve::{
+    AdmissionQueue, BackendKind, CostTable, DropPolicy, QueuedRequest, SchedulerKind, DVFS_LADDER,
+};
+use std::hint::black_box;
+
+fn bench_estimate_cost(c: &mut Criterion) {
+    let gen = RequestGenerator::grid(&MsdaConfig::tiny(), 42).unwrap();
+    let backend = BackendKind::Accelerator.build();
+    let table = CostTable::build(backend.as_ref(), &gen, &DVFS_LADDER).unwrap();
+    let n = gen.scenarios().len();
+
+    let mut group = c.benchmark_group("estimate_cost");
+    group.bench_function("cached_table", |b| {
+        let mut s = 0usize;
+        b.iter(|| {
+            s = (s + 1) % n;
+            black_box(table.cost_ns(0, black_box(s)))
+        })
+    });
+    group.bench_function("analytic_live", |b| {
+        let mut s = 0usize;
+        b.iter(|| {
+            s = (s + 1) % n;
+            black_box(backend.estimate_cost_ns(black_box(gen.scenario(s).unwrap())))
+        })
+    });
+    group.finish();
+}
+
+/// Deterministic request mix with spread-out costs and deadlines, so the
+/// policy heaps see realistic key diversity.
+fn filled_queue(depth: usize) -> AdmissionQueue {
+    let mut q = AdmissionQueue::new(depth, DropPolicy::RejectNewest);
+    let mut h = 0x9E37_79B9_7F4A_7C15u64;
+    for id in 0..depth as u64 {
+        h = h.wrapping_mul(0xD120_2E87_12E1_4375).wrapping_add(id);
+        q.offer(QueuedRequest {
+            id,
+            arrival_ns: id * 50,
+            scenario: (h % 9) as usize,
+            slo: SloClass::Standard,
+            est_cost_ns: 500 + h % 4096,
+            deadline_ns: id * 50 + 1_000 + (h >> 32) % 100_000,
+        });
+    }
+    q
+}
+
+fn bench_scheduler_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_pop");
+    for depth in [16usize, 256, 4096] {
+        for kind in [SchedulerKind::Fifo, SchedulerKind::Sjf, SchedulerKind::Edf] {
+            let sched = kind.build();
+            let mut q = filled_queue(depth);
+            let mut out: Vec<QueuedRequest> = Vec::with_capacity(8);
+            let label = format!("{}_{depth}", sched.name());
+            group.bench_function(label.as_str(), |b| {
+                b.iter(|| {
+                    // Pop one batch, then re-offer it: the queue holds its
+                    // depth, so every iteration measures selection at size
+                    // `depth` (plus the matching re-insert).
+                    out.clear();
+                    sched.select_into(&mut q, 8, black_box(150 * depth as u64), &mut out);
+                    for r in out.drain(..) {
+                        black_box(q.offer(r));
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimate_cost, bench_scheduler_pop);
+criterion_main!(benches);

@@ -42,9 +42,11 @@
 //! * `--allow <field>` — exempt an object-member name (repeatable);
 //! * `--write` — regenerate the baseline from the fresh documents
 //!   instead of comparing (the intentional-update path; commit the
-//!   result).
+//!   result). Any ratcheted `*_per_wall_s` floor the rewrite moves is
+//!   printed as an `old -> new` line so re-ratchets are visible in the
+//!   log, not just in the snapshot bytes.
 
-use defa_bench::diff::diff;
+use defa_bench::diff::{diff, ratchet_moves};
 use defa_bench::json::{parse, to_document, Json};
 use std::process::ExitCode;
 
@@ -103,6 +105,15 @@ fn main() -> ExitCode {
         Json::obj([("bench", Json::str("serve-suite")), ("snapshots", Json::Arr(snapshots))]);
 
     if write {
+        // Narrate any wall-clock floor the rewrite moves: a ratchet jump
+        // is a perf claim, visible in the output, not just changed bytes.
+        if let Ok(old_text) = std::fs::read_to_string(&baseline_path) {
+            if let Ok(old) = parse(&old_text) {
+                for m in ratchet_moves(&old, &fresh_suite) {
+                    println!("bench_diff: ratcheted floor {m}");
+                }
+            }
+        }
         if let Err(e) = std::fs::write(&baseline_path, to_document(&fresh_suite)) {
             return fail(&format!("cannot write {baseline_path}: {e}"));
         }

@@ -30,6 +30,7 @@
 //!   fields use the `*_wall_ns` suffix and are informational.
 
 use defa_bench::json::{parse, to_document, Json};
+use defa_bench::profile::print_profile;
 use defa_bench::RunOptions;
 use defa_model::workload::RequestGenerator;
 use defa_model::MsdaConfig;
@@ -307,15 +308,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         metrics1.len(),
         fnv_bytes(&metrics1),
     );
-    for s in ProfSection::ALL {
-        let st = r1.obs.profile.stat(s);
-        println!(
-            "  profile     : {:<15} {:>9} calls  {:>12} ns wall",
-            s.name(),
-            st.calls,
-            st.wall_ns
-        );
-    }
+    print_profile("self-profile (per engine section)", &r1.obs.profile, None);
     if let Some(dir) = &out_dir {
         println!(
             "  artifacts   : {dir}/serve_obs_trace.json (open in Perfetto / chrome://tracing), \

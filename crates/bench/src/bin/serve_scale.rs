@@ -28,9 +28,19 @@
 //! * `--json` — machine-readable output for the `bench_diff` gate. The
 //!   virtual-time fields gate exactly; `sim_req_per_wall_s` gates as a
 //!   ratcheted floor and `trace_wall_s` is informational (see
-//!   `bench_diff --help` text for the tolerance classes).
+//!   `bench_diff --help` text for the tolerance classes);
+//! * `--profile` — run with the wall-clock self-profiler on and print
+//!   the per-section table (ns/call and % of loop). Profiling adds two
+//!   host-clock reads per section, so the CI floor keeps gating the
+//!   unprofiled path; profiled throughput is reported for context only;
+//! * `--profile-out <path>` — write the profile as a standalone JSON
+//!   document (the bench-smoke CI artifact); implies `--profile`;
+//! * `--profile-baseline <path>` — add a `vs baseline` delta column
+//!   against a previously saved `--profile-out` document, making a
+//!   before/after comparison one command; implies `--profile`.
 
 use defa_bench::json::{to_document, Json};
+use defa_bench::profile::{print_profile, profile_json, read_profile};
 use defa_bench::table::print_table;
 use defa_bench::RunOptions;
 use defa_model::workload::RequestGenerator;
@@ -38,7 +48,7 @@ use defa_model::MsdaConfig;
 use defa_parallel::with_num_threads;
 use defa_serve::loadgen::TraceSchedule;
 use defa_serve::{
-    ArrivalProcess, Backend, BackendKind, ControlConfig, ControllerKind, ReplayBackend,
+    ArrivalProcess, Backend, BackendKind, ControlConfig, ControllerKind, ObsConfig, ReplayBackend,
     ServeConfig, ServeReport, ServeRuntime,
 };
 use std::sync::Arc;
@@ -58,6 +68,7 @@ fn run_once(
     seed: u64,
     n_requests: usize,
     threads: usize,
+    profile: bool,
 ) -> Result<(ServeReport, f64), Box<dyn std::error::Error>> {
     with_num_threads(threads, || {
         let gen = RequestGenerator::standard(&MsdaConfig::tiny(), seed)?;
@@ -86,6 +97,7 @@ fn run_once(
             // The aggregates are exact for the whole trace; keep only a
             // token debug capture.
             outcome_capture: 64,
+            obs: if profile { ObsConfig::disabled().with_profile() } else { ObsConfig::disabled() },
             ..ServeConfig::at_load(offered, n_requests)
         };
         let wall = Instant::now();
@@ -100,15 +112,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
     let mut n_requests = if quick { 1_000_000 } else { 10_000_000 };
+    let mut profile = args.iter().any(|a| a == "--profile");
+    let mut profile_out: Option<String> = None;
+    let mut profile_baseline: Option<String> = None;
     for w in args.windows(2) {
-        if w[0].as_str() == "--requests" {
-            n_requests = w[1].parse().unwrap_or(n_requests);
+        match w[0].as_str() {
+            "--requests" => n_requests = w[1].parse().unwrap_or(n_requests),
+            "--profile-out" => profile_out = Some(w[1].clone()),
+            "--profile-baseline" => profile_baseline = Some(w[1].clone()),
+            _ => {}
         }
     }
+    profile |= profile_out.is_some() || profile_baseline.is_some();
 
     // Thread-count invariance, asserted in-process on every invocation.
-    let (r1, wall1) = run_once(opts.seed, n_requests, 1)?;
-    let (r4, wall4) = run_once(opts.seed, n_requests, 4)?;
+    // (The self-profile is wall clock and excluded from report equality.)
+    let (r1, wall1) = run_once(opts.seed, n_requests, 1, profile)?;
+    let (r4, wall4) = run_once(opts.seed, n_requests, 4, profile)?;
     assert_eq!(r1, r4, "ServeReport differs across worker-pool sizes");
 
     // Live state is bounded by in-flight work, never trace length.
@@ -130,6 +150,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // simulate the identical trace, so the delta is host noise.
     let trace_wall_s = wall1.min(wall4);
     let sim_req_per_wall_s = n_requests as f64 / trace_wall_s;
+
+    // Profile artifacts: the 1-thread run's section totals (the pool
+    // size only affects exec submission, not the instrumented loop).
+    if let Some(path) = &profile_out {
+        let doc = profile_json("serve_scale_profile", n_requests, &r1.obs.profile);
+        std::fs::write(path, to_document(&doc))?;
+    }
 
     if json {
         let doc = Json::obj([
@@ -197,6 +224,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &["metric", "value", "bound"],
         &live_rows,
     );
+    if profile {
+        let baseline = match &profile_baseline {
+            Some(path) => Some(read_profile(&std::fs::read_to_string(path)?)?),
+            None => None,
+        };
+        print_profile(
+            "Engine self-profile (host wall clock, 1-thread run)",
+            &r1.obs.profile,
+            baseline.as_deref(),
+        );
+        if let Some(path) = &profile_out {
+            println!("  profile     : written to {path}");
+        }
+    }
     println!(
         "  simulator   : {:.2} s wall ({:.2} s @ 1 thread, {:.2} s @ 4) = {:.2} Mreq/s; \
          reports byte-identical across pool sizes",

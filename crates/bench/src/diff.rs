@@ -181,6 +181,65 @@ fn walk(base: &Json, fresh: &Json, path: &str, allow: &[String], out: &mut Vec<M
     }
 }
 
+/// One ratcheted `*_per_wall_s` field whose baseline value a `--write`
+/// is about to move (either direction), for the human-readable ratchet
+/// log: a floor that silently jumps 2× is a perf claim that should be
+/// visible in the bench output and the PR, not just a changed byte in
+/// the snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatchetMove {
+    /// JSON path of the moving field (`$.snapshots[0].sim_req_per_wall_s`).
+    pub path: String,
+    /// The committed floor being replaced.
+    pub old: f64,
+    /// The freshly measured value that becomes the new floor.
+    pub new: f64,
+}
+
+impl std::fmt::Display for RatchetMove {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let pct = if self.old != 0.0 { (self.new / self.old - 1.0) * 100.0 } else { f64::NAN };
+        write!(f, "{}: {} -> {} ({:+.1}%)", self.path, self.old, self.new, pct)
+    }
+}
+
+/// Collects every ratcheted throughput field whose value moves (beyond
+/// formatting noise) when `fresh` replaces `baseline`. Structural
+/// differences are ignored here — `--write` replaces the whole document;
+/// this only narrates the wall-clock floors it moves.
+pub fn ratchet_moves(baseline: &Json, fresh: &Json) -> Vec<RatchetMove> {
+    let mut out = Vec::new();
+    walk_ratchets(baseline, fresh, "$", &mut out);
+    out
+}
+
+fn walk_ratchets(base: &Json, fresh: &Json, path: &str, out: &mut Vec<RatchetMove>) {
+    match (base, fresh) {
+        (Json::Arr(a), Json::Arr(b)) => {
+            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                walk_ratchets(x, y, &format!("{path}[{i}]"), out);
+            }
+        }
+        (Json::Obj(a), Json::Obj(b)) => {
+            for (k, x) in a {
+                let Some((_, y)) = b.iter().find(|(bk, _)| bk == k) else { continue };
+                let p = format!("{path}.{k}");
+                if classify(k) == FieldClass::Ratchet {
+                    if let (Some(old), Some(new)) = (as_number(x), as_number(y)) {
+                        let scale = old.abs().max(new.abs()).max(1.0);
+                        if (old - new).abs() > FLOAT_RTOL * scale {
+                            out.push(RatchetMove { path: p, old, new });
+                        }
+                    }
+                } else {
+                    walk_ratchets(x, y, &p, out);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
 fn type_name(v: &Json) -> &'static str {
     match v {
         Json::Null => "null",
@@ -302,6 +361,32 @@ mod tests {
         // The suffix match is exact: a `_per_wall_s` field is a ratchet,
         // not an informational skip, despite also ending in `_wall_s`.
         assert_eq!(d(r#"{"req_per_wall_s":100.0}"#, r#"{"req_per_wall_s":1.0}"#, &[]).len(), 1);
+    }
+
+    /// The `--write` ratchet log: moving a `*_per_wall_s` floor up (or
+    /// down) is reported with path, old and new values; deterministic
+    /// fields and unchanged floors stay silent.
+    #[test]
+    fn write_path_reports_ratcheted_floor_moves() {
+        let base = parse(
+            r#"{"snapshots":[{"completed":10,"sim_req_per_wall_s":5601589.5,"trace_wall_s":2.0}]}"#,
+        )
+        .unwrap();
+        let fresh = parse(
+            r#"{"snapshots":[{"completed":11,"sim_req_per_wall_s":11203179.0,"trace_wall_s":1.0}]}"#,
+        )
+        .unwrap();
+        let moves = ratchet_moves(&base, &fresh);
+        assert_eq!(moves.len(), 1, "only the ratcheted floor is narrated");
+        assert_eq!(moves[0].path, "$.snapshots[0].sim_req_per_wall_s");
+        assert_eq!(moves[0].old, 5601589.5);
+        assert_eq!(moves[0].new, 11203179.0);
+        let line = moves[0].to_string();
+        assert!(line.contains("5601589.5 -> 11203179"), "{line}");
+        assert!(line.contains("+100.0%"), "{line}");
+
+        // An unchanged floor (formatting noise only) is not a move.
+        assert!(ratchet_moves(&base, &base).is_empty());
     }
 
     #[test]

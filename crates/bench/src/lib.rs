@@ -7,6 +7,7 @@
 
 pub mod diff;
 pub mod json;
+pub mod profile;
 pub mod scaling;
 pub mod table;
 

@@ -1,0 +1,160 @@
+//! Shared self-profile reporting for the serving bench bins.
+//!
+//! The engine's wall-clock [`SelfProfile`] is the repo's substitute for
+//! an external profiler: five scoped sections cover the entire event
+//! loop, so a per-section table *is* the flat profile. This module turns
+//! one run's profile into
+//!
+//! * a human table (`ns/call` and `% of loop`, plus a delta column when
+//!   a baseline document is supplied) — so a before/after comparison is
+//!   one command, and
+//! * a standalone JSON document ([`profile_json`]) the bench-smoke job
+//!   writes into `bench-out/` and uploads as a CI artifact.
+//!
+//! Profile numbers are host wall clock and therefore **never gated**:
+//! the document deliberately reuses the `*_wall_ns` suffix the
+//! `bench_diff` tolerance classes treat as informational, and it is not
+//! part of `BENCH_serve.json`.
+
+use crate::json::{parse, Json};
+use crate::table::print_table;
+use defa_serve::obs::{ProfSection, SelfProfile};
+
+/// One section of a saved profile document: `(name, calls, wall_ns)`.
+pub type ProfileRow = (String, u64, u64);
+
+/// The profile as a standalone JSON document: one `<section>_calls` /
+/// `<section>_wall_ns` field pair per engine section plus the totals.
+pub fn profile_json(bench: &str, requests: usize, p: &SelfProfile) -> Json {
+    let mut fields: Vec<(String, Json)> = vec![
+        ("bench".into(), Json::str(bench)),
+        ("requests".into(), Json::uint(requests as u128)),
+        ("total_calls".into(), Json::uint(p.total_calls() as u128)),
+        ("total_wall_ns".into(), Json::uint(p.total_wall_ns() as u128)),
+    ];
+    for s in ProfSection::ALL {
+        let st = p.stat(s);
+        fields.push((format!("{}_calls", s.name()), Json::uint(st.calls as u128)));
+        fields.push((format!("{}_wall_ns", s.name()), Json::uint(st.wall_ns as u128)));
+    }
+    Json::Obj(fields)
+}
+
+/// Reads the per-section rows back out of a [`profile_json`] document
+/// (used as the baseline side of the delta table).
+pub fn read_profile(text: &str) -> Result<Vec<ProfileRow>, String> {
+    let doc = parse(text).map_err(|e| format!("profile baseline: {e}"))?;
+    let Json::Obj(pairs) = doc else {
+        return Err("profile baseline: expected a JSON object".into());
+    };
+    let field = |name: &str| -> Option<u64> {
+        pairs.iter().find(|(k, _)| k == name).and_then(|(_, v)| match v {
+            Json::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        })
+    };
+    let mut rows = Vec::new();
+    for s in ProfSection::ALL {
+        let calls = field(&format!("{}_calls", s.name()))
+            .ok_or_else(|| format!("profile baseline: missing {}_calls", s.name()))?;
+        let wall = field(&format!("{}_wall_ns", s.name()))
+            .ok_or_else(|| format!("profile baseline: missing {}_wall_ns", s.name()))?;
+        rows.push((s.name().to_string(), calls, wall));
+    }
+    Ok(rows)
+}
+
+fn fmt_delta(now_ns: u64, base_ns: u64) -> String {
+    if base_ns == 0 {
+        return "-".into();
+    }
+    let ratio = now_ns as f64 / base_ns as f64;
+    format!("{:+.1}% ({:.2}x)", (ratio - 1.0) * 100.0, base_ns as f64 / now_ns.max(1) as f64)
+}
+
+/// Prints the per-section profile table: calls, total wall ns, ns per
+/// call and share of the profiled loop — plus a `vs baseline` column
+/// when a saved [`profile_json`] document is supplied.
+pub fn print_profile(title: &str, p: &SelfProfile, baseline: Option<&[ProfileRow]>) {
+    let total = p.total_wall_ns().max(1);
+    let base_total: u64 = baseline.map(|b| b.iter().map(|r| r.2).sum()).unwrap_or(0);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for s in ProfSection::ALL {
+        let st = p.stat(s);
+        let mut row = vec![
+            s.name().to_string(),
+            st.calls.to_string(),
+            st.wall_ns.to_string(),
+            if st.calls == 0 {
+                "-".into()
+            } else {
+                format!("{:.0}", st.wall_ns as f64 / st.calls as f64)
+            },
+            format!("{:.1}%", st.wall_ns as f64 / total as f64 * 100.0),
+        ];
+        if let Some(base) = baseline {
+            let base_ns = base.iter().find(|r| r.0 == s.name()).map_or(0, |r| r.2);
+            row.push(fmt_delta(st.wall_ns, base_ns));
+        }
+        rows.push(row);
+    }
+    let mut totals = vec![
+        "total".to_string(),
+        p.total_calls().to_string(),
+        p.total_wall_ns().to_string(),
+        "-".to_string(),
+        "100.0%".to_string(),
+    ];
+    if baseline.is_some() {
+        totals.push(fmt_delta(p.total_wall_ns(), base_total));
+    }
+    rows.push(totals);
+    let mut headers = vec!["section", "calls", "wall_ns", "ns/call", "% of loop"];
+    if baseline.is_some() {
+        headers.push("vs baseline");
+    }
+    print_table(title, &headers, &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::to_document;
+
+    fn sample() -> SelfProfile {
+        let mut p = SelfProfile::default();
+        p.add(ProfSection::EventPop, 100);
+        p.add(ProfSection::Dispatch, 300);
+        p.add(ProfSection::Settle, 600);
+        p
+    }
+
+    #[test]
+    fn profile_document_round_trips() {
+        let p = sample();
+        let text = to_document(&profile_json("serve_scale_profile", 1_000, &p));
+        let rows = read_profile(&text).expect("round trip");
+        assert_eq!(rows.len(), ProfSection::ALL.len());
+        assert_eq!(rows[0], ("event_pop".into(), 1, 100));
+        assert_eq!(rows[2], ("dispatch".into(), 1, 300));
+        assert_eq!(rows[3], ("settle".into(), 1, 600));
+        assert_eq!(rows[1].2, 0, "untouched sections serialize as zero");
+    }
+
+    #[test]
+    fn read_profile_rejects_non_profile_documents() {
+        assert!(read_profile("[1,2]\n").is_err());
+        assert!(read_profile("{\"bench\":\"x\"}\n").is_err());
+        assert!(read_profile("not json").is_err());
+    }
+
+    #[test]
+    fn printing_with_and_without_baseline_does_not_panic() {
+        let p = sample();
+        print_profile("profile", &p, None);
+        let text = to_document(&profile_json("p", 10, &sample()));
+        let base = read_profile(&text).unwrap();
+        print_profile("profile vs baseline", &p, Some(&base));
+        print_profile("empty", &SelfProfile::default(), Some(&base));
+    }
+}

@@ -541,8 +541,16 @@ impl RequestGenerator {
     /// Scenario request `id` will draw — the cheap half of [`Self::request`],
     /// for callers that need routing/accounting without the payload.
     pub fn request_scenario(&self, id: u64) -> usize {
-        (mix64(self.seed ^ id.wrapping_mul(0xA24BAED4963EE407)) % self.scenarios.len() as u64)
-            as usize
+        let h = mix64(self.seed ^ id.wrapping_mul(0xA24BAED4963EE407));
+        // A constant modulus lowers to multiply-shift instead of a
+        // hardware divide, which matters on the admission hot path;
+        // `standard` ships 3 scenarios and `grid` 9.
+        let n = self.scenarios.len() as u64;
+        (match n {
+            3 => h % 3,
+            9 => h % 9,
+            _ => h % n,
+        }) as usize
     }
 
     /// SLO class request `id` will draw — like [`Self::request_scenario`],

@@ -2,18 +2,42 @@
 //!
 //! Admission is the first policy layer of the runtime: it decides *which*
 //! arrivals are allowed to wait, independent of how the scheduler later
-//! orders them. The queue always stores requests in arrival order — the
-//! [`crate::scheduler::Scheduler`] selects from it without reordering the
-//! backing store, so "oldest queued request" stays well-defined for
-//! deadline-triggered batching whatever policy is active.
+//! orders them. The queue always tracks arrival order — the
+//! [`crate::scheduler::Scheduler`] selects from it without disturbing
+//! that order for the remaining waiters, so "oldest queued request"
+//! stays well-defined for deadline-triggered batching whatever policy is
+//! active.
 //!
 //! Overflow behaviour is the [`DropPolicy`]: reject the arriving request
 //! (classic open-loop backpressure — the PR 2 behaviour) or evict the
 //! oldest waiter in favour of the newcomer (fresher work at the cost of
 //! wasted waiting, the right trade when responses go stale).
+//!
+//! # Storage: a ring until a policy index is needed
+//!
+//! The queue has two storage modes, each minimal for its consumer:
+//!
+//! * **FIFO mode** (the default): a plain `VecDeque<QueuedRequest>` in
+//!   arrival order. Offers push the back, selection drains the front —
+//!   contiguous, prefetch-friendly, nothing to maintain. This is the
+//!   layout the trace-scale benchmark's hot path runs on.
+//! * **Indexed mode**: entered lazily on the first cost- or
+//!   deadline-ordered selection (one run uses one scheduler). Waiters
+//!   move into a slot map (`slots` + free list) with a `VecDeque` of
+//!   slot ids as the arrival ring, plus *policy indexes* — binary heaps
+//!   over `(key…, arrival_ns, id)` with generation-checked lazy
+//!   invalidation, the same discipline as [`crate::events::EventList`] —
+//!   so a policy pop is `O(log n)` instead of the `O(n log n)`
+//!   whole-queue sort it replaced. Removal tombstones the slot (its
+//!   generation bumps); the ring is cleaned lazily, with the *leading*
+//!   entry always live when the queue is non-empty.
+//!
+//! Heap pop order is proven equal to the retained linear-scan reference
+//! ([`crate::scheduler::reference`]) by property test.
 
 use defa_model::workload::SloClass;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// One admitted request waiting to be scheduled.
 ///
@@ -75,25 +99,127 @@ pub enum Admission {
     },
 }
 
-/// A bounded arrival-order queue with a pluggable overflow policy.
+/// One slot of the indexed store, with two independent generations:
+/// `gen` invalidates *heap* entries and bumps on every removal or
+/// fresh/overdue set migration; `occ` identifies the *occupant* for the
+/// arrival ring and bumps on removal only — a migrating request keeps
+/// its ring identity while its heap entries are reissued.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    gen: u32,
+    occ: u32,
+    live: bool,
+    req: QueuedRequest,
+}
+
+/// Which policy index the heaps currently maintain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PolicyIndex {
+    /// Fresh/overdue two-set index for shortest-job-first with deadline
+    /// aging.
+    Sjf,
+    /// Single deadline-ordered index for earliest-deadline-first.
+    Edf,
+}
+
+/// Heap entry: `(key…, slot, gen)`. Keys always end in `(arrival_ns,
+/// id)`, so ordering is total and deterministic; `(slot, gen)` ride
+/// along for validation and never influence the order (ids are unique).
+type Entry3 = (u64, u64, u32, u32);
+type Entry4 = (u64, u64, u64, u32, u32);
+
+/// Slot map + arrival ring + policy heaps (see the module docs).
+#[derive(Debug, Clone)]
+struct IndexedStore {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// `(slot, occ)` pairs in arrival order; stale entries (the slot was
+    /// vacated, possibly re-occupied) are skipped lazily, but the
+    /// *leading* entry is always live when `len > 0`.
+    arrival: VecDeque<(u32, u32)>,
+    len: usize,
+    index: PolicyIndex,
+    /// SJF fresh set, keyed `(est_cost_ns, arrival_ns, id)` (min-heap).
+    fresh_by_cost: BinaryHeap<Reverse<Entry4>>,
+    /// SJF fresh set again, keyed `(deadline_ns, arrival_ns, id)`
+    /// (min-heap) — the promotion scan: fresh items whose deadline has
+    /// passed surface here first.
+    fresh_by_deadline: BinaryHeap<Reverse<Entry4>>,
+    /// SJF overdue set, keyed `(arrival_ns, id)` (min-heap).
+    overdue_by_arrival: BinaryHeap<Reverse<Entry3>>,
+    /// SJF overdue set again, keyed `(deadline_ns, arrival_ns, id)`
+    /// (**max**-heap) — the demotion scan: `now_ns` is a shard free time
+    /// and not monotone across dispatches, so items promoted at a late
+    /// `now_ns` must migrate back when an earlier one follows.
+    overdue_by_deadline: BinaryHeap<Entry4>,
+    /// EDF index, keyed `(deadline_ns, arrival_ns, id)` (min-heap).
+    by_deadline: BinaryHeap<Reverse<Entry4>>,
+}
+
+/// Queue storage: a plain ring until a policy index is first needed.
+#[derive(Debug, Clone)]
+enum Store {
+    Fifo(VecDeque<QueuedRequest>),
+    Indexed(Box<IndexedStore>),
+}
+
+/// A bounded arrival-order queue with a pluggable overflow policy and
+/// lazily-built `O(log n)` policy indexes (see the module docs).
 #[derive(Debug, Clone)]
 pub struct AdmissionQueue {
-    items: VecDeque<QueuedRequest>,
+    store: Store,
     capacity: usize,
     policy: DropPolicy,
+}
+
+/// Arrival-order view over either storage mode
+/// (see [`AdmissionQueue::iter`]).
+pub struct QueueIter<'a> {
+    inner: IterInner<'a>,
+}
+
+enum IterInner<'a> {
+    Fifo(std::collections::vec_deque::Iter<'a, QueuedRequest>),
+    Indexed { slots: &'a [Slot], ring: std::collections::vec_deque::Iter<'a, (u32, u32)> },
+}
+
+impl<'a> Iterator for QueueIter<'a> {
+    type Item = &'a QueuedRequest;
+
+    fn next(&mut self) -> Option<&'a QueuedRequest> {
+        match &mut self.inner {
+            IterInner::Fifo(it) => it.next(),
+            IterInner::Indexed { slots, ring } => {
+                for &(s, occ) in ring {
+                    let slot = &slots[s as usize];
+                    if slot.live && slot.occ == occ {
+                        return Some(&slot.req);
+                    }
+                }
+                None
+            }
+        }
+    }
 }
 
 impl AdmissionQueue {
     /// An empty queue holding at most `capacity` requests.
     pub fn new(capacity: usize, policy: DropPolicy) -> Self {
-        AdmissionQueue { items: VecDeque::with_capacity(capacity.min(1024)), capacity, policy }
+        AdmissionQueue {
+            store: Store::Fifo(VecDeque::with_capacity(capacity.min(1024))),
+            capacity,
+            policy,
+        }
     }
 
     /// Offers one arrival; on overflow the [`DropPolicy`] decides who is
     /// dropped.
     pub fn offer(&mut self, req: QueuedRequest) -> Admission {
-        if self.items.len() < self.capacity {
-            self.items.push_back(req);
+        if self.len() < self.capacity {
+            match &mut self.store {
+                Store::Fifo(q) => q.push_back(req),
+                Store::Indexed(s) => s.insert(req),
+            }
             return Admission::Admitted;
         }
         match self.policy {
@@ -101,36 +227,375 @@ impl AdmissionQueue {
                 Admission::Dropped { id: req.id, arrival_ns: req.arrival_ns }
             }
             DropPolicy::EvictOldest => {
-                let evicted = self.items.pop_front().expect("capacity >= 1 checked by validate");
-                self.items.push_back(req);
+                let evicted = match &mut self.store {
+                    Store::Fifo(q) => {
+                        let evicted = q.pop_front().expect("queue at capacity is non-empty");
+                        q.push_back(req);
+                        evicted
+                    }
+                    Store::Indexed(s) => {
+                        // Front-live invariant: `len == capacity >= 1`, so
+                        // the leading ring entry exists and is live.
+                        let (slot, _) =
+                            s.arrival.pop_front().expect("queue at capacity is non-empty");
+                        let evicted = s.remove(slot);
+                        s.normalize_front();
+                        s.insert(req);
+                        evicted
+                    }
+                };
                 Admission::Dropped { id: evicted.id, arrival_ns: evicted.arrival_ns }
             }
         }
     }
 
-    /// Queued requests in arrival order (schedulers select from this view).
-    pub fn items(&self) -> &VecDeque<QueuedRequest> {
-        &self.items
-    }
-
-    /// Mutable access for schedulers' `select` implementations.
-    pub(crate) fn items_mut(&mut self) -> &mut VecDeque<QueuedRequest> {
-        &mut self.items
+    /// Queued requests in arrival order (the schedulers' reference view).
+    pub fn iter(&self) -> QueueIter<'_> {
+        QueueIter {
+            inner: match &self.store {
+                Store::Fifo(q) => IterInner::Fifo(q.iter()),
+                Store::Indexed(s) => IterInner::Indexed { slots: &s.slots, ring: s.arrival.iter() },
+            },
+        }
     }
 
     /// Number of waiting requests.
     pub fn len(&self) -> usize {
-        self.items.len()
+        match &self.store {
+            Store::Fifo(q) => q.len(),
+            Store::Indexed(s) => s.len,
+        }
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.len() == 0
     }
 
     /// The oldest waiting request, if any.
     pub fn front(&self) -> Option<&QueuedRequest> {
-        self.items.front()
+        match &self.store {
+            Store::Fifo(q) => q.front(),
+            // Front-live invariant: every mutating call re-normalizes.
+            Store::Indexed(s) => s.arrival.front().map(|&(i, _)| &s.slots[i as usize].req),
+        }
+    }
+
+    /// Removes up to `max_batch` requests in strict arrival order.
+    pub(crate) fn select_fifo_into(&mut self, max_batch: usize, out: &mut Vec<QueuedRequest>) {
+        match &mut self.store {
+            Store::Fifo(q) => {
+                let take = q.len().min(max_batch);
+                out.extend(q.drain(..take));
+            }
+            Store::Indexed(s) => {
+                let take = s.len.min(max_batch);
+                for _ in 0..take {
+                    // `take <= len`: a live leading entry exists each round.
+                    let (slot, _) = s.arrival.pop_front().expect("live entries remain");
+                    out.push(s.remove(slot));
+                    s.normalize_front();
+                }
+            }
+        }
+    }
+
+    /// Removes up to `max_batch` requests in `(deadline_ns, arrival_ns,
+    /// id)` order — the EDF pop sequence.
+    pub(crate) fn select_edf_into(&mut self, max_batch: usize, out: &mut Vec<QueuedRequest>) {
+        let s = self.indexed(PolicyIndex::Edf);
+        let take = s.len.min(max_batch);
+        let mut taken = 0;
+        while taken < take {
+            // `take <= len` live items, each with exactly one valid entry.
+            let Reverse((_, _, _, slot, gen)) =
+                s.by_deadline.pop().expect("index covers every live item");
+            if !s.valid(slot, gen) {
+                continue;
+            }
+            out.push(s.remove(slot));
+            taken += 1;
+        }
+        s.normalize_front();
+        s.maybe_compact();
+    }
+
+    /// Removes up to `max_batch` requests in SJF-with-aging order:
+    /// requests whose deadline has passed at `now_ns` first in
+    /// `(arrival_ns, id)` order, then fresh requests in `(est_cost_ns,
+    /// arrival_ns, id)` order — exactly the linear reference's sort key
+    /// `(fresh, cost|0, arrival, id)`.
+    pub(crate) fn select_sjf_into(
+        &mut self,
+        max_batch: usize,
+        now_ns: u64,
+        out: &mut Vec<QueuedRequest>,
+    ) {
+        let s = self.indexed(PolicyIndex::Sjf);
+        // Two-way migration puts every live item in the set `now_ns`
+        // assigns it: promote fresh items whose deadline passed, demote
+        // overdue items whose deadline lies ahead again (`now_ns` is a
+        // shard free time — not monotone across dispatches).
+        while let Some(&Reverse((deadline, _, _, slot, gen))) = s.fresh_by_deadline.peek() {
+            if !s.valid(slot, gen) {
+                s.fresh_by_deadline.pop();
+                continue;
+            }
+            if deadline > now_ns {
+                break;
+            }
+            s.fresh_by_deadline.pop();
+            let (r, gen) = s.rekey(slot);
+            s.overdue_by_arrival.push(Reverse((r.arrival_ns, r.id, slot, gen)));
+            s.overdue_by_deadline.push((r.deadline_ns, r.arrival_ns, r.id, slot, gen));
+        }
+        while let Some(&(deadline, _, _, slot, gen)) = s.overdue_by_deadline.peek() {
+            if !s.valid(slot, gen) {
+                s.overdue_by_deadline.pop();
+                continue;
+            }
+            if deadline <= now_ns {
+                break;
+            }
+            s.overdue_by_deadline.pop();
+            let (r, gen) = s.rekey(slot);
+            s.fresh_by_cost.push(Reverse((r.est_cost_ns, r.arrival_ns, r.id, slot, gen)));
+            s.fresh_by_deadline.push(Reverse((r.deadline_ns, r.arrival_ns, r.id, slot, gen)));
+        }
+        let take = s.len.min(max_batch);
+        let mut taken = 0;
+        while taken < take {
+            let mut picked = None;
+            while let Some(&Reverse((_, _, slot, gen))) = s.overdue_by_arrival.peek() {
+                s.overdue_by_arrival.pop();
+                if s.valid(slot, gen) {
+                    picked = Some(slot);
+                    break;
+                }
+            }
+            let slot = match picked {
+                Some(p) => p,
+                None => loop {
+                    // Overdue drained: the rest of the batch is fresh.
+                    let Reverse((_, _, _, slot, gen)) =
+                        s.fresh_by_cost.pop().expect("index covers every live item");
+                    if s.valid(slot, gen) {
+                        break slot;
+                    }
+                },
+            };
+            out.push(s.remove(slot));
+            taken += 1;
+        }
+        s.normalize_front();
+        s.maybe_compact();
+    }
+
+    /// The indexed store maintaining `want`, converting from FIFO storage
+    /// or rebuilding the heaps as needed (both one-time costs: one run
+    /// uses one scheduler).
+    fn indexed(&mut self, want: PolicyIndex) -> &mut IndexedStore {
+        if let Store::Fifo(q) = &mut self.store {
+            let mut s = Box::new(IndexedStore {
+                slots: Vec::with_capacity(q.len()),
+                free: Vec::new(),
+                arrival: VecDeque::with_capacity(q.len()),
+                len: 0,
+                index: want,
+                fresh_by_cost: BinaryHeap::new(),
+                fresh_by_deadline: BinaryHeap::new(),
+                overdue_by_arrival: BinaryHeap::new(),
+                overdue_by_deadline: BinaryHeap::new(),
+                by_deadline: BinaryHeap::new(),
+            });
+            for req in q.drain(..) {
+                s.insert(req);
+            }
+            self.store = Store::Indexed(s);
+        }
+        let Store::Indexed(s) = &mut self.store else { unreachable!("converted above") };
+        if s.index != want {
+            s.reindex(want);
+        }
+        s
+    }
+
+    /// Whether the queue is in indexed (slab + heaps) storage mode.
+    #[cfg(test)]
+    fn is_indexed(&self) -> bool {
+        matches!(self.store, Store::Indexed(_))
+    }
+
+    /// Slab length of the indexed store (test-only bound check).
+    #[cfg(test)]
+    fn slab_len(&self) -> usize {
+        match &self.store {
+            Store::Fifo(_) => 0,
+            Store::Indexed(s) => s.slots.len(),
+        }
+    }
+}
+
+impl IndexedStore {
+    /// Whether `(slot, gen)` still names a live incarnation.
+    fn valid(&self, slot: u32, gen: u32) -> bool {
+        let s = &self.slots[slot as usize];
+        s.live && s.gen == gen
+    }
+
+    /// Whether ring entry `(slot, occ)` still names a live occupant.
+    fn ring_live(&self, slot: u32, occ: u32) -> bool {
+        let s = &self.slots[slot as usize];
+        s.live && s.occ == occ
+    }
+
+    /// Admits `req` into a free slot, the arrival ring, and the policy
+    /// index. Caller has checked capacity.
+    fn insert(&mut self, req: QueuedRequest) {
+        let slot = match self.free.pop() {
+            Some(i) => {
+                let slot = &mut self.slots[i as usize];
+                slot.live = true;
+                slot.req = req;
+                i
+            }
+            None => {
+                self.slots.push(Slot { gen: 0, occ: 0, live: true, req });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.len += 1;
+        self.arrival.push_back((slot, self.slots[slot as usize].occ));
+        self.index_insert(slot);
+    }
+
+    /// Tombstones `slot` and returns its request. The arrival-ring entry
+    /// stays behind as a tombstone (dead by occupancy even if the slot is
+    /// recycled); heap entries die by generation.
+    fn remove(&mut self, slot: u32) -> QueuedRequest {
+        let s = &mut self.slots[slot as usize];
+        debug_assert!(s.live, "slot {slot} removed twice");
+        s.live = false;
+        s.gen = s.gen.wrapping_add(1);
+        s.occ = s.occ.wrapping_add(1);
+        self.free.push(slot);
+        self.len -= 1;
+        s.req
+    }
+
+    /// Restores the front-live invariant by popping leading tombstones.
+    fn normalize_front(&mut self) {
+        while let Some(&(s, occ)) = self.arrival.front() {
+            if self.ring_live(s, occ) {
+                break;
+            }
+            self.arrival.pop_front();
+        }
+    }
+
+    /// Bumps `slot`'s generation for a set migration (invalidating its
+    /// old heap entries) and returns the request plus the new generation
+    /// for re-insertion.
+    fn rekey(&mut self, slot: u32) -> (QueuedRequest, u32) {
+        let s = &mut self.slots[slot as usize];
+        s.gen = s.gen.wrapping_add(1);
+        (s.req, s.gen)
+    }
+
+    /// Pushes `slot` into the policy index (new items enter the SJF index
+    /// as fresh; the next selection migrates them if their deadline has
+    /// already passed — admission has no `now_ns`).
+    fn index_insert(&mut self, slot: u32) {
+        let s = self.slots[slot as usize];
+        let r = s.req;
+        match self.index {
+            PolicyIndex::Sjf => {
+                self.fresh_by_cost.push(Reverse((r.est_cost_ns, r.arrival_ns, r.id, slot, s.gen)));
+                self.fresh_by_deadline.push(Reverse((
+                    r.deadline_ns,
+                    r.arrival_ns,
+                    r.id,
+                    slot,
+                    s.gen,
+                )));
+            }
+            PolicyIndex::Edf => {
+                self.by_deadline.push(Reverse((r.deadline_ns, r.arrival_ns, r.id, slot, s.gen)));
+            }
+        }
+    }
+
+    /// Rebuilds the heaps for a different policy (tests switch policies
+    /// mid-queue; runs never do).
+    fn reindex(&mut self, want: PolicyIndex) {
+        self.index = want;
+        self.fresh_by_cost.clear();
+        self.fresh_by_deadline.clear();
+        self.overdue_by_arrival.clear();
+        self.overdue_by_deadline.clear();
+        self.by_deadline.clear();
+        let live: Vec<u32> = self
+            .arrival
+            .iter()
+            .filter(|&&(s, occ)| self.ring_live(s, occ))
+            .map(|&(s, _)| s)
+            .collect();
+        for slot in live {
+            self.index_insert(slot);
+        }
+    }
+
+    /// Drops stale ring and heap entries once they outnumber live ones
+    /// (plus slack so small queues never compact) — the
+    /// [`crate::events::EventList`] discipline. Policy selections remove
+    /// from the middle of the ring, so its tombstones need the same
+    /// bound as the heaps'.
+    fn maybe_compact(&mut self) {
+        let cap = 2 * self.len + 64;
+        if self.arrival.len() > cap {
+            let slots = &self.slots;
+            self.arrival.retain(|&(s, occ)| {
+                let slot = &slots[s as usize];
+                slot.live && slot.occ == occ
+            });
+        }
+        match self.index {
+            PolicyIndex::Sjf => {
+                if self.fresh_by_cost.len()
+                    + self.fresh_by_deadline.len()
+                    + self.overdue_by_arrival.len()
+                    + self.overdue_by_deadline.len()
+                    > 4 * cap
+                {
+                    let slots = &self.slots;
+                    let ok3 = |e: &Reverse<Entry3>| {
+                        let s = &slots[e.0 .2 as usize];
+                        s.live && s.gen == e.0 .3
+                    };
+                    let ok4 = |e: &Reverse<Entry4>| {
+                        let s = &slots[e.0 .3 as usize];
+                        s.live && s.gen == e.0 .4
+                    };
+                    let ok4_max = |e: &Entry4| {
+                        let s = &slots[e.3 as usize];
+                        s.live && s.gen == e.4
+                    };
+                    self.fresh_by_cost.retain(ok4);
+                    self.fresh_by_deadline.retain(ok4);
+                    self.overdue_by_arrival.retain(ok3);
+                    self.overdue_by_deadline.retain(ok4_max);
+                }
+            }
+            PolicyIndex::Edf => {
+                if self.by_deadline.len() > cap {
+                    let slots = &self.slots;
+                    self.by_deadline.retain(|e| {
+                        let s = &slots[e.0 .3 as usize];
+                        s.live && s.gen == e.0 .4
+                    });
+                }
+            }
+        }
     }
 }
 
@@ -166,7 +631,7 @@ mod tests {
         q.offer(req(1, 20));
         assert_eq!(q.offer(req(2, 30)), Admission::Dropped { id: 0, arrival_ns: 10 });
         assert_eq!(q.len(), 2);
-        let ids: Vec<u64> = q.items().iter().map(|r| r.id).collect();
+        let ids: Vec<u64> = q.iter().map(|r| r.id).collect();
         assert_eq!(ids, [1, 2], "arrival order preserved after eviction");
     }
 
@@ -187,5 +652,61 @@ mod tests {
             }
         }
         assert_eq!((admitted, dropped), (1, 4));
+    }
+
+    #[test]
+    fn indexed_mode_recycles_slots_through_select_and_evict() {
+        // Force indexed storage via an EDF selection, then drive enough
+        // churn through a small queue that slots and ring tombstones
+        // recycle, checking the arrival view stays exact throughout.
+        let mut q = AdmissionQueue::new(3, DropPolicy::EvictOldest);
+        let mut next_id = 0u64;
+        let mut expect: VecDeque<u64> = VecDeque::new();
+        for round in 0..60u64 {
+            for _ in 0..2 {
+                let r = req(next_id, 10 * next_id);
+                match q.offer(r) {
+                    Admission::Admitted => expect.push_back(r.id),
+                    Admission::Dropped { id, .. } => {
+                        assert_eq!(Some(id), expect.pop_front());
+                        expect.push_back(r.id);
+                    }
+                }
+                next_id += 1;
+            }
+            if round % 3 == 0 {
+                let mut out = Vec::new();
+                // Same-SLO equal-cost requests: EDF order == arrival order.
+                q.select_edf_into(2, &mut out);
+                for r in &out {
+                    assert_eq!(Some(r.id), expect.pop_front());
+                }
+            }
+            let got: Vec<u64> = q.iter().map(|r| r.id).collect();
+            let want: Vec<u64> = expect.iter().copied().collect();
+            assert_eq!(got, want, "round {round}");
+            assert_eq!(q.len(), expect.len());
+            assert_eq!(q.front().map(|r| r.id), expect.front().copied());
+        }
+        assert!(q.is_indexed(), "EDF selection should have switched storage modes");
+        // Slab never grows past capacity even after heavy churn.
+        assert!(q.slab_len() <= 3, "slab grew: {}", q.slab_len());
+    }
+
+    #[test]
+    fn fifo_selection_works_in_indexed_mode_too() {
+        // A policy switch mid-queue (EDF then FIFO) must keep strict
+        // arrival order for the FIFO drains.
+        let mut q = AdmissionQueue::new(8, DropPolicy::RejectNewest);
+        for id in 0..6 {
+            q.offer(req(id, 10 * id));
+        }
+        let mut out = Vec::new();
+        q.select_edf_into(2, &mut out); // equal SLO/cost: pops ids 0, 1
+        assert!(q.is_indexed());
+        out.clear();
+        q.select_fifo_into(3, &mut out);
+        assert_eq!(out.iter().map(|r| r.id).collect::<Vec<_>>(), [2, 3, 4]);
+        assert_eq!(q.front().unwrap().id, 5);
     }
 }

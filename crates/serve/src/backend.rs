@@ -487,15 +487,15 @@ impl ReplayBackend {
         gen: &defa_model::workload::RequestGenerator,
         inner: std::sync::Arc<dyn Backend>,
     ) -> Result<Self, ServeError> {
-        let n = gen.scenarios().len();
-        let mut cost_ns = Vec::with_capacity(n);
-        let mut energy_pj = Vec::with_capacity(n);
-        let mut dense_flops = Vec::with_capacity(n);
-        for i in 0..n {
-            let wl = gen.scenario(i)?;
-            cost_ns.push(inner.estimate_cost_ns(wl).max(1));
-            energy_pj.push(inner.estimate_energy_pj(wl));
-            dense_flops.push(scenario_dense_flops(wl));
+        // The nominal rows of a cost table *are* the analytic estimates,
+        // so calibration is one memoized pricing pass (modeled service
+        // times are clamped to ≥ 1 ns so virtual time always advances).
+        let table = crate::cost::CostTable::build(inner.as_ref(), gen, &[])?;
+        let cost_ns = table.nominal_cost_row().iter().map(|&c| c.max(1)).collect();
+        let energy_pj = table.nominal_energy_row().to_vec();
+        let mut dense_flops = Vec::with_capacity(gen.scenarios().len());
+        for i in 0..gen.scenarios().len() {
+            dense_flops.push(scenario_dense_flops(gen.scenario(i)?));
         }
         let salt = splitmix64(gen.seed() ^ 0x5EED_0A11_0E57_A717);
         Ok(ReplayBackend { inner, cost_ns, energy_pj, dense_flops, salt })

@@ -385,6 +385,24 @@ impl ControllerKind {
             ControllerKind::Dvfs(cfg) => Box::new(DvfsGovernor::new(cfg.clone())),
         }
     }
+
+    /// Every DVFS point this controller can set, nominal first.
+    ///
+    /// This is the closed set of clocks a run can ever price work at —
+    /// only [`DvfsGovernor`] moves the clock, and only within its ladder
+    /// — so [`crate::cost::CostTable`]s built over these points cover
+    /// every lookup the runtime will make.
+    pub fn pricing_points(&self) -> Vec<DvfsPoint> {
+        let mut pts = vec![DvfsPoint::NOMINAL];
+        if let ControllerKind::Dvfs(cfg) = self {
+            for &p in &cfg.ladder {
+                if !pts.contains(&p) {
+                    pts.push(p);
+                }
+            }
+        }
+        pts
+    }
 }
 
 #[cfg(test)]

@@ -66,6 +66,14 @@ impl EnergyBreakdown {
         EnergyBreakdown { compute_pj, sram_pj, dram_pj }
     }
 
+    /// A modeled single-figure estimate, carried as compute energy.
+    /// Estimators return one total with no SRAM/DRAM split, so this is
+    /// how [`crate::cost::CostTable`] feeds an estimate through a
+    /// backend's repricer.
+    pub fn from_estimate(pj: u128) -> Self {
+        EnergyBreakdown { compute_pj: pj, sram_pj: 0, dram_pj: 0 }
+    }
+
     /// Total energy in picojoules.
     pub fn total_pj(&self) -> u128 {
         self.compute_pj + self.sram_pj + self.dram_pj

@@ -35,6 +35,11 @@
 //!   reference encoder, the DEFA pruned pipeline, and the cycle-simulated
 //!   accelerator — plus the analytic cost/energy estimates the cost-aware
 //!   policies steer by.
+//! * [`cost`] — memoized [`cost::CostTable`]s: every backend's estimate
+//!   surface (cost, energy, idle power per scenario × DVFS point) is
+//!   priced once at fleet construction, so the hot loops index integers
+//!   instead of re-running analytic estimators; the tables are pinned
+//!   exactly equal to the live estimators by property test.
 //! * [`control`] — the closed loop above the per-batch layers: virtual
 //!   time is split into epochs, and a [`control::Controller`] observes a
 //!   [`control::FleetView`] at every boundary and actuates the fleet —
@@ -90,6 +95,7 @@ pub mod admission;
 pub mod backend;
 pub mod config;
 pub mod control;
+pub mod cost;
 pub mod energy;
 pub mod error;
 pub mod events;
@@ -108,6 +114,7 @@ pub use control::{
     AutoscalerConfig, ControlAction, Controller, ControllerKind, DvfsConfig, DvfsGovernor,
     DvfsPoint, FleetView, NoOpController, ShardAutoscaler, DVFS_LADDER,
 };
+pub use cost::CostTable;
 pub use energy::EnergyBreakdown;
 pub use error::ServeError;
 pub use events::{EventClass, EventList};

@@ -27,6 +27,10 @@
 //! PR 2 execution and its byte-identical reports.
 
 /// What a router may know about one shard when placing a batch.
+///
+/// The estimate fields are folded once per run from the fleet's memoized
+/// [`crate::cost::CostTable`]s (nominal rows — exactly the backends'
+/// live analytic estimators); routing never re-runs an estimator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardView {
     /// Shard index.

@@ -94,6 +94,7 @@ use crate::admission::{Admission, AdmissionQueue, QueuedRequest};
 use crate::backend::{Backend, BackendOutput};
 use crate::config::ServeConfig;
 use crate::control::{ControlAction, Controller, DvfsPoint, FleetView};
+use crate::cost::CostTable;
 use crate::energy::EnergyBreakdown;
 use crate::events::EventList;
 use crate::histogram::LatencyHistogram;
@@ -142,16 +143,26 @@ struct Inflight {
 /// The window depth is bounded by how far the scheduler lets a request
 /// fall behind its successors — the fairness bound — not by the trace
 /// length; its high-water mark is reported as
-/// [`LiveStats::peak_reorder`]. The first `capture_cap` outcomes (by id)
-/// are also kept verbatim as the opt-in debug capture.
+/// [`LiveStats::peak_reorder`].
+///
+/// The window holds only the 8-byte *digest word* per pending request
+/// (the response digest, or [`DROP_MARK`] for drops) — never the full
+/// [`RequestOutcome`]. At trace scale the window runs hundreds of
+/// entries deep, so keeping it to a `u64` ring instead of ~120-byte
+/// outcome records is a measured hot-path win (the settle section of
+/// the self-profile); the fold order and `peak_window` accounting are
+/// unchanged. The opt-in debug capture of the first `capture_cap`
+/// outcomes (by id) is collected out of settle order on the side and
+/// sorted once at `finish` — ids are unique, so the sorted capture is
+/// byte-identical to the fold-order capture it replaced.
 struct OutcomeLedger {
     digest: u64,
     /// All outcomes with id < base are folded into `digest`.
     base: u64,
-    /// Pending outcomes for ids `base..base + window.len()`.
-    window: VecDeque<Option<RequestOutcome>>,
-    captured: Vec<RequestOutcome>,
-    capture_cap: usize,
+    /// Pending digest words for ids `base..base + window.len()`.
+    window: VecDeque<Option<u64>>,
+    captured: Vec<(u64, RequestOutcome)>,
+    capture_cap: u64,
     peak_window: usize,
 }
 
@@ -162,47 +173,52 @@ impl OutcomeLedger {
             base: 0,
             window: VecDeque::new(),
             captured: Vec::new(),
-            capture_cap,
+            capture_cap: capture_cap as u64,
             peak_window: 0,
         }
     }
 
-    /// Buffers one settled outcome and folds every now-contiguous prefix
-    /// outcome into the digest.
-    fn record(&mut self, id: u64, outcome: RequestOutcome) {
+    /// Whether request `id` falls in the opt-in debug capture; callers
+    /// only materialize a [`RequestOutcome`] when it does.
+    fn captures(&self, id: u64) -> bool {
+        id < self.capture_cap
+    }
+
+    /// Keeps one captured outcome (any settle order; sorted at finish).
+    fn capture(&mut self, id: u64, outcome: RequestOutcome) {
+        debug_assert!(self.captures(id));
+        self.captured.push((id, outcome));
+    }
+
+    /// Buffers one settled digest word and folds every now-contiguous
+    /// prefix into the digest.
+    fn record(&mut self, id: u64, word: u64) {
         debug_assert!(id >= self.base, "request {id} settled twice");
         let off = (id - self.base) as usize;
         if off >= self.window.len() {
             self.window.resize_with(off + 1, || None);
         }
         debug_assert!(self.window[off].is_none(), "request {id} settled twice");
-        self.window[off] = Some(outcome);
+        self.window[off] = Some(word);
         self.peak_window = self.peak_window.max(self.window.len());
-        while matches!(self.window.front(), Some(Some(_))) {
-            let o = self.window.pop_front().flatten().expect("front is Some");
-            self.digest = crate::backend::fnv_fold(
-                self.digest,
-                match &o {
-                    RequestOutcome::Completed { digest, .. } => *digest,
-                    RequestOutcome::Dropped { .. } => DROP_MARK,
-                },
-            );
-            if (self.base as usize) < self.capture_cap {
-                self.captured.push(o);
-            }
+        while let Some(&Some(w)) = self.window.front() {
+            self.window.pop_front();
+            self.digest = crate::backend::fnv_fold(self.digest, w);
             self.base += 1;
         }
     }
 
     /// Conservation check and final accounting:
     /// `(digest, captured outcomes, peak reorder depth)`.
-    fn finish(self, n_requests: u64) -> (u64, Vec<RequestOutcome>, u64) {
+    fn finish(mut self, n_requests: u64) -> (u64, Vec<RequestOutcome>, u64) {
         assert_eq!(
             self.base, n_requests,
             "outcome ledger: {} of {n_requests} requests settled",
             self.base
         );
-        (self.digest, self.captured, self.peak_window as u64)
+        self.captured.sort_unstable_by_key(|&(id, _)| id);
+        let captured = self.captured.into_iter().map(|(_, o)| o).collect();
+        (self.digest, captured, self.peak_window as u64)
     }
 }
 
@@ -236,19 +252,32 @@ impl SlotAcc {
 struct TimelineAcc {
     epoch_ns: u64,
     slots: Vec<SlotAcc>,
+    /// Slot index and half-open `[start, end)` window of the last lookup.
+    /// Timestamps cluster heavily within one control epoch, so caching
+    /// the window turns the per-event `u64` division into two compares
+    /// on the hot path (`cached_end == 0` initially, so the first lookup
+    /// always misses).
+    cached_idx: usize,
+    cached_start: u64,
+    cached_end: u64,
 }
 
 impl TimelineAcc {
     fn new(epoch_ns: u64) -> Self {
-        TimelineAcc { epoch_ns, slots: Vec::new() }
+        TimelineAcc { epoch_ns, slots: Vec::new(), cached_idx: 0, cached_start: 0, cached_end: 0 }
     }
 
     fn slot(&mut self, t: u64) -> &mut SlotAcc {
-        let idx = (t / self.epoch_ns) as usize;
-        if idx >= self.slots.len() {
-            self.slots.resize(idx + 1, SlotAcc::EMPTY);
+        if t < self.cached_start || t >= self.cached_end {
+            let idx = (t / self.epoch_ns) as usize;
+            if idx >= self.slots.len() {
+                self.slots.resize(idx + 1, SlotAcc::EMPTY);
+            }
+            self.cached_idx = idx;
+            self.cached_start = t - t % self.epoch_ns;
+            self.cached_end = self.cached_start.saturating_add(self.epoch_ns);
         }
-        &mut self.slots[idx]
+        &mut self.slots[self.cached_idx]
     }
 
     /// An offered request at its arrival time.
@@ -357,6 +386,13 @@ struct SimState {
     /// The observability collector (every hook bails on one boolean when
     /// its pillar is disabled — the zero-overhead contract).
     obs: Obs,
+    /// Recycled batch-member buffers: settle clears and returns them,
+    /// dispatch pops one for the scheduler to fill. Grow-on-touch, never
+    /// shrink — steady-state dispatch/settle performs no allocation.
+    scratch_members: Vec<Vec<QueuedRequest>>,
+    /// Recycled batch-result buffers, same discipline (inline-executed
+    /// fleets only; pool batches allocate on the worker side).
+    scratch_results: Vec<Vec<Result<BackendOutput, ServeError>>>,
 }
 
 impl SimState {
@@ -373,7 +409,7 @@ impl SimState {
     ) -> Result<(), ServeError> {
         let Some(inf) = slot.take() else { return Ok(()) };
         let prof = self.obs.prof_begin();
-        let results = match inf.results {
+        let mut results = match inf.results {
             BatchResults::Pool(rx) => rx.recv().map_err(|_| {
                 ServeError::WorkerLost(format!("shard {shard} dropped batch {}", inf.batch))
             })?,
@@ -381,13 +417,18 @@ impl SimState {
         };
         debug_assert_eq!(results.len(), inf.members.len());
         self.inflight_members -= inf.members.len() as u64;
+        // Re-pricing is the identity at the nominal clock (a documented
+        // [`Backend::reprice`] requirement); skipping the virtual call
+        // for nominal batches keeps the uncontrolled fast path free of
+        // per-request dynamic dispatch.
+        let nominal = inf.clock == DvfsPoint::NOMINAL;
         let mut t = inf.start_ns + overhead_ns;
-        for (m, res) in inf.members.iter().zip(results) {
+        for (m, res) in inf.members.iter().zip(results.drain(..)) {
             // Re-pricing happens once, here, on the accounting thread:
             // the worker computed the response at whatever wall-clock
             // speed; the virtual cost and energy belong to the DVFS point
             // the batch dispatched at (identity at nominal).
-            let out = backend.reprice(res?, inf.clock);
+            let out = if nominal { res? } else { backend.reprice(res?, inf.clock) };
             t += out.cost_ns;
             let queue_ns = inf.start_ns - m.arrival_ns;
             let compute_ns = t - inf.start_ns;
@@ -402,21 +443,28 @@ impl SimState {
             // totals are byte-identical however the batches were executed.
             self.energy += out.energy;
             self.dense_flops += out.dense_flops as u128;
-            let outcome = RequestOutcome::Completed {
-                scenario: m.scenario,
-                slo: m.slo,
-                arrival_ns: m.arrival_ns,
-                digest: out.digest,
-                shard,
-                batch: inf.batch,
-                queue_ns,
-                compute_ns,
-                energy: out.energy,
-            };
-            let violated = outcome.violated_slo();
+            // Exactly `RequestOutcome::violated_slo`, without building the
+            // outcome record (only the debug capture materializes one).
+            let violated = queue_ns + compute_ns > m.slo.deadline_ns();
             if violated {
                 self.slo_violations += 1;
                 self.ep_slo += 1;
+            }
+            if self.ledger.captures(m.id) {
+                self.ledger.capture(
+                    m.id,
+                    RequestOutcome::Completed {
+                        scenario: m.scenario,
+                        slo: m.slo,
+                        arrival_ns: m.arrival_ns,
+                        digest: out.digest,
+                        shard,
+                        batch: inf.batch,
+                        queue_ns,
+                        compute_ns,
+                        energy: out.energy,
+                    },
+                );
             }
             self.obs.on_settle(
                 t,
@@ -430,8 +478,14 @@ impl SimState {
             );
             self.timeline.arrival(m.arrival_ns);
             self.timeline.completion(t, out.energy, violated);
-            self.ledger.record(m.id, outcome);
+            self.ledger.record(m.id, out.digest);
         }
+        // Both batch buffers are drained/done: return them to the scratch
+        // pools for the next dispatch (grow-on-touch, never shrink).
+        self.scratch_results.push(results);
+        let mut members = inf.members;
+        members.clear();
+        self.scratch_members.push(members);
         self.shard_free[shard] = t;
         if shard_active {
             self.events.reschedule_shard(shard, t);
@@ -460,7 +514,10 @@ impl SimState {
                 self.dropped += 1;
                 self.ep_dropped += 1;
                 self.timeline.drop_at(arrival_ns);
-                self.ledger.record(id, RequestOutcome::Dropped { arrival_ns });
+                if self.ledger.captures(id) {
+                    self.ledger.capture(id, RequestOutcome::Dropped { arrival_ns });
+                }
+                self.ledger.record(id, DROP_MARK);
             }
         }
     }
@@ -494,9 +551,17 @@ struct EpochFleetState {
     idle_mw: u64,
 }
 
-/// Total idle power of the active shards at the given clock.
-fn fleet_idle_mw(fleet: &[Arc<dyn Backend>], active: &[bool], clock: DvfsPoint) -> u64 {
-    fleet.iter().zip(active).filter(|(_, a)| **a).map(|(b, _)| b.idle_power_mw(clock)).sum()
+/// Total idle power of the active shards at the given clock, read from
+/// the fleet's memoized pricing tables. Clocks only ever come from
+/// [`crate::control::ControllerKind::pricing_points`] — the set the
+/// tables were built over — so the lookup always hits.
+fn fleet_idle_mw(tables: &[CostTable], active: &[bool], clock: DvfsPoint) -> u64 {
+    tables
+        .iter()
+        .zip(active)
+        .filter(|(_, a)| **a)
+        .map(|(t, _)| t.idle_mw(t.point_index(clock).expect("clock is a pricing point")))
+        .sum()
 }
 
 /// Runs one request on `backend`: the payload-free fast path for
@@ -542,30 +607,30 @@ struct Estimates {
 }
 
 impl Estimates {
-    fn compute(gen: &RequestGenerator, fleet: &[Arc<dyn Backend>]) -> Result<Self, ServeError> {
-        let n_scen = gen.scenarios().len();
-        let mut per_shard_cost = vec![vec![0u64; n_scen]; fleet.len()];
-        let mut per_shard_energy = vec![vec![0u128; n_scen]; fleet.len()];
-        for s in 0..n_scen {
-            let wl = gen.scenario(s)?;
-            for (k, backend) in fleet.iter().enumerate() {
-                per_shard_cost[k][s] = backend.estimate_cost_ns(wl);
-                per_shard_energy[k][s] = backend.estimate_energy_pj(wl);
-            }
-        }
+    /// Folds the fleet's memoized nominal pricing rows into the
+    /// per-scenario and per-shard means the policies consume. Nominal
+    /// table rows are exactly the live estimator outputs, so these are
+    /// the same integers as folding the estimators directly.
+    fn from_tables(tables: &[CostTable]) -> Self {
+        let n_scen = tables[0].scenarios();
         let scenario_cost_ns = (0..n_scen)
             .map(|s| {
-                let sum: u128 = per_shard_cost.iter().map(|c| c[s] as u128).sum();
-                (sum / fleet.len() as u128) as u64
+                let sum: u128 = tables.iter().map(|t| t.nominal_cost_row()[s] as u128).sum();
+                (sum / tables.len() as u128) as u64
             })
             .collect();
-        let shard_cost_ns = per_shard_cost
+        let shard_cost_ns = tables
             .iter()
-            .map(|c| (c.iter().map(|&v| v as u128).sum::<u128>() / n_scen as u128) as u64)
+            .map(|t| {
+                (t.nominal_cost_row().iter().map(|&v| v as u128).sum::<u128>() / n_scen as u128)
+                    as u64
+            })
             .collect();
-        let shard_energy_pj =
-            per_shard_energy.iter().map(|e| e.iter().sum::<u128>() / n_scen as u128).collect();
-        Ok(Estimates { scenario_cost_ns, shard_cost_ns, shard_energy_pj })
+        let shard_energy_pj = tables
+            .iter()
+            .map(|t| t.nominal_energy_row().iter().sum::<u128>() / n_scen as u128)
+            .collect();
+        Estimates { scenario_cost_ns, shard_cost_ns, shard_energy_pj }
     }
 }
 
@@ -717,7 +782,16 @@ impl ServeRuntime {
         // The arrival trace streams lazily: the event list holds exactly
         // one pending arrival; consuming it pulls the next.
         let mut stream = cfg.arrival.stream(cfg.offered_load, self.gen.seed() ^ ARRIVAL_SALT);
-        let est = Estimates::compute(&self.gen, fleet)?;
+        // Memoize each backend's pricing surface once. The scheduler and
+        // router estimates below and the per-epoch idle accounting index
+        // these tables instead of re-running analytic estimators; the
+        // `cost` property tests pin every entry equal to the live path.
+        let points = cfg.control.controller.pricing_points();
+        let tables: Vec<CostTable> = fleet
+            .iter()
+            .map(|b| CostTable::build(b.as_ref(), &self.gen, &points))
+            .collect::<Result<_, _>>()?;
+        let est = Estimates::from_tables(&tables);
         let deadline_ns = cfg.batch_deadline_us.saturating_mul(1_000);
         let overhead_ns = cfg.batch_overhead_us.saturating_mul(1_000);
         // Payload-free fleets (replay/modeled backends) execute batches
@@ -749,6 +823,8 @@ impl ServeRuntime {
             ep_completed: 0,
             ep_slo: 0,
             obs: Obs::new(&cfg.obs, self.gen.seed(), fleet_size),
+            scratch_members: Vec::new(),
+            scratch_results: Vec::new(),
         };
         let mut queue = AdmissionQueue::new(cfg.queue_capacity, cfg.drop);
         let mut inflight: Vec<Option<Inflight>> = (0..fleet_size).map(|_| None).collect();
@@ -766,7 +842,7 @@ impl ServeRuntime {
             EpochFleetState {
                 active_shards: cfg.shards,
                 clock,
-                idle_mw: fleet_idle_mw(fleet, &active, clock),
+                idle_mw: fleet_idle_mw(&tables, &active, clock),
             },
         )];
         for (s, _) in active.iter().enumerate().filter(|(_, a)| **a) {
@@ -888,7 +964,7 @@ impl ServeRuntime {
                 let st = EpochFleetState {
                     active_shards: active.iter().filter(|a| **a).count(),
                     clock,
-                    idle_mw: fleet_idle_mw(fleet, &active, clock),
+                    idle_mw: fleet_idle_mw(&tables, &active, clock),
                 };
                 if epoch_states.last().map(|(_, prev)| *prev != st).unwrap_or(true) {
                     epoch_states.push((epoch + 1, st));
@@ -943,7 +1019,6 @@ impl ServeRuntime {
                 let req = queued(id, t_arr);
                 let verdict = queue.offer(req);
                 state.record_admission(&req, verdict, queue.len());
-                state.note_live(queue.len());
             }
             if queue.is_empty() {
                 if state.events.arrival().is_none() {
@@ -956,7 +1031,6 @@ impl ServeRuntime {
                 let req = queued(id, t_arr);
                 let verdict = queue.offer(req);
                 state.record_admission(&req, verdict, queue.len());
-                state.note_live(queue.len());
             }
             // Batching window: wait for a full batch unless the oldest
             // waiting request's deadline fires first.
@@ -968,12 +1042,18 @@ impl ServeRuntime {
                 let req = queued(id, t_arr);
                 let verdict = queue.offer(req);
                 state.record_admission(&req, verdict, queue.len());
-                state.note_live(queue.len());
             }
+            // One live-state probe per pull phase: the queue only grows
+            // between dispatches and in-flight membership is constant
+            // here, so the end-of-phase depth *is* the phase's maximum —
+            // the per-offer probes it replaces measured the same peak.
+            state.note_live(queue.len());
             state.obs.prof_end(ProfSection::ArrivalPull, prof_pull);
-            // Scheduling: the policy picks who rides this batch.
+            // Scheduling: the policy picks who rides this batch, filling
+            // a recycled member buffer (no steady-state allocation).
             let prof_dispatch = state.obs.prof_begin();
-            let members = scheduler.select(&mut queue, cfg.max_batch, t_free);
+            let mut members = state.scratch_members.pop().unwrap_or_default();
+            scheduler.select_into(&mut queue, cfg.max_batch, t_free, &mut members);
             debug_assert!(!members.is_empty(), "scheduler returned an empty batch");
             let last_arrival = members.iter().map(|m| m.arrival_ns).max().expect("batch non-empty");
             let ready_at = if members.len() >= cfg.max_batch {
@@ -997,9 +1077,9 @@ impl ServeRuntime {
             // the wall clock.
             let results = if inline {
                 let backend = fleet[shard].as_ref();
-                BatchResults::Ready(
-                    members.iter().map(|m| exec_request(gen, backend, m.id, m.scenario)).collect(),
-                )
+                let mut out = state.scratch_results.pop().unwrap_or_default();
+                out.extend(members.iter().map(|m| exec_request(gen, backend, m.id, m.scenario)));
+                BatchResults::Ready(out)
             } else {
                 let (tx, rx) = mpsc::channel();
                 let gen = Arc::clone(&self.gen);
