@@ -42,7 +42,7 @@ use defa_serve::energy::fmt_joules;
 use defa_serve::histogram::fmt_ns;
 use defa_serve::{
     ArrivalProcess, AutoscalerConfig, BackendKind, ControlConfig, ControllerKind, DvfsConfig,
-    ServeConfig, ServeReport, ServeRuntime, TraceSchedule,
+    ServeConfig, ServeReport, ServeRuntime, ServeSpec, TraceSchedule,
 };
 use std::time::Instant;
 
@@ -163,7 +163,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 control: ControlConfig { epoch_us, max_shards: MAX_SHARDS, controller },
                 ..ServeConfig::at_load(offered, n_requests)
             };
-            let report = rt.run(&backend, &cfg)?;
+            let report = rt.serve(&ServeSpec::homogeneous(&backend, &cfg))?;
             rows.push(Row {
                 trace: schedule.name.clone(),
                 controller: cfg.control.controller.name().into(),
@@ -216,7 +216,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
             ..ServeConfig::at_load(1_500.0, 20)
         };
-        let report = rt.run(&backend, &pin)?;
+        let report = rt.serve(&ServeSpec::homogeneous(&backend, &pin))?;
         assert_eq!(
             report.digest, 0x7082_b6b7_3780_a6ac,
             "NoOp control must reproduce the PR 4 digest byte-for-byte"

@@ -33,7 +33,7 @@ use defa_serve::energy::fmt_joules;
 use defa_serve::histogram::fmt_ns;
 use defa_serve::{
     ArrivalProcess, Backend, BackendKind, RouterKind, SchedulerKind, ServeConfig, ServeReport,
-    ServeRuntime,
+    ServeRuntime, ServeSpec,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -134,7 +134,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     scheduler,
                     ..ServeConfig::at_load(offered, n_requests)
                 };
-                let report = rt.run_fleet(&fleet, &cfg)?;
+                let report = rt.serve(&ServeSpec::fleet(fleet.clone(), &cfg))?;
                 sched_rows.push(Row {
                     label: (scheduler.name().into(), cfg.router.name().into(), arrival.label()),
                     fleet: "accel x2".into(),
@@ -161,7 +161,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 router,
                 ..ServeConfig::at_load(offered, n_requests)
             };
-            let report = rt.run_fleet(&fleet, &cfg)?;
+            let report = rt.serve(&ServeSpec::fleet(fleet.clone(), &cfg))?;
             router_rows.push(Row {
                 label: (cfg.scheduler.name().into(), router.name().into(), "poisson".into()),
                 fleet: fleet_name.into(),

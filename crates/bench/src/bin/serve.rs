@@ -23,7 +23,7 @@ use defa_model::workload::RequestGenerator;
 use defa_model::MsdaConfig;
 use defa_serve::energy::fmt_joules;
 use defa_serve::histogram::fmt_ns;
-use defa_serve::{BackendKind, ServeConfig, ServeReport, ServeRuntime};
+use defa_serve::{BackendKind, ServeConfig, ServeReport, ServeRuntime, ServeSpec};
 use std::time::Instant;
 
 struct Row {
@@ -88,7 +88,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     shards,
                     ..ServeConfig::at_load(offered, n_requests)
                 };
-                let report = runtime.run(&backend, &cfg)?;
+                let report = runtime.serve(&ServeSpec::homogeneous(&backend, &cfg))?;
                 rows.push(Row { report, load_mult: mult });
             }
         }

@@ -38,7 +38,7 @@ use defa_parallel::with_num_threads;
 use defa_serve::obs::ProfSection;
 use defa_serve::{
     ArrivalProcess, AutoscalerConfig, BackendKind, ControlConfig, ControllerKind, MetricsRegistry,
-    ObsConfig, ServeConfig, ServeReport, ServeRuntime, SpanEvent, TraceSchedule,
+    ObsConfig, ServeConfig, ServeReport, ServeRuntime, ServeSpec, SpanEvent, TraceSchedule,
 };
 
 /// The autoscale-bin operating point this bench mirrors.
@@ -161,7 +161,7 @@ fn run_once(
             obs: ObsConfig::full().with_profile(),
             ..ServeConfig::at_load(offered, n_requests)
         };
-        let report = rt.run(&backend, &cfg)?;
+        let report = rt.serve(&ServeSpec::homogeneous(&backend, &cfg))?;
         let trace = report.obs.chrome_trace();
         let metrics =
             to_document(&metrics_json(report.obs.metrics.as_ref().expect("metrics pillar is on")));

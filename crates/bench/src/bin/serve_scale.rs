@@ -49,7 +49,7 @@ use defa_parallel::with_num_threads;
 use defa_serve::loadgen::TraceSchedule;
 use defa_serve::{
     ArrivalProcess, Backend, BackendKind, ControlConfig, ControllerKind, ObsConfig, ReplayBackend,
-    ServeConfig, ServeReport, ServeRuntime,
+    ServeConfig, ServeReport, ServeRuntime, ServeSpec,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -101,7 +101,7 @@ fn run_once(
             ..ServeConfig::at_load(offered, n_requests)
         };
         let wall = Instant::now();
-        let report = runtime.run(&replay, &cfg)?;
+        let report = runtime.serve(&ServeSpec::homogeneous(&replay, &cfg))?;
         Ok((report, wall.elapsed().as_secs_f64()))
     })
 }

@@ -31,7 +31,9 @@ use defa_model::MsdaConfig;
 use defa_serve::backend::scenario_dense_flops;
 use defa_serve::energy::fmt_joules;
 use defa_serve::histogram::fmt_ns;
-use defa_serve::{BackendKind, EnergyBreakdown, RequestOutcome, ServeConfig, ServeRuntime};
+use defa_serve::{
+    BackendKind, EnergyBreakdown, RequestOutcome, ServeConfig, ServeRuntime, ServeSpec,
+};
 use std::time::Instant;
 
 /// Per-scenario accumulation for one backend.
@@ -102,7 +104,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             shards,
             ..ServeConfig::at_load(offered, n_requests)
         };
-        let report = runtime.run(&backend, &cfg)?;
+        let report = runtime.serve(&ServeSpec::homogeneous(&backend, &cfg))?;
         let mut scenarios = vec![ScenarioEnergy::default(); n_scenarios];
         for outcome in &report.outcomes {
             if let RequestOutcome::Completed { scenario, energy, .. } = outcome {

@@ -55,5 +55,6 @@ pub use fmap::FmapPyramid;
 pub use reference::{LayerOutput, MsdaLayer, MsdaWeights};
 pub use sampling::SamplePoint;
 pub use workload::{
-    Benchmark, InferenceRequest, RequestGenerator, RequestScenario, SyntheticWorkload,
+    Benchmark, InferenceRequest, RequestGenerator, RequestScenario, SessionProfile,
+    StreamingBudget, SyntheticWorkload,
 };

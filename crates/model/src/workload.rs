@@ -368,11 +368,114 @@ impl SloClass {
             _ => SloClass::Batch,
         }
     }
+
+    /// Streaming (per-iteration) latency budgets for session serving.
+    ///
+    /// The first iteration of a session is held to the full end-to-end
+    /// deadline (time-to-first-token covers queueing and prefill); every
+    /// later iteration only decodes against resident state, so its
+    /// time-between-tokens budget is a tenth of the class deadline.
+    pub fn streaming_budgets(&self) -> StreamingBudget {
+        StreamingBudget { ttft_ns: self.deadline_ns(), tbt_ns: self.deadline_ns() / 10 }
+    }
 }
 
 impl std::fmt::Display for SloClass {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The single source of truth for class labels is `name()`; the
+        // `Display` impl only delegates so tables and logs can never
+        // drift from the accessor.
         f.write_str(self.name())
+    }
+}
+
+/// Streaming latency budgets of one [`SloClass`]: the time-to-first-token
+/// and time-between-tokens deadlines session serving holds each iteration
+/// to. See [`SloClass::streaming_budgets`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamingBudget {
+    /// Budget from session arrival to its first settled iteration.
+    pub ttft_ns: u64,
+    /// Budget from an iteration becoming ready (think time elapsed) to its
+    /// settle.
+    pub tbt_ns: u64,
+}
+
+/// Salt for the session-length hash stream, independent of the scenario,
+/// payload, SLO and arrival streams so attaching session shapes never
+/// perturbs existing traces.
+const SESSION_LEN_SALT: u64 = 0x5E55_10A1_0000_0001;
+
+/// Salt for the think-time hash stream (one draw per session iteration).
+const THINK_SALT: u64 = 0x7417_0C1A_0000_0001;
+
+/// Seeded shape of multi-turn sessions: how many iterations a session
+/// runs and how long the client "thinks" between them.
+///
+/// A session is the serving unit of multi-turn streaming traffic: request
+/// `id` becomes the *prefill* (iteration 0) of a session whose length and
+/// inter-iteration gaps are pure functions of `(generator seed, id)`,
+/// exactly like the payload/scenario/SLO streams — any shard can derive a
+/// session's shape without coordination. [`SessionProfile::ONE_SHOT`]
+/// (length 1, no think time) reproduces the legacy one-request path
+/// byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionProfile {
+    /// Minimum iterations per session (≥ 1).
+    pub min_len: u32,
+    /// Maximum iterations per session (inclusive; ≥ `min_len`).
+    pub max_len: u32,
+    /// Mean think time between consecutive iterations, in virtual
+    /// microseconds (0 disables think time: iterations chain immediately).
+    pub think_mean_us: u64,
+}
+
+impl SessionProfile {
+    /// The legacy shape: every session is a single prefill iteration.
+    pub const ONE_SHOT: SessionProfile =
+        SessionProfile { min_len: 1, max_len: 1, think_mean_us: 0 };
+
+    /// Whether every session has exactly one iteration (the legacy
+    /// one-shot request path).
+    pub fn is_one_shot(&self) -> bool {
+        self.max_len <= 1
+    }
+
+    /// Iterations session `id` runs under generator seed `seed`: uniform
+    /// in `[min_len, max_len]` from its own salted hash stream.
+    pub fn session_len(&self, seed: u64, id: u64) -> u32 {
+        let lo = self.min_len.max(1);
+        if self.max_len <= lo {
+            return lo;
+        }
+        let span = (self.max_len - lo) as u64 + 1;
+        let h = mix64(seed ^ SESSION_LEN_SALT ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        lo + (h % span) as u32
+    }
+
+    /// Think time before iteration `iter` of session `id` becomes ready,
+    /// in virtual nanoseconds: exponential with mean `think_mean_us`,
+    /// drawn from its own salted stream (the same inverse-CDF scheme the
+    /// load generator uses for Poisson gaps). Iteration 0 has no think
+    /// time by construction; a zero mean disables it for all iterations.
+    pub fn think_ns(&self, seed: u64, id: u64, iter: u32) -> u64 {
+        if self.think_mean_us == 0 || iter == 0 {
+            return 0;
+        }
+        let h = mix64(
+            seed ^ THINK_SALT
+                ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (iter as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93),
+        );
+        // Top 53 bits → u ∈ (0, 1], then the exponential inverse CDF.
+        let u = ((h >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+        (-(u.ln()) * self.think_mean_us as f64 * 1_000.0) as u64
+    }
+}
+
+impl Default for SessionProfile {
+    fn default() -> Self {
+        SessionProfile::ONE_SHOT
     }
 }
 
@@ -738,6 +841,68 @@ mod tests {
         assert!(i.deadline_ns() < s.deadline_ns() && s.deadline_ns() < b.deadline_ns());
         assert!(i.priority() < s.priority() && s.priority() < b.priority());
         assert_eq!(i.to_string(), "interactive");
+    }
+
+    #[test]
+    fn streaming_budgets_scale_with_class_deadlines() {
+        for class in SloClass::all() {
+            let b = class.streaming_budgets();
+            assert_eq!(b.ttft_ns, class.deadline_ns());
+            assert_eq!(b.tbt_ns, class.deadline_ns() / 10);
+            assert!(b.tbt_ns < b.ttft_ns);
+        }
+    }
+
+    #[test]
+    fn one_shot_profile_pins_the_legacy_shape() {
+        let p = SessionProfile::ONE_SHOT;
+        assert!(p.is_one_shot());
+        assert_eq!(p, SessionProfile::default());
+        for id in 0..64 {
+            assert_eq!(p.session_len(9, id), 1);
+            for iter in 0..4 {
+                assert_eq!(p.think_ns(9, id, iter), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn session_lengths_are_seeded_uniform_in_range() {
+        let p = SessionProfile { min_len: 2, max_len: 5, think_mean_us: 100 };
+        assert!(!p.is_one_shot());
+        let mut seen = [0usize; 6];
+        for id in 0..400 {
+            let len = p.session_len(42, id);
+            assert_eq!(len, p.session_len(42, id), "pure in (seed, id)");
+            assert!((2..=5).contains(&len), "length {len} out of range");
+            seen[len as usize] += 1;
+        }
+        assert!(seen[2..=5].iter().all(|&c| c > 40), "length mix too skewed: {seen:?}");
+        // A different seed reshuffles lengths.
+        assert!((0..64).any(|id| p.session_len(42, id) != p.session_len(43, id)));
+        // A degenerate min > max range clamps to min.
+        let bad = SessionProfile { min_len: 4, max_len: 2, think_mean_us: 0 };
+        assert_eq!(bad.session_len(1, 7), 4);
+        // min_len 0 is clamped to one iteration.
+        let zero = SessionProfile { min_len: 0, max_len: 0, think_mean_us: 0 };
+        assert_eq!(zero.session_len(1, 7), 1);
+    }
+
+    #[test]
+    fn think_times_are_seeded_exponential_gaps() {
+        let p = SessionProfile { min_len: 2, max_len: 4, think_mean_us: 200 };
+        // Iteration 0 never waits; later iterations draw their own stream.
+        assert_eq!(p.think_ns(7, 3, 0), 0);
+        assert_eq!(p.think_ns(7, 3, 1), p.think_ns(7, 3, 1), "pure in (seed, id, iter)");
+        assert!((1..6u32).any(|i| p.think_ns(7, 3, i) != p.think_ns(7, 4, i)));
+        // The empirical mean lands near think_mean_us.
+        let n = 4000u64;
+        let total: u64 = (0..n).map(|id| p.think_ns(7, id, 1)).sum();
+        let mean_us = total as f64 / n as f64 / 1_000.0;
+        assert!(
+            (mean_us - 200.0).abs() < 20.0,
+            "think-time mean {mean_us:.1} µs too far from 200 µs"
+        );
     }
 
     #[test]

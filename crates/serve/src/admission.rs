@@ -214,6 +214,7 @@ impl AdmissionQueue {
 
     /// Offers one arrival; on overflow the [`DropPolicy`] decides who is
     /// dropped.
+    #[inline]
     pub fn offer(&mut self, req: QueuedRequest) -> Admission {
         if self.len() < self.capacity {
             match &mut self.store {

@@ -208,7 +208,53 @@ pub trait Backend: Send + Sync {
             self.name()
         )))
     }
+
+    /// Cheap deterministic estimate of a session's *prefill* iteration on
+    /// this backend, in virtual nanoseconds. Prefill is the full-context
+    /// pass, so the default is the whole-request estimate; phase-split
+    /// backends (xLLM-style prefill/decode fleets) override to quote their
+    /// prefill-optimized rate.
+    fn estimate_prefill_ns(&self, scenario: &SyntheticWorkload) -> u64 {
+        self.estimate_cost_ns(scenario)
+    }
+
+    /// Cheap deterministic estimate of one *decode* iteration on this
+    /// backend, in virtual nanoseconds. A decode step reuses the resident
+    /// session state instead of re-running the full context, so the
+    /// default models it at `1/DECODE_COST_DIV` of a prefill (floored at
+    /// 1 ns); decode-optimized backends override.
+    fn estimate_decode_ns(&self, scenario: &SyntheticWorkload) -> u64 {
+        (self.estimate_cost_ns(scenario) / DECODE_COST_DIV).max(1)
+    }
+
+    /// Derives iteration `iter ≥ 1` of a session from its settled prefill
+    /// output: the decode digest chains deterministically off the prefill
+    /// digest and the iteration index, while cost, energy and FLOPs scale
+    /// by the same `1/DECODE_COST_DIV` phase ratio as
+    /// [`Self::estimate_decode_ns`]. Pure in `(prefill, iter)`, so any
+    /// shard can derive any iteration without coordination — the session
+    /// analogue of the request-level determinism contract.
+    fn decode_output(&self, prefill: &BackendOutput, iter: u64) -> BackendOutput {
+        let div = DECODE_COST_DIV as u128;
+        BackendOutput {
+            digest: splitmix64(prefill.digest ^ iter.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            cost_ns: (prefill.cost_ns / DECODE_COST_DIV).max(1),
+            energy: EnergyBreakdown {
+                compute_pj: prefill.energy.compute_pj / div,
+                sram_pj: prefill.energy.sram_pj / div,
+                dram_pj: prefill.energy.dram_pj / div,
+            },
+            dense_flops: prefill.dense_flops / DECODE_COST_DIV,
+        }
+    }
 }
+
+/// Modeled cost ratio between a prefill and one decode iteration: a
+/// decode step runs `1/8` of the prefill's work (it touches only the new
+/// query against resident state, not the full context). One shared
+/// constant keeps estimates ([`Backend::estimate_decode_ns`]) and
+/// accounting ([`Backend::decode_output`]) on the same phase model.
+pub const DECODE_COST_DIV: u64 = 8;
 
 /// Converts modeled seconds to clamped virtual nanoseconds.
 fn secs_to_ns(s: f64) -> u64 {
@@ -709,6 +755,34 @@ mod tests {
         let dense = DenseBackend::new().run(wl, &req).unwrap();
         let pruned = PrunedBackend::new(PruneSettings::paper_defaults()).run(wl, &req).unwrap();
         assert_ne!(dense.digest, pruned.digest, "pruning approximates the output");
+    }
+
+    #[test]
+    fn decode_phase_scales_estimates_and_outputs_together() {
+        let gen = tiny_gen();
+        let wl = gen.scenario(0).unwrap();
+        for kind in BackendKind::all() {
+            let backend = kind.build();
+            // Prefill is the full-context pass; decode is the phase ratio.
+            assert_eq!(backend.estimate_prefill_ns(wl), backend.estimate_cost_ns(wl));
+            assert_eq!(
+                backend.estimate_decode_ns(wl),
+                (backend.estimate_cost_ns(wl) / DECODE_COST_DIV).max(1),
+                "{} decode estimate off the phase model",
+                backend.name()
+            );
+        }
+        let req = gen.request(3);
+        let backend = AcceleratorBackend::new();
+        let prefill = backend.run(gen.scenario(req.scenario).unwrap(), &req).unwrap();
+        let d1 = backend.decode_output(&prefill, 1);
+        let d2 = backend.decode_output(&prefill, 2);
+        assert_eq!(d1, backend.decode_output(&prefill, 1), "pure in (prefill, iter)");
+        assert_ne!(d1.digest, d2.digest, "iterations must have distinct responses");
+        assert_ne!(d1.digest, prefill.digest);
+        assert_eq!(d1.cost_ns, (prefill.cost_ns / DECODE_COST_DIV).max(1));
+        assert!(d1.energy.total_pj() <= prefill.energy.total_pj() / DECODE_COST_DIV as u128);
+        assert_eq!(d1.dense_flops, prefill.dense_flops / DECODE_COST_DIV);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use crate::obs::ObsConfig;
 use crate::router::RouterKind;
 use crate::scheduler::SchedulerKind;
 use crate::ServeError;
+use defa_model::workload::SessionProfile;
 
 /// The epoch-stepped fleet-control configuration.
 ///
@@ -43,6 +44,51 @@ impl ControlConfig {
         } else {
             self.max_shards.max(shards)
         }
+    }
+}
+
+/// The session-serving configuration: session shapes, the per-shard
+/// state budget (the KV-cache analogue) and the batching discipline.
+///
+/// The default — [`SessionProfile::ONE_SHOT`], unlimited budget,
+/// continuous batching — keeps every request a single-iteration session
+/// and routes the run through the legacy one-shot engine, byte-identical
+/// to every pre-session pin. Only a multi-iteration profile
+/// ([`SessionConfig::enabled`]) engages the iteration-level session
+/// engine; `state_budget` and `gang` are inert for one-shot profiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Seeded session-length / think-time distributions. Request `id`
+    /// becomes the prefill of session `id`.
+    pub profile: SessionProfile,
+    /// Maximum sessions whose state may be resident on one shard at once
+    /// (the modeled KV-cache capacity); 0 means unlimited. Admitting a
+    /// prefill beyond the budget deterministically evicts the
+    /// least-recently-settled resident session, whose next iteration must
+    /// then *recompute* (pay a prefill plus its decode).
+    pub state_budget: usize,
+    /// Gang scheduling: a session, once admitted, occupies its shard for
+    /// *all* its iterations (think times block the shard). The baseline
+    /// continuous batching (`false`) releases the shard between
+    /// iterations so new sessions join the batch between steps.
+    pub gang: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig { profile: SessionProfile::ONE_SHOT, state_budget: 0, gang: false }
+    }
+}
+
+impl SessionConfig {
+    /// Whether this configuration engages the session engine: only a
+    /// multi-iteration profile does. One-shot profiles always run the
+    /// legacy engine regardless of `state_budget`/`gang` (a session of
+    /// length 1 holds no state between iterations, so both knobs are
+    /// vacuous), which is what pins `session_len = 1` byte-identical to
+    /// the pre-session runtime.
+    pub fn enabled(&self) -> bool {
+        !self.profile.is_one_shot()
     }
 }
 
@@ -97,6 +143,9 @@ pub struct ServeConfig {
     /// wall-clock self-profiling. Defaults to fully disabled — the
     /// zero-overhead path every pre-observability pin runs on.
     pub obs: ObsConfig,
+    /// Session shapes, per-shard state budget and batching discipline.
+    /// Defaults to one-shot sessions — the legacy engine path.
+    pub sessions: SessionConfig,
 }
 
 /// Default [`ServeConfig::outcome_capture`]: large enough that every
@@ -125,6 +174,7 @@ impl ServeConfig {
             control: ControlConfig::default(),
             outcome_capture: DEFAULT_OUTCOME_CAPTURE,
             obs: ObsConfig::default(),
+            sessions: SessionConfig::default(),
         }
     }
 
@@ -239,6 +289,28 @@ impl ServeConfig {
                 "obs.metrics_buffer",
                 "0 (metrics are enabled; the snapshot series needs capacity)".into(),
             );
+        }
+        if self.sessions.profile.min_len == 0 {
+            return degenerate(
+                "sessions.profile.min_len",
+                "0 (a session runs at least one iteration)".into(),
+            );
+        }
+        if self.sessions.profile.max_len < self.sessions.profile.min_len {
+            return degenerate(
+                "sessions.profile.max_len",
+                format!(
+                    "{} (below min_len {})",
+                    self.sessions.profile.max_len, self.sessions.profile.min_len
+                ),
+            );
+        }
+        if self.sessions.enabled() && !matches!(self.control.controller, ControllerKind::NoOp) {
+            return Err(ServeError::InvalidConfig(format!(
+                "session serving does not yet support fleet controllers (controller {:?} with a \
+                 multi-iteration session profile); use ControllerKind::NoOp",
+                self.control.controller
+            )));
         }
         if self.control.max_shards != 0 && self.control.max_shards < self.shards {
             return Err(ServeError::InvalidConfig(format!(
@@ -368,6 +440,26 @@ mod tests {
                 },
                 "obs.metrics_buffer",
             ),
+            (
+                ServeConfig {
+                    sessions: SessionConfig {
+                        profile: SessionProfile { min_len: 0, max_len: 1, think_mean_us: 0 },
+                        ..SessionConfig::default()
+                    },
+                    ..base.clone()
+                },
+                "sessions.profile.min_len",
+            ),
+            (
+                ServeConfig {
+                    sessions: SessionConfig {
+                        profile: SessionProfile { min_len: 4, max_len: 2, think_mean_us: 0 },
+                        ..SessionConfig::default()
+                    },
+                    ..base.clone()
+                },
+                "sessions.profile.max_len",
+            ),
         ] {
             match cfg.validate() {
                 Err(ServeError::DegenerateConfig { field: f, .. }) => {
@@ -389,6 +481,40 @@ mod tests {
             ..ServeConfig::at_load(1.0, 1)
         };
         assert!(matches!(ceiling.validate(), Err(ServeError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn session_configs_gate_the_engine_and_reject_controllers() {
+        // The default is one-shot: the legacy engine, knobs inert.
+        let base = ServeConfig::at_load(1.0, 1);
+        assert!(!base.sessions.enabled());
+        assert!(base.validate().is_ok());
+        // state_budget / gang on a one-shot profile stay on the legacy
+        // path (and validate — they are vacuous, not wrong).
+        let inert = ServeConfig {
+            sessions: SessionConfig { state_budget: 2, gang: true, ..SessionConfig::default() },
+            ..base.clone()
+        };
+        assert!(!inert.sessions.enabled());
+        assert!(inert.validate().is_ok());
+        // A multi-iteration profile engages the session engine…
+        let multi = SessionConfig {
+            profile: SessionProfile { min_len: 1, max_len: 4, think_mean_us: 100 },
+            ..SessionConfig::default()
+        };
+        assert!(multi.enabled());
+        assert!(ServeConfig { sessions: multi.clone(), ..base.clone() }.validate().is_ok());
+        // …and refuses non-NoOp fleet controllers for now.
+        let controlled = ServeConfig {
+            sessions: multi,
+            control: ControlConfig {
+                max_shards: 4,
+                controller: ControllerKind::Autoscaler(Default::default()),
+                ..ControlConfig::default()
+            },
+            ..base
+        };
+        assert!(matches!(controlled.validate(), Err(ServeError::InvalidConfig(_))));
     }
 
     #[test]

@@ -55,6 +55,13 @@ pub enum EventClass {
     Arrival,
     /// A shard's in-flight batch settles, freeing the shard.
     ShardFree,
+    /// A session iteration's think time elapses: a decode step becomes
+    /// ready on its resident shard. Settles after the shard-free event at
+    /// the same instant (the freeing batch is what made the iteration
+    /// ready), so a decode never jumps ahead of the settle that produced
+    /// its previous token. Used by the session engine's per-shard ready
+    /// sets; the legacy one-shot engine never emits it.
+    SessionReady,
 }
 
 /// The pending-event state of one serving run: two single-slot cursors
@@ -280,5 +287,6 @@ mod tests {
     fn class_order_settles_control_before_admission_before_capacity() {
         assert!(EventClass::EpochBoundary < EventClass::Arrival);
         assert!(EventClass::Arrival < EventClass::ShardFree);
+        assert!(EventClass::ShardFree < EventClass::SessionReady);
     }
 }

@@ -1,19 +1,47 @@
-//! `defa-serve`: a batched multi-backend inference runtime for the DEFA
-//! reproduction.
+//! `defa-serve`: a session-oriented multi-backend inference runtime for
+//! the DEFA reproduction.
 //!
 //! The paper's accelerator argument is about *throughput under a stream of
 //! detection queries*; this crate supplies the serving layer that turns
-//! the workspace's single-run pipelines into a service:
+//! the workspace's single-run pipelines into a service. Its unit of
+//! serving is the **session**: a seeded sequence of iterations — one
+//! *prefill* (the full detection query) followed by cheaper *decode*
+//! steps separated by seeded think times
+//! ([`defa_model::workload::SessionProfile`]). A legacy one-shot request
+//! is exactly a session of length 1, and the default configuration
+//! ([`config::SessionConfig`] at `SessionProfile::ONE_SHOT`) runs the
+//! pre-session engine byte-for-byte.
 //!
 //! ```text
 //!  ArrivalProcess ──> AdmissionQueue ──> Scheduler ──> Router ──> shard 0 ──┐
 //!  (poisson /          (bounded; drop    (fifo / sjf   (rr / low  shard 1 ──┤─> report
 //!   bursty MMPP /       policy on         / edf over    / latency- ...      │   (latency,
-//!   uniform)            overflow)         SLO classes)  / energy-  shard S ──┘   energy,
-//!                                                       aware)                   SLO)
+//!   uniform)            overflow)         SLO classes)  / energy-  shard S ──┘   TTFT/TBT,
+//!                                             ▲          aware)      │  │        energy,
+//!                                             │   decode steps ready │  │        SLO)
+//!                                             └──── after think time ┘  │
+//!                                                 (continuous batching,  │
+//!                                                  per-shard state budget)
 //! ```
 //!
-//! Every layer is a policy behind a trait, configured per [`ServeConfig`]:
+//! With sessions enabled the engine batches at **iteration level**
+//! (continuous batching): each settled iteration immediately frees its
+//! batch slot, due decode steps rejoin their resident shard's next batch
+//! ahead of new prefills, and a per-shard *state budget*
+//! ([`config::SessionConfig::state_budget`] — the KV-cache analogue)
+//! bounds resident sessions, forcing deterministic least-recently-settled
+//! eviction and priced prefill recompute. [`Backend`] pricing splits into
+//! prefill vs decode phases ([`Backend::estimate_prefill_ns`],
+//! [`Backend::estimate_decode_ns`], [`Backend::decode_output`]) so
+//! routers see both; the report grows streaming SLOs — time-to-first-token
+//! and time-between-tokens histograms against per-class
+//! [`defa_model::workload::StreamingBudget`]s. Setting
+//! `SessionConfig::gang` schedules each session as one gang instead — the
+//! baseline continuous batching is measured against.
+//!
+//! Every layer is a policy behind a trait, configured per [`ServeConfig`]
+//! and driven through one typed entry point,
+//! [`ServeSpec`] → [`ServeRuntime::serve`]:
 //!
 //! * [`loadgen`] — pluggable [`loadgen::ArrivalProcess`] (Poisson, bursty
 //!   on/off MMPP, uniform pacing) derives the arrival trace from a seed;
@@ -24,17 +52,20 @@
 //!   [`admission::DropPolicy`] (tail drop or evict-oldest) deciding who is
 //!   shed on overflow.
 //! * [`scheduler`] — a [`scheduler::Scheduler`] picks which queued
-//!   requests form the next batch: FIFO, shortest-job-first over the
+//!   prefills form the next batch: FIFO, shortest-job-first over the
 //!   backends' cost estimates, or earliest-deadline-first over per-request
-//!   [`defa_model::workload::SloClass`] budgets.
+//!   [`defa_model::workload::SloClass`] budgets. Iteration-level admission
+//!   goes through [`scheduler::Scheduler::admit_into`], which fills only
+//!   the slots left after a shard's due decode steps.
 //! * [`router`] — a [`router::Router`] places each batch on a shard:
 //!   round-robin, least-outstanding-work, or latency-/energy-aware over
 //!   heterogeneous fleets where shards wrap *different* backends
-//!   ([`ServeRuntime::run_fleet`]).
+//!   ([`ServeSpec::fleet`]); [`router::ShardView`] carries phase-split
+//!   prefill/decode estimates for phase-aware placement.
 //! * [`backend`] — the three execution engines behind one trait: the dense
 //!   reference encoder, the DEFA pruned pipeline, and the cycle-simulated
 //!   accelerator — plus the analytic cost/energy estimates the cost-aware
-//!   policies steer by.
+//!   policies steer by, now split into prefill and decode phases.
 //! * [`cost`] — memoized [`cost::CostTable`]s: every backend's estimate
 //!   surface (cost, energy, idle power per scenario × DVFS point) is
 //!   priced once at fleet construction, so the hot loops index integers
@@ -79,12 +110,13 @@
 //! ```
 //! use defa_model::workload::RequestGenerator;
 //! use defa_model::MsdaConfig;
-//! use defa_serve::{BackendKind, ServeConfig, ServeRuntime};
+//! use defa_serve::{BackendKind, ServeConfig, ServeRuntime, ServeSpec};
 //!
 //! # fn main() -> Result<(), defa_serve::ServeError> {
 //! let gen = RequestGenerator::standard(&MsdaConfig::tiny(), 42)?;
 //! let runtime = ServeRuntime::new(gen);
-//! let report = runtime.run(&BackendKind::Pruned.build(), &ServeConfig::at_load(800.0, 12))?;
+//! let spec = ServeSpec::homogeneous(&BackendKind::Pruned.build(), &ServeConfig::at_load(800.0, 12));
+//! let report = runtime.serve(&spec)?;
 //! println!("{report}");
 //! assert_eq!(report.completed + report.dropped, 12);
 //! # Ok(())
@@ -108,8 +140,8 @@ pub mod runtime;
 pub mod scheduler;
 
 pub use admission::{Admission, AdmissionQueue, DropPolicy, QueuedRequest};
-pub use backend::{Backend, BackendKind, BackendOutput, ReplayBackend};
-pub use config::{ControlConfig, ServeConfig, DEFAULT_OUTCOME_CAPTURE};
+pub use backend::{Backend, BackendKind, BackendOutput, ReplayBackend, DECODE_COST_DIV};
+pub use config::{ControlConfig, ServeConfig, SessionConfig, DEFAULT_OUTCOME_CAPTURE};
 pub use control::{
     AutoscalerConfig, ControlAction, Controller, ControllerKind, DvfsConfig, DvfsGovernor,
     DvfsPoint, FleetView, NoOpController, ShardAutoscaler, DVFS_LADDER,
@@ -126,5 +158,9 @@ pub use obs::{
 };
 pub use report::{EpochStat, LiveStats, RequestOutcome, ServeReport};
 pub use router::{Router, RouterKind, ShardView};
-pub use runtime::ServeRuntime;
+pub use runtime::{ServeRuntime, ServeSpec};
 pub use scheduler::{Scheduler, SchedulerKind};
+
+// Session workload surfaces, re-exported so serving callers need not
+// depend on `defa_model` directly.
+pub use defa_model::workload::{SessionProfile, StreamingBudget};

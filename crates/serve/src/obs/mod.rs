@@ -233,6 +233,11 @@ struct MetricIds {
     active_shards: GaugeId,
     clock_mhz: GaugeId,
     batch_occupancy: HistId,
+    /// Session-engine counters; `None` under the legacy one-shot engine
+    /// so its registry (and every obs pin) keeps the exact pre-session
+    /// metric set.
+    iterations: Option<CounterId>,
+    evictions: Option<CounterId>,
 }
 
 /// The live observability collector threaded through one `run_fleet`
@@ -256,8 +261,11 @@ pub(crate) struct Obs {
 impl Obs {
     /// A collector for one run: `seed` is the generator seed (the
     /// sampler salts it), `fleet_size` the full fleet including
-    /// autoscaling headroom.
-    pub(crate) fn new(config: &ObsConfig, seed: u64, fleet_size: usize) -> Self {
+    /// autoscaling headroom. `sessions` registers the session-engine
+    /// counters (iterations, evictions); the legacy engine passes
+    /// `false` so its metric set — and every obs pin on it — is
+    /// unchanged.
+    pub(crate) fn new(config: &ObsConfig, seed: u64, fleet_size: usize, sessions: bool) -> Self {
         let metrics = config.metrics.then(|| {
             let mut reg = MetricsRegistry::new(config.metrics_buffer);
             let ids = MetricIds {
@@ -277,6 +285,8 @@ impl Obs {
                 active_shards: reg.gauge("fleet.active_shards", "shards"),
                 clock_mhz: reg.gauge("fleet.clock_mhz", "MHz"),
                 batch_occupancy: reg.histogram("batch.occupancy", "req/batch"),
+                iterations: sessions.then(|| reg.counter("requests.iterations", "iters")),
+                evictions: sessions.then(|| reg.counter("sessions.evictions", "sessions")),
             };
             (reg, ids)
         });
@@ -455,6 +465,39 @@ impl Obs {
         }
     }
 
+    /// One session iteration settled (prefill or decode step). Session
+    /// engine only — the legacy engine's single iteration is already
+    /// accounted by [`Self::on_settle`].
+    #[inline]
+    pub(crate) fn on_iteration(&mut self) {
+        if let Some((reg, ids)) = &mut self.metrics {
+            if let Some(c) = ids.iterations {
+                reg.inc(c, 1);
+            }
+        }
+    }
+
+    /// A resident session's shard state was evicted to respect the
+    /// state budget; its next decode step will pay a prefill recompute.
+    #[inline]
+    pub(crate) fn on_evicted(&mut self, t_ns: u64, id: u64) {
+        if !self.on {
+            return;
+        }
+        if self.sampled(id) {
+            // An eviction ends the session's residency the way a drop
+            // ends a request's life in the queue — reuse the span so the
+            // trace schema (and its exporters) stay fixed; the session's
+            // later `Settled` spans distinguish it from a real drop.
+            self.buf.push(SpanEvent::Dropped { t_ns, id });
+        }
+        if let Some((reg, ids)) = &mut self.metrics {
+            if let Some(c) = ids.evictions {
+                reg.inc(c, 1);
+            }
+        }
+    }
+
     /// One control action applied at an epoch boundary.
     #[inline]
     pub(crate) fn on_control(&mut self, t_ns: u64, epoch: u64, action: &crate::ControlAction) {
@@ -508,7 +551,7 @@ mod tests {
 
     #[test]
     fn disabled_collector_records_nothing() {
-        let mut obs = Obs::new(&ObsConfig::disabled(), 42, 2);
+        let mut obs = Obs::new(&ObsConfig::disabled(), 42, 2, false);
         obs.on_arrival(10, 0, 1);
         obs.on_admitted(10, 0, 1);
         obs.on_dropped(20, 1);
@@ -534,9 +577,27 @@ mod tests {
     }
 
     #[test]
+    fn session_counters_register_only_for_the_session_engine() {
+        let cfg = ObsConfig::disabled().with_metrics();
+        let mut legacy = Obs::new(&cfg, 42, 1, false);
+        legacy.on_iteration();
+        legacy.on_evicted(10, 0);
+        let baseline = Obs::new(&cfg, 42, 1, false).finish();
+        assert_eq!(
+            legacy.finish().metrics,
+            baseline.metrics,
+            "legacy registry has no session counters, so the hooks are no-ops"
+        );
+        let mut sess = Obs::new(&cfg, 42, 1, true);
+        sess.on_iteration();
+        sess.on_evicted(10, 0);
+        assert_ne!(sess.finish().metrics, baseline.metrics, "session counters count");
+    }
+
+    #[test]
     fn collector_counts_sampled_arrivals_exactly() {
         let cfg = ObsConfig::tracing_at(0.5);
-        let mut obs = Obs::new(&cfg, 42, 1);
+        let mut obs = Obs::new(&cfg, 42, 1, false);
         let sampler = SpanSampler::new(42, 0.5);
         let n = 256u64;
         for id in 0..n {

@@ -188,7 +188,23 @@ pub struct ServeReport {
     /// Requests dropped by backpressure.
     pub dropped: u64,
     /// Completed requests whose total latency exceeded their SLO budget.
+    /// Under the session engine a session violates when its TTFT or any
+    /// TBT blows the class streaming budget.
     pub slo_violations: u64,
+    /// Iterations settled (prefill + decode steps). Equals `completed`
+    /// under the legacy one-shot engine, where every request is a
+    /// single-iteration session.
+    pub iterations: u64,
+    /// Session evictions forced by the per-shard state budget (each
+    /// eviction prices a prefill recompute into the session's next
+    /// decode step). Always 0 under the legacy one-shot engine.
+    pub evictions: u64,
+    /// Completed sessions whose time-to-first-token exceeded the class
+    /// streaming budget ([`SloClass::streaming_budgets`]).
+    pub ttft_violations: u64,
+    /// Decode iterations whose time-between-tokens exceeded the class
+    /// streaming budget. Always 0 under the legacy one-shot engine.
+    pub tbt_violations: u64,
     /// Batches dispatched.
     pub batches: u64,
     /// Sum of batch sizes (for the mean).
@@ -197,8 +213,18 @@ pub struct ServeReport {
     pub queue: LatencyHistogram,
     /// Service time per completed request.
     pub compute: LatencyHistogram,
-    /// End-to-end latency per completed request.
+    /// End-to-end latency per completed request. For a multi-iteration
+    /// session this spans arrival to final-iteration settle, think times
+    /// included.
     pub total: LatencyHistogram,
+    /// Time to first token per completed session: first-iteration settle
+    /// minus arrival. Under the legacy one-shot engine every request is
+    /// a single-iteration session, so this equals `total`.
+    pub ttft: LatencyHistogram,
+    /// Time between tokens per decode iteration: settle minus the
+    /// instant the iteration became ready (think time elapsed). Empty
+    /// under the legacy one-shot engine.
+    pub tbt: LatencyHistogram,
     /// Virtual time at which the last batch finished.
     pub makespan_ns: u64,
     /// Total energy of all completed requests, in integer picojoules
@@ -436,6 +462,17 @@ impl fmt::Display for ServeReport {
                 fmt_ns(h.mean_ns()),
             )?;
         }
+        writeln!(
+            f,
+            "  streaming       : TTFT p99 {} ({} over budget), TBT p99 {} ({} over budget), \
+             {} iterations, {} evictions",
+            fmt_ns(self.ttft.p99_ns()),
+            self.ttft_violations,
+            fmt_ns(self.tbt.p99_ns()),
+            self.tbt_violations,
+            self.iterations,
+            self.evictions,
+        )?;
         writeln!(
             f,
             "  energy          : {} total ({}/req, {:.1} req/J, {:.1} W avg, {:.0} GOPS/W)",

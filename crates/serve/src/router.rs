@@ -46,6 +46,15 @@ pub struct ShardView {
     /// Scenario-mean modeled energy of one request on this shard's
     /// backend, in picojoules (routing estimate, not accounting).
     pub est_energy_pj: u128,
+    /// Scenario-mean estimated *prefill* time of one session iteration 0
+    /// on this shard ([`crate::Backend::estimate_prefill_ns`]). Equal to
+    /// the per-request estimate behind `est_batch_ns` on phase-agnostic
+    /// backends; diverges on xLLM-style prefill-/decode-optimized fleets,
+    /// which is what makes phase-aware routing expressible.
+    pub est_prefill_ns: u64,
+    /// Scenario-mean estimated *decode* iteration time on this shard
+    /// ([`crate::Backend::estimate_decode_ns`]).
+    pub est_decode_ns: u64,
 }
 
 /// Chooses the shard the next batch runs on.
@@ -230,6 +239,8 @@ mod tests {
                 free_ns,
                 est_batch_ns: 4 * est_cost_ns, // a 4-deep batch, no overhead
                 est_energy_pj,
+                est_prefill_ns: est_cost_ns,
+                est_decode_ns: (est_cost_ns / 8).max(1),
             })
             .collect()
     }
@@ -289,8 +300,22 @@ mod tests {
         // router sees views for physical shards 1 and 2 only. Routers
         // must return the *position* (0 or 1), not the physical index.
         let v = vec![
-            ShardView { shard: 1, free_ns: 900, est_batch_ns: 400, est_energy_pj: 10 },
-            ShardView { shard: 2, free_ns: 100, est_batch_ns: 400, est_energy_pj: 10_000 },
+            ShardView {
+                shard: 1,
+                free_ns: 900,
+                est_batch_ns: 400,
+                est_energy_pj: 10,
+                est_prefill_ns: 100,
+                est_decode_ns: 12,
+            },
+            ShardView {
+                shard: 2,
+                free_ns: 100,
+                est_batch_ns: 400,
+                est_energy_pj: 10_000,
+                est_prefill_ns: 100,
+                est_decode_ns: 12,
+            },
         ];
         assert_eq!(LeastOutstandingRouter.route(0, 0, &v), 1, "shard 2 is at position 1");
         assert_eq!(LatencyAwareRouter.route(0, 0, &v), 1);

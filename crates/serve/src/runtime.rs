@@ -103,9 +103,9 @@ use crate::obs::{Obs, ProfSection};
 use crate::report::{EpochStat, LiveStats, RequestOutcome, ServeReport};
 use crate::router::ShardView;
 use crate::ServeError;
-use defa_model::workload::RequestGenerator;
+use defa_model::workload::{RequestGenerator, SloClass};
 use defa_parallel::WorkerPool;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt::Write as _;
 use std::sync::{mpsc, Arc};
 
@@ -180,11 +180,13 @@ impl OutcomeLedger {
 
     /// Whether request `id` falls in the opt-in debug capture; callers
     /// only materialize a [`RequestOutcome`] when it does.
+    #[inline(always)]
     fn captures(&self, id: u64) -> bool {
         id < self.capture_cap
     }
 
     /// Keeps one captured outcome (any settle order; sorted at finish).
+    #[inline(always)]
     fn capture(&mut self, id: u64, outcome: RequestOutcome) {
         debug_assert!(self.captures(id));
         self.captured.push((id, outcome));
@@ -192,6 +194,7 @@ impl OutcomeLedger {
 
     /// Buffers one settled digest word and folds every now-contiguous
     /// prefix into the digest.
+    #[inline(always)]
     fn record(&mut self, id: u64, word: u64) {
         debug_assert!(id >= self.base, "request {id} settled twice");
         let off = (id - self.base) as usize;
@@ -267,6 +270,7 @@ impl TimelineAcc {
         TimelineAcc { epoch_ns, slots: Vec::new(), cached_idx: 0, cached_start: 0, cached_end: 0 }
     }
 
+    #[inline(always)]
     fn slot(&mut self, t: u64) -> &mut SlotAcc {
         if t < self.cached_start || t >= self.cached_end {
             let idx = (t / self.epoch_ns) as usize;
@@ -281,11 +285,13 @@ impl TimelineAcc {
     }
 
     /// An offered request at its arrival time.
+    #[inline(always)]
     fn arrival(&mut self, t: u64) {
         self.slot(t).arrivals += 1;
     }
 
     /// A dropped request at its arrival time (drops count as offered).
+    #[inline(always)]
     fn drop_at(&mut self, t: u64) {
         let s = self.slot(t);
         s.arrivals += 1;
@@ -294,6 +300,7 @@ impl TimelineAcc {
 
     /// A completion (and its energy and SLO verdict) at its completion
     /// time.
+    #[inline(always)]
     fn completion(&mut self, t: u64, energy: EnergyBreakdown, violated: bool) {
         let s = self.slot(t);
         s.completed += 1;
@@ -499,6 +506,7 @@ impl SimState {
     /// `req` is the offered newcomer, `depth` the queue depth after the
     /// verdict; under evict-oldest the dropped id can be an older waiter
     /// while the newcomer itself is admitted.
+    #[inline(always)]
     fn record_admission(&mut self, req: &QueuedRequest, verdict: Admission, depth: usize) {
         self.obs.on_arrival(req.arrival_ns, req.id, req.scenario);
         self.ep_arrivals += 1;
@@ -524,6 +532,7 @@ impl SimState {
 
     /// Tracks the peak of queued + in-flight requests — the live-state
     /// bound [`LiveStats::peak_inflight`] reports.
+    #[inline(always)]
     fn note_live(&mut self, queued: usize) {
         self.peak_inflight = self.peak_inflight.max(queued as u64 + self.inflight_members);
     }
@@ -567,6 +576,7 @@ fn fleet_idle_mw(tables: &[CostTable], active: &[bool], clock: DvfsPoint) -> u64
 /// Runs one request on `backend`: the payload-free fast path for
 /// backends that model results from the scenario alone, the
 /// materialize-and-run path otherwise.
+#[inline(always)]
 fn exec_request(
     gen: &RequestGenerator,
     backend: &dyn Backend,
@@ -584,6 +594,7 @@ fn exec_request(
 
 /// Consumes the pending arrival and primes the next from the lazy
 /// stream, returning `(arrival_ns, id)`.
+#[inline(always)]
 fn next_arrival(events: &mut EventList, stream: &mut ArrivalIter, n_requests: u64) -> (u64, u64) {
     let (t, id) = events.take_arrival().expect("caller checked a pending arrival");
     if id + 1 < n_requests {
@@ -604,13 +615,23 @@ struct Estimates {
     shard_cost_ns: Vec<u64>,
     /// Scenario-mean energy estimate per shard (what routers see).
     shard_energy_pj: Vec<u128>,
+    /// Scenario-mean prefill-phase estimate per shard
+    /// ([`Backend::estimate_prefill_ns`]) — the phase split routers see.
+    shard_prefill_ns: Vec<u64>,
+    /// Scenario-mean decode-step estimate per shard
+    /// ([`Backend::estimate_decode_ns`]).
+    shard_decode_ns: Vec<u64>,
 }
 
 impl Estimates {
     /// Folds the fleet's memoized nominal pricing rows into the
     /// per-scenario and per-shard means the policies consume. Nominal
     /// table rows are exactly the live estimator outputs, so these are
-    /// the same integers as folding the estimators directly.
+    /// the same integers as folding the estimators directly — including
+    /// the phase split, whose trait contract defines prefill as the full
+    /// nominal cost and one decode step as `1/DECODE_COST_DIV` of it
+    /// (floored at 1 ns). Folding rows instead of calling the live
+    /// estimators keeps backend model evaluation out of the serve path.
     fn from_tables(tables: &[CostTable]) -> Self {
         let n_scen = tables[0].scenarios();
         let scenario_cost_ns = (0..n_scen)
@@ -630,7 +651,25 @@ impl Estimates {
             .iter()
             .map(|t| t.nominal_energy_row().iter().sum::<u128>() / n_scen as u128)
             .collect();
-        Estimates { scenario_cost_ns, shard_cost_ns, shard_energy_pj }
+        let mut shard_prefill_ns = Vec::with_capacity(tables.len());
+        let mut shard_decode_ns = Vec::with_capacity(tables.len());
+        for t in tables {
+            let mut prefill: u128 = 0;
+            let mut decode: u128 = 0;
+            for &cost in t.nominal_cost_row() {
+                prefill += cost as u128;
+                decode += (cost / crate::backend::DECODE_COST_DIV).max(1) as u128;
+            }
+            shard_prefill_ns.push((prefill / n_scen.max(1) as u128) as u64);
+            shard_decode_ns.push((decode / n_scen.max(1) as u128) as u64);
+        }
+        Estimates {
+            scenario_cost_ns,
+            shard_cost_ns,
+            shard_energy_pj,
+            shard_prefill_ns,
+            shard_decode_ns,
+        }
     }
 }
 
@@ -651,8 +690,40 @@ fn fleet_label(fleet: &[Arc<dyn Backend>]) -> String {
     label
 }
 
+/// One fully-specified serving run: the fleet plus the operating point.
+///
+/// This is the single typed entry point of [`ServeRuntime::serve`] —
+/// it replaces the positional `run`/`run_fleet` pair, whose argument
+/// order carried no types to catch a swap and which could not grow
+/// session parameters without breaking every call site.
+#[derive(Clone)]
+pub struct ServeSpec {
+    /// One backend per shard, covering the control ceiling:
+    /// `config.control.fleet_size(config.shards)` entries. Shards beyond
+    /// `config.shards` start inactive (autoscaling headroom).
+    pub fleet: Vec<Arc<dyn Backend>>,
+    /// The operating point to serve at.
+    pub config: ServeConfig,
+}
+
+impl ServeSpec {
+    /// A homogeneous fleet: the same backend on every shard, including
+    /// any autoscaling headroom up to the control ceiling.
+    pub fn homogeneous(backend: &Arc<dyn Backend>, config: &ServeConfig) -> Self {
+        let fleet =
+            (0..config.control.fleet_size(config.shards)).map(|_| Arc::clone(backend)).collect();
+        ServeSpec { fleet, config: config.clone() }
+    }
+
+    /// An explicit — possibly heterogeneous — fleet, one backend per
+    /// shard (the mixed-fleet mode phase-aware routers exist for).
+    pub fn fleet(fleet: Vec<Arc<dyn Backend>>, config: &ServeConfig) -> Self {
+        ServeSpec { fleet, config: config.clone() }
+    }
+}
+
 /// The batched inference runtime: one request generator, one worker pool,
-/// any number of `run`/`run_fleet` calls across backends, fleets and
+/// any number of [`Self::serve`] calls across backends, fleets and
 /// operating points.
 ///
 /// The pool is created once and reused, so a sweep over backends × loads ×
@@ -663,15 +734,15 @@ fn fleet_label(fleet: &[Arc<dyn Backend>]) -> String {
 /// ```
 /// use defa_model::workload::RequestGenerator;
 /// use defa_model::MsdaConfig;
-/// use defa_serve::{BackendKind, ServeConfig, ServeRuntime};
+/// use defa_serve::{BackendKind, ServeConfig, ServeRuntime, ServeSpec};
 ///
 /// # fn main() -> Result<(), defa_serve::ServeError> {
 /// let gen = RequestGenerator::standard(&MsdaConfig::tiny(), 42)?;
 /// let runtime = ServeRuntime::new(gen);
-/// let report = runtime.run(
+/// let report = runtime.serve(&ServeSpec::homogeneous(
 ///     &BackendKind::Accelerator.build(),
 ///     &ServeConfig::at_load(500.0, 8),
-/// )?;
+/// ))?;
 /// assert_eq!(report.completed + report.dropped, 8);
 /// # Ok(())
 /// # }
@@ -730,50 +801,72 @@ impl ServeRuntime {
         Ok(max_batch.max(1) as f64 / batch_ns * 1e9 * shards.max(1) as f64)
     }
 
-    /// Serves one trace on a homogeneous fleet (the same backend on every
-    /// shard — including any autoscaling headroom shards up to
-    /// `cfg.control.max_shards`) and reports latency, energy and SLO
-    /// accounting.
+    /// Serves one fully-specified run ([`ServeSpec`]) and reports
+    /// latency, energy and SLO accounting.
+    ///
+    /// Dispatches on [`crate::config::SessionConfig::enabled`]: a
+    /// one-shot session profile (the default) runs the legacy pipelined
+    /// engine byte-for-byte, a multi-iteration profile runs the session
+    /// engine with iteration-level continuous batching.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::DegenerateConfig`] /
-    /// [`ServeError::InvalidConfig`] for a bad configuration and
-    /// propagates backend failures.
+    /// [`ServeError::InvalidConfig`] for a bad configuration,
+    /// [`ServeError::FleetMismatch`] when the fleet does not cover the
+    /// control ceiling (`config.control.fleet_size(config.shards)`
+    /// backends), and propagates backend failures.
+    pub fn serve(&self, spec: &ServeSpec) -> Result<ServeReport, ServeError> {
+        spec.config.validate()?;
+        let fleet_size = spec.config.control.fleet_size(spec.config.shards);
+        if spec.fleet.len() != fleet_size {
+            return Err(ServeError::FleetMismatch { fleet: spec.fleet.len(), shards: fleet_size });
+        }
+        if spec.config.sessions.enabled() {
+            self.serve_sessions(&spec.fleet, &spec.config)
+        } else {
+            self.serve_oneshot(&spec.fleet, &spec.config)
+        }
+    }
+
+    /// Serves one trace on a homogeneous fleet.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::serve`].
+    #[deprecated(note = "build a `ServeSpec` and call `ServeRuntime::serve`")]
     pub fn run(
         &self,
         backend: &Arc<dyn Backend>,
         cfg: &ServeConfig,
     ) -> Result<ServeReport, ServeError> {
-        // run_fleet validates; a zero shard count yields an empty fleet,
-        // which it also rejects.
-        let fleet: Vec<Arc<dyn Backend>> =
-            (0..cfg.control.fleet_size(cfg.shards)).map(|_| Arc::clone(backend)).collect();
-        self.run_fleet(&fleet, cfg)
+        self.serve(&ServeSpec::homogeneous(backend, cfg))
     }
 
-    /// Serves one trace on an explicit fleet — one backend per shard,
-    /// mixing backends freely (the heterogeneous mode latency- and
-    /// energy-aware routers exist for). The fleet must cover the control
-    /// ceiling: `fleet.len() == cfg.control.fleet_size(cfg.shards)`;
-    /// shards beyond `cfg.shards` start inactive and only serve once a
-    /// controller activates them.
+    /// Serves one trace on an explicit fleet.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::FleetMismatch`] on a fleet/ceiling size
-    /// mismatch, configuration errors as in [`Self::run`], and propagates
-    /// backend failures.
+    /// As [`Self::serve`].
+    #[deprecated(note = "build a `ServeSpec` and call `ServeRuntime::serve`")]
     pub fn run_fleet(
         &self,
         fleet: &[Arc<dyn Backend>],
         cfg: &ServeConfig,
     ) -> Result<ServeReport, ServeError> {
-        cfg.validate()?;
-        let fleet_size = cfg.control.fleet_size(cfg.shards);
-        if fleet.len() != fleet_size {
-            return Err(ServeError::FleetMismatch { fleet: fleet.len(), shards: fleet_size });
-        }
+        self.serve(&ServeSpec::fleet(fleet.to_vec(), cfg))
+    }
+
+    /// The legacy pipelined one-shot engine: every request is a session
+    /// of exactly one iteration. `serve` validated the config and the
+    /// fleet size. All pre-session digest/fingerprint pins ride this
+    /// path unchanged.
+    fn serve_oneshot(
+        &self,
+        fleet: &[Arc<dyn Backend>],
+        cfg: &ServeConfig,
+    ) -> Result<ServeReport, ServeError> {
+        let fleet_size = fleet.len();
         let scheduler = cfg.scheduler.build();
         let router = cfg.router.build();
         let mut controller: Box<dyn Controller> = cfg.control.controller.build();
@@ -822,7 +915,7 @@ impl ServeRuntime {
             ep_dropped: 0,
             ep_completed: 0,
             ep_slo: 0,
-            obs: Obs::new(&cfg.obs, self.gen.seed(), fleet_size),
+            obs: Obs::new(&cfg.obs, self.gen.seed(), fleet_size, false),
             scratch_members: Vec::new(),
             scratch_results: Vec::new(),
         };
@@ -1148,17 +1241,563 @@ impl ServeRuntime {
             epochs_skipped,
         };
 
+        // Every request is a single-iteration session: its first token is
+        // its only token, so TTFT equals total latency, the TTFT budget
+        // equals the class deadline, and no token-to-token gap exists.
+        let ttft = total.clone();
         Ok(ServeReport {
             backend: fleet_label(fleet),
             config: cfg.clone(),
             completed,
             dropped,
             slo_violations,
+            iterations: completed,
+            evictions: 0,
+            ttft_violations: slo_violations,
+            tbt_violations: 0,
             batches,
             batched_requests,
             queue: queue_hist,
             compute,
             total,
+            ttft,
+            tbt: LatencyHistogram::new(),
+            makespan_ns,
+            energy,
+            dense_flops,
+            digest,
+            outcomes,
+            per_shard_completed,
+            live,
+            timeline,
+            static_energy_pj,
+            obs: obs.finish(),
+        })
+    }
+
+    /// The session engine: sessions as the unit of serving, with
+    /// iteration-level continuous batching.
+    ///
+    /// Every request id is the *prefill* of a session whose length and
+    /// think times are pure functions of `(seed, id)` — see
+    /// [`defa_model::workload::SessionProfile`]. Prefills face admission
+    /// and the scheduler exactly as legacy requests do; each settled
+    /// iteration then schedules the next decode step on the session's
+    /// resident shard after its seeded think time, and due decode steps
+    /// rejoin that shard's next batch ahead of new prefills (they
+    /// already hold state there). A per-shard state budget
+    /// ([`crate::config::SessionConfig::state_budget`]) caps resident
+    /// sessions; making room evicts the least-recently-settled resident
+    /// not riding the forming batch, whose next step then pays a priced
+    /// prefill recompute. Gang mode schedules a session as one unit:
+    /// its decode steps and think times hold the shard (and its state
+    /// slot) from prefill to completion — the baseline continuous
+    /// batching is measured against.
+    ///
+    /// Batches settle synchronously at dispatch (each decode step's
+    /// cost derives from its session's settled prefill via
+    /// [`Backend::decode_output`]), so free times are always exact and
+    /// `batch_deadline_us` never applies: dispatch is greedy, which is
+    /// what iteration-level batching means. Fleet controllers are
+    /// rejected by validation for now.
+    fn serve_sessions(
+        &self,
+        fleet: &[Arc<dyn Backend>],
+        cfg: &ServeConfig,
+    ) -> Result<ServeReport, ServeError> {
+        let fleet_size = fleet.len();
+        let scheduler = cfg.scheduler.build();
+        let router = cfg.router.build();
+        let epoch_ns = cfg.control.epoch_us.saturating_mul(1_000).max(1);
+        let n_requests = cfg.n_requests as u64;
+        let profile = cfg.sessions.profile;
+        let budget = cfg.sessions.state_budget;
+        let gang = cfg.sessions.gang;
+        let seed = self.gen.seed();
+        let mut stream = cfg.arrival.stream(cfg.offered_load, seed ^ ARRIVAL_SALT);
+        let points = cfg.control.controller.pricing_points();
+        let tables: Vec<CostTable> = fleet
+            .iter()
+            .map(|b| CostTable::build(b.as_ref(), &self.gen, &points))
+            .collect::<Result<_, _>>()?;
+        let est = Estimates::from_tables(&tables);
+        let overhead_ns = cfg.batch_overhead_us.saturating_mul(1_000);
+
+        let mut state = SimState {
+            ledger: OutcomeLedger::new(cfg.outcome_capture),
+            timeline: TimelineAcc::new(epoch_ns),
+            queue: LatencyHistogram::new(),
+            compute: LatencyHistogram::new(),
+            total: LatencyHistogram::new(),
+            completed: 0,
+            dropped: 0,
+            slo_violations: 0,
+            per_shard_completed: vec![0; fleet_size],
+            shard_free: vec![0; fleet_size],
+            makespan_ns: 0,
+            energy: EnergyBreakdown::ZERO,
+            dense_flops: 0,
+            events: EventList::new(fleet_size),
+            inflight_members: 0,
+            peak_inflight: 0,
+            epochs_stepped: 0,
+            epochs_skipped: 0,
+            ep_arrivals: 0,
+            ep_dropped: 0,
+            ep_completed: 0,
+            ep_slo: 0,
+            obs: Obs::new(&cfg.obs, seed, fleet_size, true),
+            scratch_members: Vec::new(),
+            scratch_results: Vec::new(),
+        };
+        let mut queue = AdmissionQueue::new(cfg.queue_capacity, cfg.drop);
+        let mut batches = 0u64;
+        let mut batched_requests = 0u64;
+        let mut ttft_hist = LatencyHistogram::new();
+        let mut tbt_hist = LatencyHistogram::new();
+        let mut iterations = 0u64;
+        let mut evictions = 0u64;
+        let mut ttft_violations = 0u64;
+        let mut tbt_violations = 0u64;
+
+        // Live session state. Everything iterated on a digest path is a
+        // BTree so iteration order is the key order, never hash order.
+        let mut sessions: BTreeMap<u64, SessionLive> = BTreeMap::new();
+        // Per shard: decode steps whose think time has (or will have)
+        // elapsed, keyed `(ready_ns, id)` — the settle order within a
+        // batch's decode segment.
+        let mut ready: Vec<BTreeSet<(u64, u64)>> =
+            (0..fleet_size).map(|_| BTreeSet::new()).collect();
+        // Per shard: resident sessions keyed `(last_settle_ns, id)` —
+        // eviction order under the state budget.
+        let mut lru: Vec<BTreeSet<(u64, u64)>> = (0..fleet_size).map(|_| BTreeSet::new()).collect();
+        let mut pending_decodes = 0usize;
+
+        if let Some(t0) = stream.next() {
+            state.events.set_arrival(t0, 0);
+        }
+        let gen = &self.gen;
+        let queued = |id: u64, arrival_ns: u64| {
+            let scenario = gen.request_scenario(id);
+            let slo = gen.request_slo(id);
+            QueuedRequest {
+                id,
+                arrival_ns,
+                scenario,
+                slo,
+                est_cost_ns: est.scenario_cost_ns[scenario],
+                deadline_ns: arrival_ns.saturating_add(slo.deadline_ns()),
+            }
+        };
+        let est_batch_ns: Vec<u64> = (0..fleet_size)
+            .map(|shard| {
+                overhead_ns
+                    .saturating_add(est.shard_cost_ns[shard].saturating_mul(cfg.max_batch as u64))
+            })
+            .collect();
+        let all_active: Vec<bool> = vec![true; fleet_size];
+        let mut views: Vec<ShardView> = Vec::with_capacity(fleet_size);
+        // Distinct sessions per batch: the whole batch becomes resident
+        // at settle, so it must itself fit the state budget.
+        let cap = if budget > 0 { cfg.max_batch.min(budget) } else { cfg.max_batch };
+
+        loop {
+            let have_prefill = !queue.is_empty() || state.events.arrival().is_some();
+            if !have_prefill && pending_decodes == 0 {
+                break;
+            }
+            // Earliest decode dispatch over the fleet: each shard's first
+            // ready step, bounded below by the shard's free time; ties go
+            // to the lower shard.
+            let mut decode_at: Option<(u64, usize)> = None;
+            for (s, rdy) in ready.iter().enumerate() {
+                if let Some(&(rn, _)) = rdy.iter().next() {
+                    let t = rn.max(state.shard_free[s]);
+                    let better = match decode_at {
+                        None => true,
+                        Some((bt, _)) => t < bt,
+                    };
+                    if better {
+                        decode_at = Some((t, s));
+                    }
+                }
+            }
+            // Earliest prefill dispatch: pending work bounded below by
+            // the earliest free shard (the router picks the shard).
+            let prefill_at = if have_prefill {
+                let pending = queue
+                    .front()
+                    .map(|r| r.arrival_ns)
+                    .or_else(|| state.events.arrival().map(|(t, _)| t))
+                    .unwrap_or(0);
+                let min_free = state.shard_free.iter().copied().min().unwrap_or(0);
+                Some(min_free.max(pending))
+            } else {
+                None
+            };
+            // A due decode step wins ties: the resident session continues
+            // before new work claims the shard.
+            let (t_start, shard) = match (decode_at, prefill_at) {
+                (Some((td, s)), Some(tp)) if td <= tp => (td, s),
+                (Some((td, s)), None) => (td, s),
+                (None, Some(tp)) | (Some(_), Some(tp)) => {
+                    fill_views(&mut views, &all_active, &state.shard_free, &est_batch_ns, &est);
+                    let pos = router.route(batches, tp, &views);
+                    let s = views[pos].shard;
+                    (tp.max(state.shard_free[s]), s)
+                }
+                (None, None) => break,
+            };
+
+            // Admission: everything that arrived by the batch start faces
+            // the bounded queue and its drop policy.
+            while state.events.arrival().is_some_and(|(t, _)| t <= t_start) {
+                let (t_arr, id) = next_arrival(&mut state.events, &mut stream, n_requests);
+                let req = queued(id, t_arr);
+                let verdict = queue.offer(req);
+                state.record_admission(&req, verdict, queue.len());
+            }
+
+            // Batch formation: due decode steps of this shard first, in
+            // `(ready_ns, id)` order — they already hold state here —
+            // then prefills admitted by the scheduler into the remaining
+            // slots (iteration-level continuous batching).
+            let mut decode_members: Vec<(u64, u64)> = Vec::new();
+            while decode_members.len() < cap {
+                let due = ready[shard].iter().next().copied().filter(|&(rn, _)| rn <= t_start);
+                let Some((rn, id)) = due else { break };
+                ready[shard].remove(&(rn, id));
+                pending_decodes -= 1;
+                decode_members.push((rn, id));
+            }
+            let mut members = state.scratch_members.pop().unwrap_or_default();
+            let slots = cap.saturating_sub(decode_members.len());
+            if slots > 0 && !queue.is_empty() {
+                scheduler.admit_into(&mut queue, slots, t_start, &mut members);
+            }
+            if decode_members.is_empty() && members.is_empty() {
+                // Nothing dispatchable this instant (every arrival up to
+                // t_start was dropped); recycle and re-evaluate.
+                state.scratch_members.push(members);
+                continue;
+            }
+
+            // State budget: the batch's sessions stay resident through
+            // the step; evict the least-recently-settled residents not
+            // riding this batch until everyone fits.
+            if !gang && budget > 0 {
+                let mut batch_ids: BTreeSet<u64> = BTreeSet::new();
+                for &(_, id) in &decode_members {
+                    batch_ids.insert(id);
+                }
+                for m in &members {
+                    batch_ids.insert(m.id);
+                }
+                let newcomers = members.len()
+                    + decode_members
+                        .iter()
+                        .filter(|&&(_, id)| sessions.get(&id).is_some_and(|s| !s.resident))
+                        .count();
+                let excess = (lru[shard].len() + newcomers).saturating_sub(budget);
+                if excess > 0 {
+                    let victims: Vec<(u64, u64)> = lru[shard]
+                        .iter()
+                        .filter(|&&(_, id)| !batch_ids.contains(&id))
+                        .take(excess)
+                        .copied()
+                        .collect();
+                    for (ls, id) in victims {
+                        lru[shard].remove(&(ls, id));
+                        if let Some(sess) = sessions.get_mut(&id) {
+                            sess.resident = false;
+                            sess.needs_prefill = true;
+                        }
+                        evictions += 1;
+                        state.obs.on_evicted(t_start, id);
+                    }
+                }
+            }
+
+            let size = decode_members.len() + members.len();
+            batched_requests += size as u64;
+            state.obs.on_dispatch(t_start, batches, shard, size, DvfsPoint::NOMINAL);
+            for &(_, id) in &decode_members {
+                state.obs.on_scheduled(t_start, id, batches, shard);
+            }
+            for m in &members {
+                state.obs.on_scheduled(t_start, m.id, batches, shard);
+            }
+            state.note_live(queue.len() + sessions.len());
+
+            // Per-iteration settle path: synchronous, in batch order.
+            let backend = fleet[shard].as_ref();
+            let mut t = t_start + overhead_ns;
+            for &(rn, id) in &decode_members {
+                iterations += 1;
+                state.obs.on_iteration();
+                let mut finished = false;
+                if let Some(sess) = sessions.get_mut(&id) {
+                    let out = backend.decode_output(&sess.prefill, sess.next_iter as u64);
+                    let recompute = sess.needs_prefill;
+                    t += out.cost_ns;
+                    let mut step_energy = out.energy;
+                    let mut step_flops = out.dense_flops as u128;
+                    if recompute {
+                        // The evicted state rebuilds: this step pays the
+                        // prefill again in time, energy and FLOPs (the
+                        // response bits are unchanged — recompute is
+                        // deterministic).
+                        t += sess.prefill.cost_ns;
+                        step_energy += sess.prefill.energy;
+                        step_flops += sess.prefill.dense_flops as u128;
+                    }
+                    let tbt = t - rn;
+                    tbt_hist.record(tbt);
+                    if tbt > sess.slo.streaming_budgets().tbt_ns {
+                        tbt_violations += 1;
+                        sess.violated = true;
+                    }
+                    state.compute.record(t - t_start);
+                    sess.digest = crate::backend::fnv_fold(sess.digest, out.digest);
+                    sess.energy += step_energy;
+                    sess.flops += step_flops;
+                    sess.needs_prefill = false;
+                    if sess.resident {
+                        lru[shard].remove(&(sess.last_settle_ns, id));
+                    }
+                    sess.last_settle_ns = t;
+                    sess.resident = true;
+                    lru[shard].insert((t, id));
+                    sess.next_iter += 1;
+                    state.obs.on_settle(
+                        t,
+                        id,
+                        shard,
+                        batches,
+                        tbt,
+                        t - t_start,
+                        sess.violated,
+                        step_energy.total_pj(),
+                    );
+                    finished = sess.next_iter >= sess.len;
+                    if !finished {
+                        let think = profile.think_ns(seed, id, sess.next_iter);
+                        ready[shard].insert((t.saturating_add(think), id));
+                        pending_decodes += 1;
+                    }
+                }
+                if finished {
+                    if let Some(sess) = sessions.remove(&id) {
+                        lru[shard].remove(&(sess.last_settle_ns, id));
+                        finalize_session(&mut state, shard, batches, id, t, &sess);
+                    }
+                }
+            }
+            let mut results = state.scratch_results.pop().unwrap_or_default();
+            results.extend(members.iter().map(|m| exec_request(gen, backend, m.id, m.scenario)));
+            for (m, res) in members.iter().zip(results.drain(..)) {
+                iterations += 1;
+                state.obs.on_iteration();
+                let out = res?;
+                t += out.cost_ns;
+                let queue_ns = t_start - m.arrival_ns;
+                let ttft = t - m.arrival_ns;
+                state.queue.record(queue_ns);
+                state.compute.record(t - t_start);
+                ttft_hist.record(ttft);
+                let budgets = m.slo.streaming_budgets();
+                let ttft_violated = ttft > budgets.ttft_ns;
+                if ttft_violated {
+                    ttft_violations += 1;
+                }
+                state.obs.on_settle(
+                    t,
+                    m.id,
+                    shard,
+                    batches,
+                    queue_ns,
+                    t - t_start,
+                    ttft_violated,
+                    out.energy.total_pj(),
+                );
+                let len = profile.session_len(seed, m.id);
+                if gang {
+                    // Gang scheduling: the session holds its batch slot
+                    // from prefill to completion; decode steps and think
+                    // times serialize on the shard.
+                    let mut digest = if len <= 1 {
+                        out.digest
+                    } else {
+                        crate::backend::fnv_fold(crate::backend::FNV_OFFSET, out.digest)
+                    };
+                    let mut energy = out.energy;
+                    let mut flops = out.dense_flops as u128;
+                    let mut violated = ttft_violated;
+                    for iter in 1..len {
+                        iterations += 1;
+                        state.obs.on_iteration();
+                        let rn = t.saturating_add(profile.think_ns(seed, m.id, iter));
+                        t = rn;
+                        let dout = backend.decode_output(&out, iter as u64);
+                        t += dout.cost_ns;
+                        let tbt = t - rn;
+                        tbt_hist.record(tbt);
+                        if tbt > budgets.tbt_ns {
+                            tbt_violations += 1;
+                            violated = true;
+                        }
+                        state.compute.record(t - t_start);
+                        digest = crate::backend::fnv_fold(digest, dout.digest);
+                        energy += dout.energy;
+                        flops += dout.dense_flops as u128;
+                        state.obs.on_settle(
+                            t,
+                            m.id,
+                            shard,
+                            batches,
+                            tbt,
+                            t - t_start,
+                            violated,
+                            dout.energy.total_pj(),
+                        );
+                    }
+                    let sess = SessionLive {
+                        scenario: m.scenario,
+                        slo: m.slo,
+                        arrival_ns: m.arrival_ns,
+                        len,
+                        next_iter: len,
+                        prefill: out,
+                        needs_prefill: false,
+                        resident: false,
+                        last_settle_ns: t,
+                        digest,
+                        energy,
+                        flops,
+                        queue_ns,
+                        violated,
+                    };
+                    finalize_session(&mut state, shard, batches, m.id, t, &sess);
+                } else if len <= 1 {
+                    // A single-iteration session is exactly a legacy
+                    // request: digest word `d0`, total == TTFT.
+                    let sess = SessionLive {
+                        scenario: m.scenario,
+                        slo: m.slo,
+                        arrival_ns: m.arrival_ns,
+                        len: 1,
+                        next_iter: 1,
+                        digest: out.digest,
+                        energy: out.energy,
+                        flops: out.dense_flops as u128,
+                        prefill: out,
+                        needs_prefill: false,
+                        resident: false,
+                        last_settle_ns: t,
+                        queue_ns,
+                        violated: ttft_violated,
+                    };
+                    finalize_session(&mut state, shard, batches, m.id, t, &sess);
+                } else {
+                    let think = profile.think_ns(seed, m.id, 1);
+                    ready[shard].insert((t.saturating_add(think), m.id));
+                    pending_decodes += 1;
+                    lru[shard].insert((t, m.id));
+                    sessions.insert(
+                        m.id,
+                        SessionLive {
+                            scenario: m.scenario,
+                            slo: m.slo,
+                            arrival_ns: m.arrival_ns,
+                            len,
+                            next_iter: 1,
+                            digest: crate::backend::fnv_fold(
+                                crate::backend::FNV_OFFSET,
+                                out.digest,
+                            ),
+                            energy: out.energy,
+                            flops: out.dense_flops as u128,
+                            prefill: out,
+                            needs_prefill: false,
+                            resident: true,
+                            last_settle_ns: t,
+                            queue_ns,
+                            violated: ttft_violated,
+                        },
+                    );
+                }
+            }
+            state.scratch_results.push(results);
+            members.clear();
+            state.scratch_members.push(members);
+            state.shard_free[shard] = t;
+            state.makespan_ns = state.makespan_ns.max(t);
+            batches += 1;
+        }
+        debug_assert!(sessions.is_empty(), "sessions left live: {}", sessions.len());
+        debug_assert_eq!(
+            state.completed + state.dropped,
+            n_requests,
+            "session engine lost requests"
+        );
+
+        let SimState {
+            ledger,
+            timeline,
+            queue: queue_hist,
+            compute,
+            total,
+            completed,
+            dropped,
+            slo_violations,
+            per_shard_completed,
+            makespan_ns,
+            energy,
+            dense_flops,
+            events,
+            peak_inflight,
+            obs,
+            ..
+        } = state;
+        let (digest, outcomes, peak_reorder) = ledger.finish(n_requests);
+        let clock = DvfsPoint::NOMINAL;
+        let epoch_states = vec![(
+            0,
+            EpochFleetState {
+                active_shards: cfg.shards,
+                clock,
+                idle_mw: fleet_idle_mw(&tables, &all_active, clock),
+            },
+        )];
+        let timeline = timeline.finalize(makespan_ns, &epoch_states);
+        let static_energy_pj = timeline.iter().map(|e| e.static_pj).sum();
+        let live = LiveStats {
+            peak_inflight,
+            peak_events: events.peak_depth() as u64,
+            peak_reorder,
+            // The session engine runs no control loop: no boundary is
+            // ever stepped or skipped.
+            epochs_stepped: 0,
+            epochs_skipped: 0,
+        };
+
+        Ok(ServeReport {
+            backend: fleet_label(fleet),
+            config: cfg.clone(),
+            completed,
+            dropped,
+            slo_violations,
+            iterations,
+            evictions,
+            ttft_violations,
+            tbt_violations,
+            batches,
+            batched_requests,
+            queue: queue_hist,
+            compute,
+            total,
+            ttft: ttft_hist,
+            tbt: tbt_hist,
             makespan_ns,
             energy,
             dense_flops,
@@ -1173,8 +1812,84 @@ impl ServeRuntime {
     }
 }
 
+/// One session mid-flight in the session engine: its static draw, the
+/// settled prefill output (the pricing base for every decode step), and
+/// the accumulators its final settle folds into the report.
+struct SessionLive {
+    scenario: usize,
+    slo: SloClass,
+    arrival_ns: u64,
+    /// Total iterations ([`defa_model::workload::SessionProfile::session_len`]).
+    len: u32,
+    /// The next iteration to settle (0 is the prefill).
+    next_iter: u32,
+    /// The settled prefill output: decode steps derive from it, and a
+    /// post-eviction recompute re-prices it.
+    prefill: BackendOutput,
+    /// Evicted since the last step: the next step pays the prefill again.
+    needs_prefill: bool,
+    /// Holds a state slot on its shard (tracked in the shard's LRU set).
+    resident: bool,
+    last_settle_ns: u64,
+    /// FNV fold over the iteration digests (the raw prefill digest for a
+    /// single-iteration session, matching the legacy engine's word).
+    digest: u64,
+    energy: EnergyBreakdown,
+    flops: u128,
+    /// Prefill admission wait (first batch start − arrival).
+    queue_ns: u64,
+    /// Blew its TTFT budget or any decode step blew its TBT budget.
+    violated: bool,
+}
+
+/// Folds a finished session into the report accumulators: one ledger
+/// word, one completion, one total-latency sample — sessions, not
+/// iterations, are the unit every aggregate counts.
+fn finalize_session(
+    state: &mut SimState,
+    shard: usize,
+    batch: u64,
+    id: u64,
+    t: u64,
+    sess: &SessionLive,
+) {
+    let total_ns = t.saturating_sub(sess.arrival_ns);
+    state.total.record(total_ns);
+    state.completed += 1;
+    state.ep_completed += 1;
+    state.per_shard_completed[shard] += 1;
+    if sess.violated {
+        state.slo_violations += 1;
+        state.ep_slo += 1;
+    }
+    state.energy += sess.energy;
+    state.dense_flops += sess.flops;
+    if state.ledger.captures(id) {
+        state.ledger.capture(
+            id,
+            RequestOutcome::Completed {
+                scenario: sess.scenario,
+                slo: sess.slo,
+                arrival_ns: sess.arrival_ns,
+                digest: sess.digest,
+                shard,
+                batch,
+                queue_ns: sess.queue_ns,
+                // Everything after admission — compute, think times,
+                // per-step waits — so queue + compute spans the session.
+                compute_ns: total_ns.saturating_sub(sess.queue_ns),
+                energy: sess.energy,
+            },
+        );
+    }
+    state.timeline.arrival(sess.arrival_ns);
+    state.timeline.completion(t, sess.energy, sess.violated);
+    state.ledger.record(id, sess.digest);
+}
+
 /// Rebuilds the routable shard views — one per *active* shard, in shard
 /// order — into the reused `views` buffer.
+#[inline(always)]
 fn fill_views(
     views: &mut Vec<ShardView>,
     active: &[bool],
@@ -1189,6 +1904,8 @@ fn fill_views(
             free_ns: shard_free[shard],
             est_batch_ns: est_batch_ns[shard],
             est_energy_pj: est.shard_energy_pj[shard],
+            est_prefill_ns: est.shard_prefill_ns[shard],
+            est_decode_ns: est.shard_decode_ns[shard],
         });
     }
 }
@@ -1207,11 +1924,44 @@ mod tests {
         ServeRuntime::new(RequestGenerator::standard(&MsdaConfig::tiny(), 42).unwrap())
     }
 
+    fn serve(
+        rt: &ServeRuntime,
+        backend: &Arc<dyn Backend>,
+        cfg: &ServeConfig,
+    ) -> Result<ServeReport, ServeError> {
+        rt.serve(&ServeSpec::homogeneous(backend, cfg))
+    }
+
+    fn serve_fleet(
+        rt: &ServeRuntime,
+        fleet: Vec<Arc<dyn Backend>>,
+        cfg: &ServeConfig,
+    ) -> Result<ServeReport, ServeError> {
+        rt.serve(&ServeSpec::fleet(fleet, cfg))
+    }
+
+    /// A session profile that exercises the session engine: short
+    /// multi-iteration sessions with sub-epoch think times.
+    fn chatty(cfg: &ServeConfig) -> ServeConfig {
+        ServeConfig {
+            sessions: crate::config::SessionConfig {
+                profile: defa_model::workload::SessionProfile {
+                    min_len: 2,
+                    max_len: 5,
+                    think_mean_us: 200,
+                },
+                state_budget: 0,
+                gang: false,
+            },
+            ..cfg.clone()
+        }
+    }
+
     #[test]
     fn every_request_is_accounted_for() {
         let rt = runtime();
         let cfg = ServeConfig::at_load(2_000.0, 24);
-        let report = rt.run(&BackendKind::Accelerator.build(), &cfg).unwrap();
+        let report = serve(&rt, &BackendKind::Accelerator.build(), &cfg).unwrap();
         assert_eq!(report.completed + report.dropped, 24);
         assert_eq!(report.outcomes.len(), 24);
         assert_eq!(report.total.count(), report.completed);
@@ -1225,8 +1975,8 @@ mod tests {
         let rt = runtime();
         let cfg = ServeConfig::at_load(1_000.0, 16);
         let backend = BackendKind::Pruned.build();
-        let a = rt.run(&backend, &cfg).unwrap();
-        let b = rt.run(&backend, &cfg).unwrap();
+        let a = serve(&rt, &backend, &cfg).unwrap();
+        let b = serve(&rt, &backend, &cfg).unwrap();
         assert_eq!(a, b);
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
@@ -1241,7 +1991,7 @@ mod tests {
             shards: 1,
             ..ServeConfig::at_load(5e6, 64)
         };
-        let report = rt.run(&BackendKind::Dense.build(), &cfg).unwrap();
+        let report = serve(&rt, &BackendKind::Dense.build(), &cfg).unwrap();
         assert!(report.dropped > 0, "expected drops under overload");
         assert_eq!(report.completed + report.dropped, 64);
         // Drops are outcomes too.
@@ -1260,13 +2010,13 @@ mod tests {
             shards: 1,
             ..ServeConfig::at_load(5e6, 64)
         };
-        let reject = rt.run(&BackendKind::Dense.build(), &base).unwrap();
-        let evict = rt
-            .run(
-                &BackendKind::Dense.build(),
-                &ServeConfig { drop: DropPolicy::EvictOldest, ..base.clone() },
-            )
-            .unwrap();
+        let reject = serve(&rt, &BackendKind::Dense.build(), &base).unwrap();
+        let evict = serve(
+            &rt,
+            &BackendKind::Dense.build(),
+            &ServeConfig { drop: DropPolicy::EvictOldest, ..base.clone() },
+        )
+        .unwrap();
         assert!(evict.dropped > 0);
         assert_eq!(evict.completed + evict.dropped, 64);
         // Same load, same shedding volume — only *who* is shed differs:
@@ -1297,7 +2047,7 @@ mod tests {
         // deadline with few requests each.
         let cfg =
             ServeConfig { max_batch: 8, batch_deadline_us: 100, ..ServeConfig::at_load(50.0, 12) };
-        let report = rt.run(&BackendKind::Accelerator.build(), &cfg).unwrap();
+        let report = serve(&rt, &BackendKind::Accelerator.build(), &cfg).unwrap();
         assert_eq!(report.dropped, 0);
         assert!(
             report.mean_batch_size() < 4.0,
@@ -1317,8 +2067,8 @@ mod tests {
             queue_capacity: 256,
             ..ServeConfig::at_load(4_000.0, 32)
         };
-        let singles = rt.run(&backend, &ServeConfig { max_batch: 1, ..base.clone() }).unwrap();
-        let batched = rt.run(&backend, &ServeConfig { max_batch: 16, ..base.clone() }).unwrap();
+        let singles = serve(&rt, &backend, &ServeConfig { max_batch: 1, ..base.clone() }).unwrap();
+        let batched = serve(&rt, &backend, &ServeConfig { max_batch: 16, ..base.clone() }).unwrap();
         assert_eq!(singles.dropped, 0);
         assert_eq!(batched.dropped, 0);
         assert!(
@@ -1334,7 +2084,7 @@ mod tests {
         let rt = runtime();
         let cfg = ServeConfig::at_load(2_000.0, 20);
         for kind in BackendKind::all() {
-            let report = rt.run(&kind.build(), &cfg).unwrap();
+            let report = serve(&rt, &kind.build(), &cfg).unwrap();
             let mut sum = EnergyBreakdown::ZERO;
             for o in &report.outcomes {
                 if let RequestOutcome::Completed { energy, .. } = o {
@@ -1358,8 +2108,8 @@ mod tests {
         // they serve the same (complete) trace.
         let rt = runtime();
         let backend = BackendKind::Accelerator.build();
-        let low = rt.run(&backend, &ServeConfig::at_load(300.0, 12)).unwrap();
-        let high = rt.run(&backend, &ServeConfig::at_load(30_000.0, 12)).unwrap();
+        let low = serve(&rt, &backend, &ServeConfig::at_load(300.0, 12)).unwrap();
+        let high = serve(&rt, &backend, &ServeConfig::at_load(30_000.0, 12)).unwrap();
         assert_eq!(low.dropped, 0);
         assert_eq!(high.dropped, 0);
         assert_eq!(low.energy, high.energy);
@@ -1375,14 +2125,15 @@ mod tests {
             shards: 1,
             ..ServeConfig::at_load(5e6, 64)
         };
-        let report = rt.run(&BackendKind::Dense.build(), &cfg).unwrap();
+        let report = serve(&rt, &BackendKind::Dense.build(), &cfg).unwrap();
         assert!(report.dropped > 0);
         let arrivals = report.completed + report.dropped;
         assert_eq!(arrivals, 64, "full trace: arrivals match the config");
         assert!((report.drop_fraction() - report.dropped as f64 / arrivals as f64).abs() < 1e-12);
         assert!(report.drop_fraction() > 0.0 && report.drop_fraction() < 1.0);
         // A drop-free run reports zero.
-        let calm = rt.run(&BackendKind::Dense.build(), &ServeConfig::at_load(100.0, 4)).unwrap();
+        let calm =
+            serve(&rt, &BackendKind::Dense.build(), &ServeConfig::at_load(100.0, 4)).unwrap();
         assert_eq!(calm.dropped, 0);
         assert_eq!(calm.drop_fraction(), 0.0);
     }
@@ -1397,11 +2148,11 @@ mod tests {
             ServeConfig { shards: 0, ..ServeConfig::at_load(1.0, 1) },
             ServeConfig { batch_deadline_us: 0, ..ServeConfig::at_load(1.0, 1) },
         ] {
-            assert!(matches!(rt.run(&backend, &cfg), Err(ServeError::DegenerateConfig { .. })));
+            assert!(matches!(serve(&rt, &backend, &cfg), Err(ServeError::DegenerateConfig { .. })));
         }
         let cross =
             ServeConfig { max_batch: 100, queue_capacity: 10, ..ServeConfig::at_load(1.0, 1) };
-        assert!(matches!(rt.run(&backend, &cross), Err(ServeError::InvalidConfig(_))));
+        assert!(matches!(serve(&rt, &backend, &cross), Err(ServeError::InvalidConfig(_))));
     }
 
     #[test]
@@ -1410,7 +2161,7 @@ mod tests {
         let fleet = BackendKind::build_fleet(&[BackendKind::Dense]);
         let cfg = ServeConfig { shards: 2, ..ServeConfig::at_load(500.0, 4) };
         assert!(matches!(
-            rt.run_fleet(&fleet, &cfg),
+            serve_fleet(&rt, fleet, &cfg),
             Err(ServeError::FleetMismatch { fleet: 1, shards: 2 })
         ));
     }
@@ -1424,7 +2175,7 @@ mod tests {
             router: RouterKind::EnergyAware,
             ..ServeConfig::at_load(2_000.0, 16)
         };
-        let report = rt.run_fleet(&fleet, &cfg).unwrap();
+        let report = serve_fleet(&rt, fleet, &cfg).unwrap();
         assert_eq!(report.backend, "dense+defa-accel");
         assert_eq!(report.completed + report.dropped, 16);
         let per_shard = report.completed_per_shard();
@@ -1453,7 +2204,7 @@ mod tests {
                         router,
                         ..ServeConfig::at_load(4_000.0, 12)
                     };
-                    let report = rt.run(&backend, &cfg).unwrap();
+                    let report = serve(&rt, &backend, &cfg).unwrap();
                     assert_eq!(
                         report.completed + report.dropped,
                         12,
@@ -1472,8 +2223,9 @@ mod tests {
         let rt = runtime();
         let backend = BackendKind::Accelerator.build();
         let cfg = ServeConfig::at_load(2_000.0, 16);
-        let full = rt.run(&backend, &cfg).unwrap();
-        let capped = rt.run(&backend, &ServeConfig { outcome_capture: 4, ..cfg.clone() }).unwrap();
+        let full = serve(&rt, &backend, &cfg).unwrap();
+        let capped =
+            serve(&rt, &backend, &ServeConfig { outcome_capture: 4, ..cfg.clone() }).unwrap();
         // The capture is a strict prefix of the full record; every
         // aggregate — digest included — is computed from all requests
         // either way.
@@ -1491,7 +2243,7 @@ mod tests {
         assert!(capped.live.peak_reorder > 0);
         assert!(capped.live.epochs_stepped + capped.live.epochs_skipped > 0);
         // And zero capture means zero retained outcomes.
-        let none = rt.run(&backend, &ServeConfig { outcome_capture: 0, ..cfg }).unwrap();
+        let none = serve(&rt, &backend, &ServeConfig { outcome_capture: 0, ..cfg }).unwrap();
         assert!(none.outcomes.is_empty());
         assert_eq!(none.digest, full.digest);
     }
@@ -1500,12 +2252,120 @@ mod tests {
     fn display_covers_the_key_lines() {
         let rt = runtime();
         let report =
-            rt.run(&BackendKind::Accelerator.build(), &ServeConfig::at_load(500.0, 8)).unwrap();
+            serve(&rt, &BackendKind::Accelerator.build(), &ServeConfig::at_load(500.0, 8)).unwrap();
         let s = report.to_string();
         for key in
             ["serve report", "offered", "policy", "served", "throughput", "total", "p99", "fifo"]
         {
             assert!(s.contains(key), "missing {key} in:\n{s}");
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_spec_entry_point() {
+        let rt = runtime();
+        let backend = BackendKind::Pruned.build();
+        let cfg = ServeConfig::at_load(1_500.0, 12);
+        let via_spec = serve(&rt, &backend, &cfg).unwrap();
+        assert_eq!(rt.run(&backend, &cfg).unwrap(), via_spec);
+        let fleet = vec![Arc::clone(&backend)];
+        let one = ServeConfig { shards: 1, ..cfg };
+        assert_eq!(rt.run_fleet(&fleet, &one).unwrap(), serve_fleet(&rt, fleet, &one).unwrap());
+    }
+
+    #[test]
+    fn legacy_reports_mirror_streaming_fields() {
+        // Under the one-shot profile the streaming view degenerates:
+        // every request is one iteration, TTFT is the total latency.
+        let rt = runtime();
+        let report =
+            serve(&rt, &BackendKind::Accelerator.build(), &ServeConfig::at_load(2_000.0, 16))
+                .unwrap();
+        assert_eq!(report.iterations, report.completed);
+        assert_eq!(report.evictions, 0);
+        assert_eq!(report.ttft, report.total);
+        assert_eq!(report.tbt.count(), 0);
+        assert_eq!(report.ttft_violations, report.slo_violations);
+        assert_eq!(report.tbt_violations, 0);
+    }
+
+    #[test]
+    fn sessions_conserve_requests_and_count_iterations() {
+        let rt = runtime();
+        let cfg = chatty(&ServeConfig::at_load(1_000.0, 16));
+        let report = serve(&rt, &BackendKind::Accelerator.build(), &cfg).unwrap();
+        assert_eq!(report.completed + report.dropped, 16);
+        assert_eq!(report.outcomes.len(), 16);
+        // Sessions, not iterations, are the unit of completion...
+        assert_eq!(report.total.count(), report.completed);
+        assert_eq!(report.ttft.count(), report.completed);
+        // ...but every decode step is accounted: min_len 2 guarantees
+        // strictly more iterations than sessions.
+        assert!(report.iterations > report.completed);
+        assert_eq!(report.tbt.count(), report.iterations - report.completed);
+        assert!(report.makespan_ns > 0);
+    }
+
+    #[test]
+    fn session_runs_are_byte_identical() {
+        let rt = runtime();
+        let cfg = chatty(&ServeConfig::at_load(2_000.0, 16));
+        let backend = BackendKind::Pruned.build();
+        let a = serve(&rt, &backend, &cfg).unwrap();
+        let b = serve(&rt, &backend, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gang_and_continuous_agree_on_response_bits() {
+        // Scheduling differs, bits do not: both engines fold the same
+        // per-iteration digests, so at drop-free load the ledgers match.
+        let rt = runtime();
+        let backend = BackendKind::Accelerator.build();
+        let cfg = chatty(&ServeConfig::at_load(400.0, 12));
+        let cont = serve(&rt, &backend, &cfg).unwrap();
+        let gang = serve(
+            &rt,
+            &backend,
+            &ServeConfig {
+                sessions: crate::config::SessionConfig { gang: true, ..cfg.sessions },
+                ..cfg.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(cont.dropped, 0);
+        assert_eq!(gang.dropped, 0);
+        assert_eq!(cont.digest, gang.digest);
+        assert_eq!(cont.energy, gang.energy);
+        assert_eq!(cont.iterations, gang.iterations);
+        assert_eq!(gang.evictions, 0, "gang sessions never release state mid-flight");
+    }
+
+    #[test]
+    fn state_budget_forces_deterministic_evictions() {
+        let rt = runtime();
+        let backend = BackendKind::Accelerator.build();
+        let base =
+            chatty(&ServeConfig { shards: 1, max_batch: 4, ..ServeConfig::at_load(8_000.0, 24) });
+        let unconstrained = serve(&rt, &backend, &base).unwrap();
+        assert_eq!(unconstrained.evictions, 0);
+        let tight = ServeConfig {
+            sessions: crate::config::SessionConfig { state_budget: 2, ..base.sessions },
+            ..base.clone()
+        };
+        let constrained = serve(&rt, &backend, &tight).unwrap();
+        assert!(
+            constrained.evictions > 0,
+            "a 2-session budget under 24 overlapping sessions must evict"
+        );
+        // Recompute is deterministic: response bits survive eviction,
+        // while the re-run prefills cost extra energy and FLOPs.
+        if constrained.dropped == unconstrained.dropped {
+            assert_eq!(constrained.digest, unconstrained.digest);
+        }
+        assert!(constrained.energy.total_pj() >= unconstrained.energy.total_pj());
+        let b = serve(&rt, &backend, &tight).unwrap();
+        assert_eq!(constrained, b, "evictions are part of the deterministic schedule");
     }
 }

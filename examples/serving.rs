@@ -27,7 +27,7 @@ use defa_model::workload::RequestGenerator;
 use defa_model::MsdaConfig;
 use defa_serve::{
     ArrivalProcess, AutoscalerConfig, BackendKind, ControlConfig, ControllerKind, ObsConfig,
-    ProfSection, RouterKind, SchedulerKind, ServeConfig, ServeRuntime, TraceSchedule,
+    ProfSection, RouterKind, SchedulerKind, ServeConfig, ServeRuntime, ServeSpec, TraceSchedule,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = ServeConfig::at_load(100_000.0, 32);
     let mut joules_per_req = Vec::new();
     for kind in BackendKind::all() {
-        let report = runtime.run(&kind.build(), &cfg)?;
+        let report = runtime.serve(&ServeSpec::homogeneous(&kind.build(), &cfg))?;
         println!("{report}");
         joules_per_req.push((kind.name(), report.joules_per_request()));
     }
@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         router: RouterKind::EnergyAware,
         ..ServeConfig::at_load(60_000.0, 32)
     };
-    let mixed = runtime.run_fleet(&fleet, &mixed_cfg)?;
+    let mixed = runtime.serve(&ServeSpec::fleet(fleet, &mixed_cfg))?;
     println!("{mixed}");
     let split = mixed.completed_per_shard();
     println!(
@@ -92,14 +92,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         control: ControlConfig { epoch_us: us_for(1.0, base), max_shards: 8, controller },
         ..ServeConfig::at_load(base, 96)
     };
-    let static_fleet = runtime.run(&backend, &control(ControllerKind::NoOp))?;
-    let elastic = runtime.run(
+    let static_fleet =
+        runtime.serve(&ServeSpec::homogeneous(&backend, &control(ControllerKind::NoOp)))?;
+    let elastic = runtime.serve(&ServeSpec::homogeneous(
         &backend,
         &control(ControllerKind::Autoscaler(AutoscalerConfig {
             min_shards: 2,
             ..AutoscalerConfig::default()
         })),
-    )?;
+    ))?;
     println!(
         "\nsurge trace ({}): static fleet dropped {}/{} (p99 {} ns); autoscaler dropped \
          {}/{} (p99 {} ns) growing {}..{} shards",
@@ -136,7 +137,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..AutoscalerConfig::default()
         }))
     };
-    let observed = runtime.run(&backend, &observed_cfg)?;
+    let observed = runtime.serve(&ServeSpec::homogeneous(&backend, &observed_cfg))?;
     assert_eq!(observed.digest, elastic.digest, "observability must not perturb the schedule");
     let obs = &observed.obs;
     println!(

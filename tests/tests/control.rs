@@ -27,6 +27,14 @@ fn runtime(seed: u64) -> ServeRuntime {
     ServeRuntime::new(RequestGenerator::standard(&MsdaConfig::tiny(), seed).unwrap())
 }
 
+fn serve(
+    rt: &ServeRuntime,
+    backend: &std::sync::Arc<dyn defa_serve::Backend>,
+    cfg: &ServeConfig,
+) -> Result<defa_serve::ServeReport, defa_serve::ServeError> {
+    rt.serve(&defa_serve::ServeSpec::homogeneous(backend, cfg))
+}
+
 /// Dispatch overhead the control scenarios run with — small enough that
 /// the per-request cost (not the overhead) sets the service rate.
 const OVERHEAD_US: u64 = 5;
@@ -107,7 +115,7 @@ fn noop_control_reproduces_pr4_pins_byte_for_byte() {
             },
             ..ServeConfig::at_load(load, n)
         };
-        let report = rt.run(&BackendKind::Accelerator.build(), &cfg).unwrap();
+        let report = serve(&rt, &BackendKind::Accelerator.build(), &cfg).unwrap();
         assert_eq!(report.completed, completed, "load {load}: completed");
         assert_eq!(report.dropped, dropped, "load {load}: dropped");
         assert_eq!(report.makespan_ns, makespan, "load {load}: makespan");
@@ -141,7 +149,7 @@ fn every_controller_conserves_requests_and_timeline_sums_match() {
     for make_cfg in [surge_config, diurnal_config] {
         for controller in &controllers {
             let cfg = make_cfg(&rt, controller.clone());
-            let report = rt.run(&BackendKind::Accelerator.build(), &cfg).unwrap();
+            let report = serve(&rt, &BackendKind::Accelerator.build(), &cfg).unwrap();
             let ctx = format!("{} on {}", controller.name(), cfg.arrival.label());
             assert_eq!(report.completed + report.dropped, 96, "{ctx}: conservation");
             assert_eq!(report.outcomes.len(), 96, "{ctx}: outcome per id");
@@ -191,10 +199,10 @@ fn every_controller_conserves_requests_and_timeline_sums_match() {
 fn autoscaler_sheds_strictly_less_than_the_static_fleet_on_a_surge() {
     let rt = runtime(42);
     let backend = BackendKind::Accelerator.build();
-    let stat = rt.run(&backend, &surge_config(&rt, ControllerKind::NoOp)).unwrap();
-    let auto_ = rt
-        .run(&backend, &surge_config(&rt, ControllerKind::Autoscaler(surge_autoscaler())))
-        .unwrap();
+    let stat = serve(&rt, &backend, &surge_config(&rt, ControllerKind::NoOp)).unwrap();
+    let auto_ =
+        serve(&rt, &backend, &surge_config(&rt, ControllerKind::Autoscaler(surge_autoscaler())))
+            .unwrap();
     assert!(
         stat.drop_fraction() > 0.3,
         "operating point must swamp the static fleet (dropped {:.0}%)",
@@ -220,10 +228,10 @@ fn autoscaler_sheds_strictly_less_than_the_static_fleet_on_a_surge() {
 fn dvfs_cuts_average_power_at_bounded_p99_cost_on_an_idle_heavy_trace() {
     let rt = runtime(42);
     let backend = BackendKind::Accelerator.build();
-    let fixed = rt.run(&backend, &diurnal_config(&rt, ControllerKind::NoOp)).unwrap();
-    let dvfs = rt
-        .run(&backend, &diurnal_config(&rt, ControllerKind::Dvfs(DvfsConfig::default())))
-        .unwrap();
+    let fixed = serve(&rt, &backend, &diurnal_config(&rt, ControllerKind::NoOp)).unwrap();
+    let dvfs =
+        serve(&rt, &backend, &diurnal_config(&rt, ControllerKind::Dvfs(DvfsConfig::default())))
+            .unwrap();
     assert_eq!(fixed.dropped, 0, "the calm trace must not shed");
     assert_eq!(dvfs.dropped, 0);
     let (slow, fast) = dvfs.clock_range();
@@ -277,12 +285,12 @@ fn controlled_reports_are_byte_identical_across_thread_counts() {
         let multi = with_num_threads(4, || {
             let rt = runtime(11);
             let cfg = surge_config(&rt, controller.clone());
-            rt.run(&BackendKind::Accelerator.build(), &cfg).unwrap()
+            serve(&rt, &BackendKind::Accelerator.build(), &cfg).unwrap()
         });
         let single = with_num_threads(1, || {
             let rt = runtime(11);
             let cfg = surge_config(&rt, controller.clone());
-            rt.run(&BackendKind::Accelerator.build(), &cfg).unwrap()
+            serve(&rt, &BackendKind::Accelerator.build(), &cfg).unwrap()
         });
         assert_eq!(multi, single, "{} diverged across thread counts", controller.name());
         assert_eq!(format!("{multi:?}"), format!("{single:?}"));
@@ -318,7 +326,7 @@ fn zero_duration_trace_segments_and_epochs_are_guarded() {
         },
         ..ServeConfig::at_load(base, 48)
     };
-    let report = rt.run(&BackendKind::Accelerator.build(), &cfg).unwrap();
+    let report = serve(&rt, &BackendKind::Accelerator.build(), &cfg).unwrap();
     assert_eq!(report.completed + report.dropped, 48, "conservation through degeneracy");
     for e in &report.timeline {
         for v in [e.offered_rps(), e.served_rps(), e.average_power_w(), e.joules_per_request()] {
@@ -367,7 +375,7 @@ fn drain_before_stop_settles_inflight_work_exactly_once() {
         },
         ..ServeConfig::at_load(base, 48)
     };
-    let report = rt.run(&BackendKind::Accelerator.build(), &cfg).unwrap();
+    let report = serve(&rt, &BackendKind::Accelerator.build(), &cfg).unwrap();
     assert_eq!(report.completed + report.dropped, 48);
     let (lo, _) = report.shard_range();
     assert_eq!(lo, 1, "drain pressure must reach the floor");

@@ -27,6 +27,14 @@ use defa_serve::{
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
+fn serve(
+    rt: &ServeRuntime,
+    backend: &std::sync::Arc<dyn defa_serve::Backend>,
+    cfg: &ServeConfig,
+) -> Result<ServeReport, defa_serve::ServeError> {
+    rt.serve(&defa_serve::ServeSpec::homogeneous(backend, cfg))
+}
+
 fn fnv_fold(h: u64, v: u64) -> u64 {
     (h ^ v).wrapping_mul(0x100_0000_01b3)
 }
@@ -321,7 +329,7 @@ fn event_engine_reproduces_every_epoch_scan_fingerprint() {
                         control: ControlConfig { epoch_us: 500, max_shards: 4, controller: ctrl },
                         ..ServeConfig::at_load(load, n)
                     };
-                    let r = runtime.run(&backend, &cfg).unwrap();
+                    let r = serve(&runtime, &backend, &cfg).unwrap();
                     assert_eq!(
                         fingerprint(&r),
                         p_fingerprint,
@@ -360,7 +368,7 @@ fn silent_trace_gaps_are_skipped_not_stepped() {
     );
     let cfg =
         ServeConfig { arrival: ArrivalProcess::Trace(trace), ..ServeConfig::at_load(4_000.0, 32) };
-    let r = rt.run(&BackendKind::Accelerator.build(), &cfg).unwrap();
+    let r = serve(&rt, &BackendKind::Accelerator.build(), &cfg).unwrap();
     assert_eq!(r.completed + r.dropped, 32, "conservation across the gaps");
     // Each 3 s gap spans ~3000 epochs at the default 1 ms epoch; nearly
     // all of them must be skipped.

@@ -31,6 +31,14 @@ fn us_for(requests: f64, rate: f64) -> u64 {
     (requests / rate * 1e6).round().max(1.0) as u64
 }
 
+fn serve(
+    rt: &ServeRuntime,
+    backend: &std::sync::Arc<dyn defa_serve::Backend>,
+    cfg: &ServeConfig,
+) -> Result<ServeReport, defa_serve::ServeError> {
+    rt.serve(&defa_serve::ServeSpec::homogeneous(backend, cfg))
+}
+
 /// The 96-request autoscale surge scenario the `serve_obs` bench runs,
 /// with the given observability configuration.
 fn surge_config(rt: &ServeRuntime, obs: ObsConfig) -> ServeConfig {
@@ -63,7 +71,7 @@ fn run_with(threads: usize, obs: ObsConfig) -> ServeReport {
         let gen = RequestGenerator::standard(&MsdaConfig::tiny(), SEED).unwrap();
         let rt = ServeRuntime::with_pool_threads(gen, threads);
         let cfg = surge_config(&rt, obs);
-        rt.run(&BackendKind::Accelerator.build(), &cfg).unwrap()
+        serve(&rt, &BackendKind::Accelerator.build(), &cfg).unwrap()
     })
 }
 
@@ -88,7 +96,7 @@ fn observability_output_is_invariant_to_the_outcome_capture_cap() {
     let rt = ServeRuntime::with_pool_threads(gen, 1);
     for cap in [0usize, usize::MAX] {
         let cfg = ServeConfig { outcome_capture: cap, ..surge_config(&rt, ObsConfig::full()) };
-        let r = rt.run(&BackendKind::Accelerator.build(), &cfg).unwrap();
+        let r = serve(&rt, &BackendKind::Accelerator.build(), &cfg).unwrap();
         assert_eq!(r.obs.events, full.obs.events, "capture cap {cap} changed the span stream");
         assert_eq!(
             r.obs.chrome_trace(),

@@ -26,6 +26,22 @@ fn runtime(seed: u64) -> ServeRuntime {
     ServeRuntime::new(RequestGenerator::standard(&MsdaConfig::tiny(), seed).unwrap())
 }
 
+fn serve(
+    rt: &ServeRuntime,
+    backend: &std::sync::Arc<dyn defa_serve::Backend>,
+    cfg: &ServeConfig,
+) -> Result<defa_serve::ServeReport, defa_serve::ServeError> {
+    rt.serve(&defa_serve::ServeSpec::homogeneous(backend, cfg))
+}
+
+fn serve_fleet(
+    rt: &ServeRuntime,
+    fleet: Vec<std::sync::Arc<dyn defa_serve::Backend>>,
+    cfg: &ServeConfig,
+) -> Result<defa_serve::ServeReport, defa_serve::ServeError> {
+    rt.serve(&defa_serve::ServeSpec::fleet(fleet, cfg))
+}
+
 /// Digests of completed requests in id order (drops are `None`).
 fn digests(outcomes: &[RequestOutcome]) -> Vec<Option<u64>> {
     outcomes
@@ -51,7 +67,7 @@ fn results_are_batch_size_invariant() {
         let backend = backend.build();
         let mut seen = Vec::new();
         for max_batch in [1usize, 4, 16] {
-            let report = rt.run(&backend, &ServeConfig { max_batch, ..base.clone() }).unwrap();
+            let report = serve(&rt, &backend, &ServeConfig { max_batch, ..base.clone() }).unwrap();
             assert_eq!(report.dropped, 0, "capacity sized to avoid drops");
             seen.push((max_batch, report.digest, digests(&report.outcomes)));
         }
@@ -71,8 +87,8 @@ fn results_are_shard_count_invariant() {
     let rt = runtime(7);
     let base = ServeConfig { queue_capacity: 64, ..ServeConfig::at_load(2_000.0, 18) };
     let backend = BackendKind::Accelerator.build();
-    let one = rt.run(&backend, &ServeConfig { shards: 1, ..base.clone() }).unwrap();
-    let four = rt.run(&backend, &ServeConfig { shards: 4, ..base.clone() }).unwrap();
+    let one = serve(&rt, &backend, &ServeConfig { shards: 1, ..base.clone() }).unwrap();
+    let four = serve(&rt, &backend, &ServeConfig { shards: 4, ..base.clone() }).unwrap();
     assert_eq!(one.dropped, 0);
     assert_eq!(four.dropped, 0);
     assert_eq!(digests(&one.outcomes), digests(&four.outcomes));
@@ -95,11 +111,11 @@ fn serve_report_is_byte_identical_across_thread_counts() {
     for kind in BackendKind::all() {
         let multi = with_num_threads(4, || {
             let rt = runtime(11);
-            rt.run(&kind.build(), &cfg).unwrap()
+            serve(&rt, &kind.build(), &cfg).unwrap()
         });
         let single = with_num_threads(1, || {
             let rt = runtime(11);
-            rt.run(&kind.build(), &cfg).unwrap()
+            serve(&rt, &kind.build(), &cfg).unwrap()
         });
         assert_eq!(multi, single, "{} report diverged across thread counts", kind.name());
         assert_eq!(format!("{multi:?}"), format!("{single:?}"));
@@ -124,11 +140,11 @@ fn energy_totals_are_byte_identical_across_thread_counts() {
         };
         let multi = with_num_threads(4, || {
             let rt = runtime(13);
-            rt.run(&BackendKind::Accelerator.build(), &cfg).unwrap()
+            serve(&rt, &BackendKind::Accelerator.build(), &cfg).unwrap()
         });
         let single = with_num_threads(1, || {
             let rt = runtime(13);
-            rt.run(&BackendKind::Accelerator.build(), &cfg).unwrap()
+            serve(&rt, &BackendKind::Accelerator.build(), &cfg).unwrap()
         });
         assert!(multi.energy.total_pj() > 0, "accelerator requests must cost energy");
         assert_eq!(
@@ -155,7 +171,8 @@ fn energy_totals_are_batch_and_shard_invariant() {
     let backend = BackendKind::Accelerator.build();
     let mut seen: Vec<(EnergyBreakdown, u128)> = Vec::new();
     for (max_batch, shards) in [(1usize, 1usize), (4, 2), (16, 4)] {
-        let report = rt.run(&backend, &ServeConfig { max_batch, shards, ..base.clone() }).unwrap();
+        let report =
+            serve(&rt, &backend, &ServeConfig { max_batch, shards, ..base.clone() }).unwrap();
         assert_eq!(report.dropped, 0, "capacity sized to avoid drops");
         seen.push((report.energy, report.dense_flops));
     }
@@ -169,8 +186,8 @@ fn backpressure_drops_are_deterministic() {
     let cfg =
         ServeConfig { queue_capacity: 3, max_batch: 3, shards: 1, ..ServeConfig::at_load(1e6, 40) };
     let backend = BackendKind::Dense.build();
-    let a = runtime(23).run(&backend, &cfg).unwrap();
-    let b = runtime(23).run(&backend, &cfg).unwrap();
+    let a = serve(&runtime(23), &backend, &cfg).unwrap();
+    let b = serve(&runtime(23), &backend, &cfg).unwrap();
     assert!(a.dropped > 0, "overload must shed load");
     assert_eq!(a, b);
     // Dropped requests cost no compute: only completed ones have digests.
@@ -291,7 +308,7 @@ fn fifo_round_robin_poisson_reproduces_pr2_reports_byte_for_byte() {
             shards: 2,
             ..ServeConfig::at_load(load, n)
         };
-        let report = rt.run(&kind.build(), &cfg).unwrap();
+        let report = serve(&rt, &kind.build(), &cfg).unwrap();
         let ctx = format!("{} at load {load}", kind.name());
         assert_eq!(report.completed, completed, "{ctx}: completed");
         assert_eq!(report.dropped, dropped, "{ctx}: dropped");
@@ -347,7 +364,7 @@ fn every_policy_serves_exactly_once_and_is_class_fair() {
                 router,
                 ..ServeConfig::at_load(30_000.0, 48)
             };
-            let report = rt.run(&backend, &cfg).unwrap();
+            let report = serve(&rt, &backend, &cfg).unwrap();
             let ctx = format!("{}/{}", scheduler.name(), router.name());
             // (a) exactly once: conservation + one outcome per id.
             assert_eq!(report.completed + report.dropped, 48, "{ctx}: conservation");
@@ -401,7 +418,7 @@ fn simultaneous_arrivals_against_a_full_queue_conserve_accounting() {
             drop,
             ..ServeConfig::at_load(4e9, 40)
         };
-        let report = rt.run(&backend, &cfg).unwrap();
+        let report = serve(&rt, &backend, &cfg).unwrap();
         assert!(report.dropped > 0, "{}: overload must shed", drop.name());
         assert_eq!(
             report.completed + report.dropped,
@@ -450,11 +467,11 @@ fn policy_reports_are_byte_identical_across_thread_counts() {
     let fleet_kinds = [BackendKind::Dense, BackendKind::Accelerator];
     let multi = with_num_threads(4, || {
         let rt = runtime(11);
-        rt.run_fleet(&BackendKind::build_fleet(&fleet_kinds), &cfg).unwrap()
+        serve_fleet(&rt, BackendKind::build_fleet(&fleet_kinds), &cfg).unwrap()
     });
     let single = with_num_threads(1, || {
         let rt = runtime(11);
-        rt.run_fleet(&BackendKind::build_fleet(&fleet_kinds), &cfg).unwrap()
+        serve_fleet(&rt, BackendKind::build_fleet(&fleet_kinds), &cfg).unwrap()
     });
     assert_eq!(multi, single, "policy report diverged across thread counts");
     assert_eq!(format!("{multi:?}"), format!("{single:?}"));
@@ -480,9 +497,10 @@ fn edf_meets_more_deadlines_than_fifo_under_bursts() {
         ..ServeConfig::at_load(7_000.0, 96)
     };
     let fifo =
-        rt.run(&backend, &ServeConfig { scheduler: SchedulerKind::Fifo, ..base.clone() }).unwrap();
-    let edf =
-        rt.run(&backend, &ServeConfig { scheduler: SchedulerKind::Edf, ..base.clone() }).unwrap();
+        serve(&rt, &backend, &ServeConfig { scheduler: SchedulerKind::Fifo, ..base.clone() })
+            .unwrap();
+    let edf = serve(&rt, &backend, &ServeConfig { scheduler: SchedulerKind::Edf, ..base.clone() })
+        .unwrap();
     assert_eq!(fifo.completed, edf.completed, "same admitted trace");
     assert!(fifo.slo_violations > 0, "operating point must put deadlines at stake");
     assert!(
@@ -498,9 +516,9 @@ fn edf_meets_more_deadlines_than_fifo_under_bursts() {
 fn backends_disagree_on_approximation_but_agree_on_accounting() {
     let rt = runtime(5);
     let cfg = ServeConfig { queue_capacity: 64, ..ServeConfig::at_load(1_000.0, 10) };
-    let dense = rt.run(&BackendKind::Dense.build(), &cfg).unwrap();
-    let pruned = rt.run(&BackendKind::Pruned.build(), &cfg).unwrap();
-    let accel = rt.run(&BackendKind::Accelerator.build(), &cfg).unwrap();
+    let dense = serve(&rt, &BackendKind::Dense.build(), &cfg).unwrap();
+    let pruned = serve(&rt, &BackendKind::Pruned.build(), &cfg).unwrap();
+    let accel = serve(&rt, &BackendKind::Accelerator.build(), &cfg).unwrap();
     // Same admitted trace everywhere…
     assert_eq!(dense.completed, 10);
     assert_eq!(pruned.completed, 10);
